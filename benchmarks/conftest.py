@@ -1,0 +1,20 @@
+"""Shared configuration for the experiment benchmarks.
+
+Each benchmark file regenerates one paper artefact (see DESIGN.md §3 and
+EXPERIMENTS.md). The pytest-benchmark timer wraps the whole experiment
+(`rounds=1`): the quantity of interest is the printed table, not the
+harness runtime; assertions pin the *shape* the paper claims.
+"""
+
+from __future__ import annotations
+
+SEEDS = range(25)  # per-cell trials: deterministic, cheap, statistically steady
+
+
+def proposals(n: int) -> list[str]:
+    return [f"v{i}" for i in range(n)]
+
+
+def run_once(benchmark, experiment):
+    """Run ``experiment`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(experiment, rounds=1, iterations=1)

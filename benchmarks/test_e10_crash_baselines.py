@@ -1,0 +1,66 @@
+"""E10 — crash-model baselines in context: Hurfin–Raynal vs Chandra–Toueg.
+
+The paper transforms Hurfin–Raynal [8] because of its simple one-phase
+rounds. This experiment quantifies the baseline comparison against the
+classic Chandra–Toueg ◇S protocol [3]: HR trades more messages per round
+(all-to-all votes) for fewer communication steps when the coordinator is
+correct and unsuspected; CT centralises through the coordinator.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_trials
+from repro.analysis.properties import check_crash_consensus
+from repro.analysis.reporting import percent, print_table
+from repro.systems import build_crash_system
+
+from conftest import SEEDS, proposals, run_once
+
+N = 7
+
+
+def run_experiment():
+    rows = []
+    for protocol in ("hurfin-raynal", "chandra-toueg"):
+        for scenario, crash in (
+            ("failure-free", {}),
+            ("coordinator crash", {0: 0.0}),
+            ("two crashes", {0: 0.0, 1: 1.0}),
+        ):
+            summary = run_trials(
+                builder=lambda seed, c=crash, p=protocol: build_crash_system(
+                    proposals(N), crash_at=c, protocol=p, seed=seed
+                ),
+                checker=check_crash_consensus,
+                seeds=SEEDS,
+            )
+            rows.append(
+                [
+                    protocol,
+                    scenario,
+                    percent(summary.all_hold_rate),
+                    summary.mean_messages,
+                    summary.mean_decision_time,
+                ]
+            )
+    return rows
+
+
+def test_e10_hr_vs_ct(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print_table(
+        f"E10 - crash-model baselines (n={N}, {len(SEEDS)} seeds/row)",
+        ["protocol", "scenario", "all hold", "msgs", "latency"],
+        rows,
+    )
+    # Shape: both baselines are correct everywhere.
+    for row in rows:
+        assert row[2] == "100%", row
+    by_key = {(row[0], row[1]): row for row in rows}
+    hr = by_key[("hurfin-raynal", "failure-free")]
+    ct = by_key[("chandra-toueg", "failure-free")]
+    # Shape: HR's decentralised votes cost more messages than CT's
+    # coordinator-centric phases...
+    assert hr[3] > ct[3]
+    # ...but HR decides in fewer communication steps (lower latency).
+    assert hr[4] < ct[4]

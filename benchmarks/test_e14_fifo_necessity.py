@@ -1,0 +1,136 @@
+"""E14 (assumption check) — the FIFO channel assumption is load-bearing.
+
+The paper adapts Hurfin–Raynal to FIFO channels, remarking only that
+"this simplifies the solution when addressing arbitrary failures". This
+experiment shows the assumption is *necessary* already in the crash
+model: the protocol's agreement rests on the fact that any process
+advancing to round r+1 has, by FIFO, already received a round-r CURRENT
+from some change-of-mind voter (the decide/advance majorities intersect)
+and therefore adopted the potentially-decided value.
+
+We construct the violating schedule explicitly (n = 5, no process is
+faulty — only unlucky suspicions and message timing):
+
+* round 1: p0 proposes ``v0``; p2 and p3 relay; p1 and p4 wrongly
+  suspect p0 and vote NEXT; p3 changes its mind and votes NEXT too;
+* p2 collects three CURRENTs and **decides v0**; every DECIDE is slow;
+* crucially, p3's NEXT *overtakes* p3's earlier CURRENT on the channel
+  to p1 (possible only without FIFO), and every other round-1 CURRENT
+  towards p1 is slow — so p1 advances to round 2 having seen **no**
+  round-1 CURRENT, still holding its own ``v1``;
+* round 2: p1 coordinates, p3/p4 adopt and relay ``v1``, and p1, p3,
+  p4 **decide v1** — Agreement is violated.
+
+Re-running the *identical* script over FIFO channels restores safety:
+p3's CURRENT is forced ahead of its NEXT, p1 adopts ``v0`` before
+advancing, and round 2 re-proposes ``v0``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.properties import check_crash_consensus
+from repro.analysis.reporting import print_table
+from repro.consensus.hurfin_raynal import HurfinRaynalProcess
+from repro.detectors.oracles import ScriptedDetector
+from repro.messages.consensus import Current, Decide
+from repro.sim.network import ScriptedDelay
+from repro.sim.world import World
+from repro.systems import ConsensusSystem
+
+from conftest import run_once
+
+N = 5
+SLOW = 200.0
+FAST = 0.2
+
+
+def adversarial_delay_model() -> ScriptedDelay:
+    return ScriptedDelay(
+        rules=[
+            # Every DECIDE crawls: the v0 decisions must not rescue anyone.
+            (lambda s, d, p: isinstance(p, Decide), SLOW),
+            # No round-1 CURRENT may reach p1 in time...
+            (
+                lambda s, d, p: isinstance(p, Current)
+                and p.round == 1
+                and d == 1,
+                SLOW,
+            ),
+            # ...and p3 / p4 are starved of their third round-1 CURRENT,
+            # so they cannot decide v0 and follow p1 into round 2.
+            (
+                lambda s, d, p: isinstance(p, Current)
+                and p.round == 1
+                and (s, d) in {(2, 3), (2, 4), (3, 4)},
+                SLOW,
+            ),
+            # Meanwhile p3's NEXT (sent *after* its CURRENT) rushes to p1 —
+            # the overtake only a non-FIFO channel can deliver.
+            (lambda s, d, p: s == 3 and d == 1, FAST),
+        ],
+        default=1.0,
+    )
+
+
+def suspicion_script(pid: int) -> list[tuple[int, float, float]]:
+    # p1 and p4 wrongly suspect the round-1 coordinator for a while.
+    if pid in (1, 4):
+        return [(0, 0.0, 10.0)]
+    return []
+
+
+def run_scenario(fifo: bool) -> ConsensusSystem:
+    processes = [
+        HurfinRaynalProcess(
+            proposal=f"v{pid}",
+            detector=ScriptedDetector(suspicion_script(pid)),
+            suspicion_poll=0.1,
+        )
+        for pid in range(N)
+    ]
+    world = World(
+        processes,
+        seed=0,
+        delay_model=adversarial_delay_model(),
+        fifo=fifo,
+    )
+    system = ConsensusSystem(world=world, processes=processes)
+    system.run(max_events=100_000, max_time=1_000.0)
+    return system
+
+
+def run_experiment():
+    rows = []
+    outcomes = {}
+    for fifo in (False, True):
+        system = run_scenario(fifo)
+        report = check_crash_consensus(system)
+        decisions = sorted(
+            {repr(p.decision) for p in system.processes if p.decided}
+        )
+        outcomes[fifo] = report
+        rows.append(
+            [
+                "FIFO" if fifo else "non-FIFO",
+                report.agreement,
+                report.validity,
+                report.termination,
+                ", ".join(decisions),
+            ]
+        )
+    return rows, outcomes
+
+
+def test_e14_fifo_is_load_bearing(benchmark):
+    rows, outcomes = run_once(benchmark, run_experiment)
+    print_table(
+        "E14 - the same adversarial schedule with and without FIFO channels "
+        f"(n={N}, crash model, zero faulty processes)",
+        ["channels", "agreement", "validity", "termination", "decisions"],
+        rows,
+    )
+    # Shape: without FIFO the schedule splits the decision...
+    assert not outcomes[False].agreement
+    # ...and with FIFO the identical schedule is harmless.
+    assert outcomes[True].agreement, outcomes[True].violations
+    assert outcomes[True].validity

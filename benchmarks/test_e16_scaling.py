@@ -1,0 +1,83 @@
+"""E16 (scaling) — cost curves of the transformation in the system size.
+
+Failure-free runs at n = 4, 7, 10, 13 for the crash-model baseline and
+the two transformed protocols: messages grow ~n² for all three (the
+protocols are all-to-all), while the transformed protocols' *bytes* grow
+an order faster (certificates carry n−F signed messages, each O(n)), so
+the byte overhead factor itself widens with n — the scaling consequence
+of the paper's certificate mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_trials
+from repro.analysis.properties import (
+    check_crash_consensus,
+    check_vector_consensus,
+)
+from repro.analysis.reporting import print_table
+from repro.systems import build_crash_system, build_transformed_system
+
+from conftest import proposals, run_once
+
+SIZES = (4, 7, 10, 13)
+SEEDS = range(8)
+
+
+def run_experiment():
+    rows = []
+    factors = {}
+    for n in SIZES:
+        crash = run_trials(
+            builder=lambda seed, k=n: build_crash_system(proposals(k), seed=seed),
+            checker=check_crash_consensus,
+            seeds=SEEDS,
+        )
+        hr = run_trials(
+            builder=lambda seed, k=n: build_transformed_system(
+                proposals(k), seed=seed
+            ),
+            checker=check_vector_consensus,
+            seeds=SEEDS,
+        )
+        ct = run_trials(
+            builder=lambda seed, k=n: build_transformed_system(
+                proposals(k), base="chandra-toueg", seed=seed
+            ),
+            checker=check_vector_consensus,
+            seeds=SEEDS,
+        )
+        for label, summary in (("crash HR", crash), ("transf. HR", hr),
+                               ("transf. CT", ct)):
+            rows.append(
+                [
+                    n,
+                    label,
+                    summary.all_hold_rate == 1.0,
+                    summary.mean_messages,
+                    (summary.mean_bytes or 0.0) / 1024.0,
+                    summary.mean_decision_time,
+                ]
+            )
+        factors[n] = (hr.mean_bytes or 0.0) / (crash.mean_bytes or 1.0)
+    return rows, factors
+
+
+def test_e16_cost_scaling(benchmark):
+    rows, factors = run_once(benchmark, run_experiment)
+    print_table(
+        f"E16 - failure-free cost vs system size ({len(SEEDS)} seeds/cell)",
+        ["n", "protocol", "all hold", "msgs", "kBytes", "latency"],
+        rows,
+    )
+    print(
+        "byte overhead factor (transformed HR / crash HR): "
+        + ", ".join(f"n={n}: {factor:.0f}x" for n, factor in factors.items())
+    )
+    # Shape: correctness at every size.
+    assert all(row[2] for row in rows)
+    # Shape: the byte overhead factor widens with n (certificates are
+    # O(n) signed messages each, themselves O(n)).
+    values = [factors[n] for n in SIZES]
+    assert values == sorted(values), values
+    assert values[-1] > 2 * values[0]

@@ -1,0 +1,105 @@
+"""E18 (application) — BFT state-machine replication over the protocol.
+
+The paper motivates consensus as the foundation of fault-tolerant
+services; this experiment measures the service built on the transformed
+protocol in :mod:`repro.replication`: a replicated log committing client
+commands slot by slot (one Vector Consensus instance per slot,
+slot-separated signature domains).
+
+Reported per configuration: log convergence (identical command sequences
+at all correct replicas), committed commands, virtual-time throughput
+and per-command message cost — failure-free vs a crashed replica vs a
+value-corrupting Byzantine replica.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import percent, print_table
+from repro.byzantine.transformed_attacks import TCorruptVectorAttacker
+from repro.replication import Command, build_replicated_system, materialise
+from repro.sim.network import UniformDelay
+
+from conftest import run_once
+
+N = 4
+SLOTS = 4
+SEEDS = range(10)
+
+
+def workloads():
+    return [
+        [Command("set", f"k{pid}-{slot}", slot) for slot in range(SLOTS)]
+        for pid in range(N)
+    ]
+
+
+def corrupt_engine(pid, proposal, params, authority, detector, config):
+    return TCorruptVectorAttacker(
+        proposal=proposal, params=params, authority=authority,
+        detector=detector, config=config,
+    )
+
+
+def run_cell(label, crash_at=None, byzantine=None):
+    converged = 0
+    commands = 0.0
+    duration = 0.0
+    messages = 0.0
+    stores_identical = 0
+    for seed in SEEDS:
+        system = build_replicated_system(
+            workloads(),
+            target_slots=SLOTS,
+            seed=seed,
+            byzantine=byzantine,
+            delay_model=UniformDelay(0.1, 1.5),
+        )
+        if crash_at:
+            for pid, time in crash_at.items():
+                system.world.crash_at(pid, time)
+            system.byzantine_pids = frozenset(crash_at) | system.byzantine_pids
+        result = system.run(max_time=4_000.0)
+        if system.converged():
+            converged += 1
+        logs = system.correct_logs()
+        commands += len(logs[0])
+        duration += result.end_time
+        messages += system.world.network.messages_sent
+        stores = {tuple(sorted(materialise(log).items())) for log in logs}
+        if len(stores) == 1:
+            stores_identical += 1
+    count = len(SEEDS)
+    return [
+        label,
+        percent(converged / count),
+        percent(stores_identical / count),
+        commands / count,
+        duration / count,
+        (messages / count) / max(commands / count, 1.0),
+    ]
+
+
+def run_experiment():
+    return [
+        run_cell("failure-free"),
+        run_cell("one crashed replica", crash_at={1: 2.0}),
+        run_cell("one corrupting replica", byzantine={3: corrupt_engine}),
+    ]
+
+
+def test_e18_replicated_log(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print_table(
+        f"E18 - BFT replicated log over the transformed protocol "
+        f"(n={N}, {SLOTS} slots, {len(SEEDS)} seeds/row)",
+        ["configuration", "logs converge", "stores identical",
+         "commands", "virtual time", "msgs/command"],
+        rows,
+    )
+    # Shape: full convergence in every configuration.
+    for row in rows:
+        assert row[1] == "100%", row
+        assert row[2] == "100%", row
+    # Shape: a corrupting replica cannot reduce committed throughput to
+    # zero (its slots still commit the correct replicas' commands).
+    assert rows[2][3] > 0

@@ -1,0 +1,65 @@
+"""E3 — Figure 3: the transformed protocol under the same attack gallery.
+
+The headline reproduction: with f <= F Byzantine processes, the correct
+processes keep Agreement, Termination and Vector Validity in 100% of the
+runs, for every attack the crash protocol fell to in E2.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_trials
+from repro.analysis.properties import check_vector_consensus
+from repro.analysis.reporting import percent, print_table
+from repro.byzantine import TRANSFORMED_ATTACKS, transformed_attack
+from repro.sim.network import UniformDelay
+from repro.systems import build_transformed_system
+
+from conftest import SEEDS, proposals, run_once
+
+N = 4
+SEATS = {"equivocate-current": 0, "wrong-cert-current": 0}
+
+
+def run_experiment():
+    rows = []
+    for name in sorted(TRANSFORMED_ATTACKS):
+        seat = SEATS.get(name, 3)
+        summary = run_trials(
+            builder=lambda seed, a=name, s=seat: build_transformed_system(
+                proposals(N),
+                byzantine=transformed_attack(s, a),
+                seed=seed,
+                delay_model=UniformDelay(0.1, 2.5),
+            ),
+            checker=check_vector_consensus,
+            seeds=SEEDS,
+        )
+        rows.append(
+            [
+                name,
+                percent(summary.termination_rate),
+                percent(summary.agreement_rate),
+                percent(summary.validity_rate),
+                summary.all_hold_ci,
+                summary.mean_rounds,
+                summary.mean_messages,
+            ]
+        )
+    return rows
+
+
+def test_e3_transformed_protocol_survives_every_attack(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print_table(
+        f"E3 - transformed protocol (Fig. 3) attacked (n={N}, F=1, "
+        f"{len(SEEDS)} seeds/row)",
+        ["attack", "term", "agree", "vec-valid", "all hold (95% CI)",
+         "rounds", "msgs"],
+        rows,
+    )
+    # Shape: every property holds in every run, for every attack — the
+    # paper's central claim.
+    for row in rows:
+        assert row[1] == "100%", row
+        assert row[2] == "100%", row
+        assert row[3] == "100%", row

@@ -1,0 +1,102 @@
+"""E7 — the cost of the transformation (the Figure 1 pipeline).
+
+Same workload (one consensus, failure-free and with one crash), crash
+protocol vs transformed protocol: messages, wire bytes, certificate
+sizes, rounds, latency. The paper's mechanism predicts a constant-factor
+message overhead and a large certificate-byte overhead (certificates
+carry n - F signed messages each, nested one level for relays/decides).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_trials
+from repro.analysis.properties import (
+    check_crash_consensus,
+    check_vector_consensus,
+)
+from repro.analysis.reporting import print_table
+from repro.systems import build_crash_system, build_transformed_system
+
+from conftest import SEEDS, proposals, run_once
+
+
+def summarise(name, summary, max_cert):
+    return [
+        name,
+        summary.mean_messages,
+        summary.mean_bytes,
+        max_cert,
+        summary.mean_rounds,
+        summary.mean_decision_time,
+    ]
+
+
+def run_experiment():
+    rows = []
+    for n in (4, 7):
+        for scenario, crash in (("failure-free", {}), ("one crash", {0: 0.0})):
+            crash_summary = run_trials(
+                builder=lambda seed, c=crash: build_crash_system(
+                    proposals(n), crash_at=c, seed=seed
+                ),
+                checker=check_crash_consensus,
+                seeds=SEEDS,
+            )
+            transformed_summary = run_trials(
+                builder=lambda seed, c=crash: build_transformed_system(
+                    proposals(n), crash_at=c, seed=seed
+                ),
+                checker=check_vector_consensus,
+                seeds=SEEDS,
+            )
+            crash_cert = max(
+                t.metrics.max_certificate_entries for t in crash_summary.trials
+            )
+            transformed_cert = max(
+                t.metrics.max_certificate_entries
+                for t in transformed_summary.trials
+            )
+            rows.append(
+                [f"n={n} {scenario}"]
+                + summarise("crash", crash_summary, crash_cert)[1:]
+            )
+            rows.append(
+                [f"n={n} {scenario} (transformed)"]
+                + summarise("transformed", transformed_summary, transformed_cert)[1:]
+            )
+            rows.append(
+                [
+                    "  overhead x",
+                    _ratio(transformed_summary.mean_messages,
+                           crash_summary.mean_messages),
+                    _ratio(transformed_summary.mean_bytes,
+                           crash_summary.mean_bytes),
+                    None,
+                    None,
+                    None,
+                ]
+            )
+    return rows
+
+
+def _ratio(a, b):
+    if a is None or b is None or b == 0:
+        return None
+    return a / b
+
+
+def test_e7_transformation_overhead(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    print_table(
+        f"E7 - cost of the transformation ({len(SEEDS)} seeds/row)",
+        ["config", "msgs", "bytes", "max cert", "rounds", "latency"],
+        rows,
+    )
+    overhead_rows = [r for r in rows if r[0] == "  overhead x"]
+    for row in overhead_rows:
+        # Shape: the message overhead is a small constant factor...
+        assert 1.0 <= row[1] < 6.0, row
+        # ...while the byte overhead is markedly larger (certificates of
+        # n - F signed messages dominate every vote).
+        assert row[2] > 2.0, row
+        assert row[2] > row[1], row

@@ -1,0 +1,114 @@
+"""Performance microbenchmarks of the substrate itself.
+
+Unlike E1..E16 (which regenerate paper artefacts), these time the
+building blocks with pytest-benchmark's real statistics: simulator event
+throughput, signing/verification, certificate construction and the
+certificate analyser. Useful for keeping the harness fast enough that
+the hypothesis batteries and seed sweeps stay cheap.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.consensus.certification import (
+    current_message_problems,
+    decide_message_problems,
+)
+from repro.core.certificates import Certificate
+from repro.messages.consensus import VCurrent
+from repro.sim.scheduler import Scheduler
+from repro.systems import build_transformed_system
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.helpers import SignedWorkbench  # noqa: E402
+
+
+def test_scheduler_event_throughput(benchmark):
+    def run_10k_events():
+        scheduler = Scheduler(seed=0)
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                scheduler.schedule_after(0.001, "tick", tick)
+
+        scheduler.schedule_at(0.0, "tick", tick)
+        scheduler.run()
+        return scheduler.events_dispatched
+
+    dispatched = benchmark(run_10k_events)
+    assert dispatched == 10_000
+
+
+def test_sign_and_verify(benchmark):
+    bench = SignedWorkbench(7)
+
+    def sign_verify():
+        message = bench.signed_init(0)
+        assert bench.verify(message)
+        return message
+
+    benchmark(sign_verify)
+
+
+def test_coordinator_current_construction(benchmark):
+    bench = SignedWorkbench(7)
+    inits = bench.init_quorum()
+    vector = bench.vector_for(list(range(bench.quorum)))
+
+    def build():
+        return bench.authorities[0].make(
+            VCurrent(sender=0, round=1, est_vect=vector),
+            Certificate(tuple(inits)),
+        )
+
+    message = benchmark(build)
+    assert message.has_full_cert
+
+
+def test_current_predicate_throughput(benchmark):
+    bench = SignedWorkbench(7)
+    message = bench.coordinator_current()
+
+    def analyse():
+        return current_message_problems(message, bench.params, bench.verify)
+
+    assert benchmark(analyse) == []
+
+
+def test_decide_predicate_throughput(benchmark):
+    bench = SignedWorkbench(7)
+    coordinator_msg = bench.coordinator_current()
+    relays = [
+        bench.relay_current(pid, coordinator_msg)
+        for pid in range(1, bench.quorum)
+    ]
+    from repro.messages.consensus import VDecide
+
+    decide = bench.authorities[1].make(
+        VDecide(sender=1, est_vect=coordinator_msg.body.est_vect),
+        Certificate((coordinator_msg, *relays)),
+    )
+
+    def analyse():
+        return decide_message_problems(decide, bench.params, bench.verify)
+
+    assert benchmark(analyse) == []
+
+
+def test_full_consensus_run_throughput(benchmark):
+    counter = [0]
+
+    def one_run():
+        counter[0] += 1
+        system = build_transformed_system(
+            [f"v{i}" for i in range(4)], seed=counter[0]
+        )
+        system.run()
+        return system
+
+    system = benchmark(one_run)
+    assert system.all_correct_decided()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Why the paper quietly switched to FIFO channels — a live counterexample.
+
+The DSN 2000 paper adapts Hurfin–Raynal to FIFO channels with a single
+remark ("this simplifies the solution"). This example shows the
+assumption is *load-bearing*: one hand-crafted adversarial schedule —
+zero faulty processes, only unlucky suspicions and message timing — is
+replayed twice. Over non-FIFO channels a NEXT vote overtakes the CURRENT
+that preceded it, the round-2 coordinator proposes a stale value, and
+two different values get decided. Over FIFO channels the identical
+schedule is harmless.
+
+Run:  python examples/fifo_anomaly.py
+See:  benchmarks/test_e14_fifo_necessity.py and DESIGN.md §5 ("Why FIFO
+      is load-bearing") for the general argument.
+"""
+
+from repro.analysis.properties import check_crash_consensus
+from repro.analysis.tracefmt import render_sequence
+from repro.consensus.hurfin_raynal import HurfinRaynalProcess
+from repro.detectors.oracles import ScriptedDetector
+from repro.messages.consensus import Current, Decide
+from repro.sim.network import ScriptedDelay
+from repro.sim.world import World
+from repro.systems import ConsensusSystem
+
+N = 5
+SLOW, FAST = 200.0, 0.2
+
+
+def adversarial_schedule() -> ScriptedDelay:
+    return ScriptedDelay(
+        rules=[
+            (lambda s, d, p: isinstance(p, Decide), SLOW),
+            (lambda s, d, p: isinstance(p, Current) and p.round == 1 and d == 1,
+             SLOW),
+            (lambda s, d, p: isinstance(p, Current) and p.round == 1
+             and (s, d) in {(2, 3), (2, 4), (3, 4)}, SLOW),
+            (lambda s, d, p: s == 3 and d == 1, FAST),  # the overtake
+        ],
+        default=1.0,
+    )
+
+
+def run(fifo: bool) -> ConsensusSystem:
+    processes = [
+        HurfinRaynalProcess(
+            proposal=f"v{pid}",
+            detector=ScriptedDetector([(0, 0.0, 10.0)] if pid in (1, 4) else []),
+            suspicion_poll=0.1,
+        )
+        for pid in range(N)
+    ]
+    world = World(processes, seed=0, delay_model=adversarial_schedule(), fifo=fifo)
+    system = ConsensusSystem(world=world, processes=processes)
+    system.run(max_events=100_000, max_time=1_000.0)
+    return system
+
+
+for fifo in (False, True):
+    label = "FIFO channels" if fifo else "non-FIFO channels"
+    system = run(fifo)
+    report = check_crash_consensus(system)
+    decisions = {p.pid: p.decision for p in system.processes if p.decided}
+    print(f"=== {label} ===")
+    print(f"decisions : {decisions}")
+    print(f"agreement : {report.agreement}")
+    if not fifo:
+        print("\nfirst 14 steps of the run (note p1 reaching round 2 while")
+        print("round-1 CURRENTs are still in flight towards it):\n")
+        print(render_sequence(system.world.trace, N, max_events=14))
+        assert not report.agreement, "the counterexample should fire"
+    else:
+        assert report.agreement
+    print()
+
+print("Identical schedule, opposite outcomes: the FIFO assumption is what")
+print("carries the decided value across rounds (DESIGN.md §5).")

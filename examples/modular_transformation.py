@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The methodology as an API: assembling the five modules by hand.
+
+This example uses :class:`repro.core.transformer.TransformationBlueprint`
+directly — the generic, protocol-independent part of the paper's
+methodology — instead of the one-call convenience builder. It then shows
+the flip side: ablating a module (the certificate analyser) and watching
+the very attack that module owns slip through.
+
+Run:  python examples/modular_transformation.py
+"""
+
+from repro import ModuleConfig, check_vector_consensus, transformed_attack
+from repro.consensus.transformed import TransformedConsensusProcess
+from repro.core.specs import SystemParameters
+from repro.core.transformer import TransformationBlueprint
+from repro.crypto.keys import KeyAuthority
+from repro.crypto.signatures import SignatureScheme
+from repro.detectors.diamond_m import MutenessDetector
+from repro.sim.world import World
+from repro.systems import build_transformed_system
+
+N = 4
+PROPOSALS = [f"v{i}" for i in range(N)]
+
+# -- 1. assemble the five-module process structure explicitly ----------------
+
+params = SystemParameters.for_n(N)
+print(f"system: n={params.n}, F={params.f}, quorum n-F={params.quorum}, "
+      f"alpha n-2F={params.alpha}")
+
+keys = KeyAuthority(N, seed=0)  # the paper's private/public key pairs
+scheme = SignatureScheme(keys)
+
+blueprint = TransformationBlueprint(
+    params=params,
+    scheme=scheme,
+    key_authority=keys,
+    # module 2: muteness failure detection (◇M, timeout implementation)
+    muteness_factory=lambda pid: MutenessDetector(initial_timeout=8.0),
+    # modules 3+4+5: monitor bank, certification and the protocol module
+    # are assembled inside the transformed process
+    protocol_factory=lambda pid, proposal, authority, detector, config: (
+        TransformedConsensusProcess(
+            proposal=proposal,
+            params=params,
+            authority=authority,
+            detector=detector,
+            config=config,
+        )
+    ),
+)
+
+processes = blueprint.build_all(PROPOSALS)
+world = World(processes, seed=3)
+world.run(max_time=2_000)
+print("hand-assembled system decided:",
+      {p.pid: p.decision for p in processes})
+assert all(p.decided for p in processes)
+
+# -- 2. ablation: remove the certificate analyser, replay an attack -----------
+
+print("\nablation: certification module OFF, corrupt-vector attack ON")
+for label, config in (
+    ("full five-module structure", ModuleConfig.full()),
+    ("certification ablated", ModuleConfig.full().without("certification")),
+):
+    system = build_transformed_system(
+        PROPOSALS,
+        byzantine=transformed_attack(0, "corrupt-vector"),
+        config=config,
+        seed=5,
+    )
+    system.run(max_time=2_000)
+    report = check_vector_consensus(system)
+    print(f"  {label:30s} -> all properties hold: {report.all_hold}")
+    if report.violations:
+        print(f"      e.g. {report.violations[0]}")

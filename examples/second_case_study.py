@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The methodology applied twice: transformed HR vs transformed CT.
+
+Runs the same Byzantine scenario — a coordinator that corrupts the
+values it sends — against both applications of the paper's recipe, and
+shows the CT transformation's distinctive feature: the *verifiable
+phase-2 selection* (a proposal must be the deterministic highest-ts pick
+of its own attached estimate quorum).
+
+Run:  python examples/second_case_study.py
+See:  docs/METHODOLOGY.md for the step-by-step recipe this follows.
+"""
+
+from repro import build_transformed_system, check_detection, check_vector_consensus
+from repro.byzantine import transformed_attack
+from repro.byzantine.ct_attacks import ct_attack
+
+PROPOSALS = ["north", "south", "east", "west"]
+
+print("same attack intent, two transformed protocols\n")
+
+for base, attack in (
+    ("hurfin-raynal", transformed_attack(0, "corrupt-vector")),
+    ("chandra-toueg", ct_attack(0, "ct-corrupt-selection")),
+):
+    system = build_transformed_system(
+        PROPOSALS, base=base, byzantine=attack, seed=17
+    )
+    system.run(max_time=2_000)
+    report = check_vector_consensus(system)
+    detection = check_detection(system)
+    survivors = sorted(system.correct_pids)
+    decisions = {pid: system.processes[pid].decision for pid in survivors}
+    print(f"[{base}]")
+    print(f"  all properties hold : {report.all_hold}")
+    print(f"  decided vector      : {decisions[survivors[0]]}")
+    print(f"  convictions of p0   : {detection.detectors_per_culprit.get(0, 0)}"
+          f" / {len(survivors)} correct processes")
+    first = next(
+        (
+            r
+            for pid in survivors
+            for r in system.processes[pid].monitor_bank.reports
+            if r.culprit == 0
+        ),
+        None,
+    )
+    if first is not None:
+        reason = first.reason if len(first.reason) < 110 else first.reason[:107] + "..."
+        print(f"  first fault report  : {reason}")
+    print()
+    assert report.all_hold
+
+print("Both transformations absorb the attack; note the CT report cites the")
+print("corrupted *selection* — a justification check only CT's certificates")
+print("make possible (docs/METHODOLOGY.md, step 3).")

@@ -1,0 +1,84 @@
+"""repro — a reproduction of Baldoni, Hélary & Raynal (DSN 2000):
+*From Crash Fault-Tolerance to Arbitrary-Fault Tolerance: Towards a
+Modular Approach*.
+
+The library implements, from scratch and on a deterministic simulator of
+an asynchronous message-passing system:
+
+* the crash-model Hurfin–Raynal consensus protocol (paper Figure 2) and
+  a Chandra–Toueg baseline;
+* the generic transformation methodology (five-module process structure,
+  certificates, behaviour automata, vector certification — Section 3);
+* the transformed Byzantine-resilient Vector Consensus protocol (Figure
+  3) with its non-muteness detection automata (Figure 4);
+* ◇S and ◇M failure detectors (oracle-driven and timeout-based);
+* a gallery of Byzantine behaviours covering the paper's fault taxonomy;
+* property checkers and an experiment harness regenerating every
+  figure-level claim of the paper (see EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import build_transformed_system, transformed_attack
+
+    system = build_transformed_system(
+        ["a", "b", "c", "d"],
+        byzantine=transformed_attack(3, "corrupt-vector"),
+        seed=1,
+    )
+    system.run()
+    print(system.decisions())        # the decided vectors
+    print(system.processes[0].faulty)  # p0's faulty set: {3}
+"""
+
+from repro.analysis import (
+    check_crash_consensus,
+    check_detection,
+    check_vector_consensus,
+    measure,
+    run_trials,
+)
+from repro.byzantine import (
+    CRASH_ATTACKS,
+    TRANSFORMED_ATTACKS,
+    crash_attack,
+    transformed_attack,
+    transformed_attacks_at,
+)
+from repro.core import (
+    Certificate,
+    CertificationAuthority,
+    ModuleConfig,
+    SignedMessage,
+    SystemParameters,
+    TransformationBlueprint,
+)
+from repro.systems import (
+    ConsensusSystem,
+    build_crash_system,
+    build_transformed_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CRASH_ATTACKS",
+    "Certificate",
+    "CertificationAuthority",
+    "ConsensusSystem",
+    "ModuleConfig",
+    "SignedMessage",
+    "SystemParameters",
+    "TRANSFORMED_ATTACKS",
+    "TransformationBlueprint",
+    "__version__",
+    "build_crash_system",
+    "build_transformed_system",
+    "check_crash_consensus",
+    "check_detection",
+    "check_vector_consensus",
+    "crash_attack",
+    "measure",
+    "run_trials",
+    "transformed_attack",
+    "transformed_attacks_at",
+]

@@ -1,0 +1,161 @@
+"""Seeded batch experiment runner.
+
+Every benchmark (E1..E10) reduces to: build a system per seed, run it,
+check properties, aggregate. :func:`run_trials` is that loop;
+:class:`TrialSummary` is the aggregate the benchmarks print as table
+rows. Determinism: trial ``k`` of a sweep always uses the same seed, so
+every number in EXPERIMENTS.md is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.metrics import RunMetrics, measure
+from repro.analysis.properties import (
+    DetectionReport,
+    PropertyReport,
+    check_detection,
+)
+from repro.systems import ConsensusSystem
+
+SystemBuilder = Callable[[int], ConsensusSystem]
+PropertyChecker = Callable[[ConsensusSystem], PropertyReport]
+
+
+@dataclass(frozen=True, slots=True)
+class Trial:
+    """One seeded run with its verdicts and costs."""
+
+    seed: int
+    report: PropertyReport
+    detection: DetectionReport
+    metrics: RunMetrics
+    run_reason: str
+
+
+@dataclass(slots=True)
+class TrialSummary:
+    """Aggregate over a batch of trials (one table row)."""
+
+    trials: list[Trial] = field(default_factory=list)
+
+    def add(self, trial: Trial) -> None:
+        self.trials.append(trial)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    # -- property rates ----------------------------------------------------------
+
+    def rate(self, predicate: Callable[[Trial], bool]) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if predicate(t)) / len(self.trials)
+
+    def rate_ci(self, predicate: Callable[[Trial], bool]) -> str:
+        """The rate with its 95% Wilson interval, formatted for a table."""
+        from repro.analysis.stats import rate_with_ci
+
+        successes = sum(1 for t in self.trials if predicate(t))
+        return rate_with_ci(successes, len(self.trials))
+
+    @property
+    def all_hold_ci(self) -> str:
+        return self.rate_ci(lambda t: t.report.all_hold)
+
+    @property
+    def termination_rate(self) -> float:
+        return self.rate(lambda t: t.report.termination)
+
+    @property
+    def agreement_rate(self) -> float:
+        return self.rate(lambda t: t.report.agreement)
+
+    @property
+    def validity_rate(self) -> float:
+        return self.rate(lambda t: t.report.validity)
+
+    @property
+    def all_hold_rate(self) -> float:
+        return self.rate(lambda t: t.report.all_hold)
+
+    @property
+    def violation_rate(self) -> float:
+        """Rate of *safety* violations (agreement or validity broken)."""
+        return self.rate(lambda t: not (t.report.agreement and t.report.validity))
+
+    # -- detection rates -----------------------------------------------------------
+
+    @property
+    def detection_by_all_rate(self) -> float:
+        return self.rate(lambda t: t.detection.detected_by_all)
+
+    @property
+    def detection_by_any_rate(self) -> float:
+        return self.rate(lambda t: t.detection.detected_by_any)
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.rate(lambda t: not t.detection.clean)
+
+    @property
+    def suspected_by_any_rate(self) -> float:
+        """Rate of trials where every Byzantine pid got *suspected* (◇M)."""
+
+        def suspected(t: Trial) -> bool:
+            culprits = t.detection.detectors_per_culprit.keys()
+            return bool(culprits) and all(
+                pid in t.detection.suspected_by_any for pid in culprits
+            )
+
+        return self.rate(suspected)
+
+    # -- cost means ------------------------------------------------------------------
+
+    def mean(self, extract: Callable[[Trial], float | None]) -> float | None:
+        values = [v for t in self.trials if (v := extract(t)) is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    @property
+    def mean_messages(self) -> float | None:
+        return self.mean(lambda t: float(t.metrics.messages_sent))
+
+    @property
+    def mean_bytes(self) -> float | None:
+        return self.mean(lambda t: float(t.metrics.protocol_bytes))
+
+    @property
+    def mean_rounds(self) -> float | None:
+        return self.mean(lambda t: t.metrics.mean_decision_round)
+
+    @property
+    def mean_decision_time(self) -> float | None:
+        return self.mean(lambda t: t.metrics.mean_decision_time)
+
+
+def run_trials(
+    builder: SystemBuilder,
+    checker: PropertyChecker,
+    seeds: range | list[int],
+    max_events: int = 400_000,
+    max_time: float = 3_000.0,
+) -> TrialSummary:
+    """Build, run and check one system per seed; aggregate the verdicts."""
+    summary = TrialSummary()
+    for seed in seeds:
+        system = builder(seed)
+        result = system.run(max_events=max_events, max_time=max_time)
+        summary.add(
+            Trial(
+                seed=seed,
+                report=checker(system),
+                detection=check_detection(system),
+                metrics=measure(system),
+                run_reason=result.reason,
+            )
+        )
+    return summary

@@ -1,0 +1,95 @@
+"""Run metrics: cost accounting over traces.
+
+Used by E7 (transformation overhead) and the per-experiment summaries:
+message counts, wire bytes (canonical encoding of each sent payload),
+rounds to decision, and decision latencies in virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.certificates import SignedMessage
+from repro.crypto.encoding import canonical_bytes
+from repro.detectors.heartbeat import Heartbeat
+from repro.systems import ConsensusSystem
+
+
+@dataclass(frozen=True, slots=True)
+class RunMetrics:
+    """Aggregate cost figures for one finished run."""
+
+    messages_sent: int
+    messages_delivered: int
+    protocol_bytes: int
+    signed_messages: int
+    max_certificate_entries: int
+    decided_count: int
+    max_decision_round: int | None
+    mean_decision_round: float | None
+    mean_decision_time: float | None
+    max_decision_time: float | None
+
+
+def payload_bytes(payload: object) -> int:
+    """True wire size of one payload.
+
+    The *canonical* encoding of a signed message is deliberately
+    pruning-invariant (it covers the certificate digest, not its
+    expansion), so it cannot be used as a size measure. The wire carries
+    the expansion of whatever certificate levels were not pruned, so the
+    size of a signed message is its light encoding plus the wire size of
+    every entry its (full) certificate actually ships.
+    """
+    if isinstance(payload, SignedMessage):
+        size = len(canonical_bytes(payload.light_canonical()))
+        if payload.has_full_cert:
+            for entry in payload.full_cert():
+                size += payload_bytes(entry)
+        return size
+    return len(canonical_bytes(payload))
+
+
+def certificate_entries(payload: object) -> int:
+    """Number of signed messages in the payload's certificate (recursive)."""
+    if not isinstance(payload, SignedMessage) or not payload.has_full_cert:
+        return 0
+    total = 0
+    for entry in payload.full_cert():
+        total += 1 + certificate_entries(entry)
+    return total
+
+
+def measure(system: ConsensusSystem) -> RunMetrics:
+    """Compute the cost metrics of a completed run from its trace."""
+    protocol_bytes = 0
+    signed = 0
+    max_cert = 0
+    for event in system.world.trace.of_kind("send"):
+        payload = event.detail.get("payload")
+        if isinstance(payload, Heartbeat):
+            continue  # detector-internal traffic is not protocol cost
+        protocol_bytes += payload_bytes(payload)
+        if isinstance(payload, SignedMessage):
+            signed += 1
+            max_cert = max(max_cert, certificate_entries(payload))
+    rounds: list[int] = []
+    times: list[float] = []
+    for pid in sorted(system.correct_pids):
+        process = system.processes[pid]
+        if process.decided:
+            times.append(process.decision_time or 0.0)
+            if process.decision_round is not None:
+                rounds.append(process.decision_round)
+    return RunMetrics(
+        messages_sent=system.world.network.messages_sent,
+        messages_delivered=system.world.network.messages_delivered,
+        protocol_bytes=protocol_bytes,
+        signed_messages=signed,
+        max_certificate_entries=max_cert,
+        decided_count=len(times),
+        max_decision_round=max(rounds) if rounds else None,
+        mean_decision_round=(sum(rounds) / len(rounds)) if rounds else None,
+        mean_decision_time=(sum(times) / len(times)) if times else None,
+        max_decision_time=max(times) if times else None,
+    )

@@ -1,0 +1,188 @@
+"""Property checkers: did a run satisfy the problem specification?
+
+Checks run against ground truth (which processes were Byzantine or
+crashed is known to the harness, never to the processes), over the
+decisions recorded by the system and its trace.
+
+* Crash-model consensus: Termination, Agreement, Validity (the decided
+  value was proposed).
+* Vector consensus (the transformed protocol): Termination, Agreement,
+  and the paper's **Vector Validity** — every correct process decides a
+  vector ``vect`` of size n with ``vect[i] ∈ {v_i, null}`` for every
+  correct ``p_i``, and at least ``alpha = n - 2F >= 1`` entries are
+  initial values of correct processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.specs import SystemParameters, vector_validity_floor
+from repro.messages.consensus import NULL
+from repro.systems import ConsensusSystem
+
+
+@dataclass(slots=True)
+class PropertyReport:
+    """Outcome of checking one run against its specification."""
+
+    termination: bool
+    agreement: bool
+    validity: bool
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def all_hold(self) -> bool:
+        return self.termination and self.agreement and self.validity
+
+
+def check_crash_consensus(system: ConsensusSystem) -> PropertyReport:
+    """Specification check for the crash-model protocols (Figure 2 / CT).
+
+    ``validity`` here is the classic one: the decided value must have
+    been proposed by some process. Byzantine attackers' *nominal*
+    proposals count as proposed — deciding an attacker's fabricated
+    non-proposal value is exactly the violation E2 demonstrates.
+    """
+    violations: list[str] = []
+    correct = sorted(system.correct_pids)
+    decisions = system.decisions()
+    termination = all(pid in decisions for pid in correct)
+    if not termination:
+        missing = [pid for pid in correct if pid not in decisions]
+        violations.append(f"termination: correct processes {missing} undecided")
+    values = list(decisions.values())
+    agreement = len({_freeze(v) for v in values}) <= 1
+    if not agreement:
+        violations.append(f"agreement: distinct decisions {sorted(set(map(_freeze, values)))!r}")
+    proposed = {_freeze(p.proposal) for p in system.processes}
+    validity = all(_freeze(v) in proposed for v in values)
+    if not validity:
+        rogue = sorted({_freeze(v) for v in values} - proposed)
+        violations.append(f"validity: decided non-proposed value(s) {rogue!r}")
+    return PropertyReport(
+        termination=termination,
+        agreement=agreement,
+        validity=validity,
+        violations=violations,
+    )
+
+
+def check_vector_consensus(system: ConsensusSystem) -> PropertyReport:
+    """Specification check for the transformed protocol (Vector Validity)."""
+    params = system.params
+    if params is None:
+        raise ValueError("vector check requires a transformed system")
+    violations: list[str] = []
+    correct = sorted(system.correct_pids)
+    decisions = system.decisions()
+    termination = all(pid in decisions for pid in correct)
+    if not termination:
+        missing = [pid for pid in correct if pid not in decisions]
+        violations.append(f"termination: correct processes {missing} undecided")
+    values = list(decisions.values())
+    agreement = len({_freeze(v) for v in values}) <= 1
+    if not agreement:
+        violations.append("agreement: correct processes decided different vectors")
+    validity = all(
+        _vector_valid(vector, system, params, violations) for vector in values
+    )
+    return PropertyReport(
+        termination=termination,
+        agreement=agreement,
+        validity=validity,
+        violations=violations,
+    )
+
+
+def _vector_valid(
+    vector: Any,
+    system: ConsensusSystem,
+    params: SystemParameters,
+    violations: list[str],
+) -> bool:
+    if not isinstance(vector, tuple) or len(vector) != system.n:
+        violations.append(f"vector validity: malformed decision {vector!r}")
+        return False
+    ok = True
+    correct = system.correct_pids
+    correct_entries = 0
+    for pid, entry in enumerate(vector):
+        if pid in correct:
+            proposal = system.processes[pid].proposal
+            if entry == proposal:
+                correct_entries += 1
+            elif entry != NULL:
+                violations.append(
+                    f"vector validity: entry {pid} is {entry!r}, expected "
+                    f"{proposal!r} or null"
+                )
+                ok = False
+    floor = vector_validity_floor(params.n, params.f)
+    if correct_entries < floor:
+        violations.append(
+            f"vector validity: only {correct_entries} correct entries, "
+            f"needs alpha = n - 2F = {floor}"
+        )
+        ok = False
+    return ok
+
+
+@dataclass(slots=True)
+class DetectionReport:
+    """Who declared whom faulty / suspected whom, vs ground truth."""
+
+    detected_by_all: bool
+    detected_by_any: bool
+    detectors_per_culprit: dict[int, int]
+    false_positives: dict[int, list[int]]
+    suspected_by_any: frozenset[int]
+
+    @property
+    def clean(self) -> bool:
+        """No correct process was ever declared faulty by a correct one."""
+        return not self.false_positives
+
+
+def check_detection(system: ConsensusSystem) -> DetectionReport:
+    """Ground-truth comparison of the ``faulty`` sets and suspicions.
+
+    Only the verdicts of *correct* processes matter (a Byzantine process
+    may claim anything about anyone).
+    """
+    correct = sorted(system.correct_pids)
+    byzantine = system.byzantine_pids
+    detectors_per_culprit: dict[int, int] = {pid: 0 for pid in byzantine}
+    false_positives: dict[int, list[int]] = {}
+    suspected: set[int] = set()
+    for pid in correct:
+        process = system.processes[pid]
+        faulty = getattr(process, "faulty", frozenset())
+        for culprit in faulty:
+            if culprit in byzantine:
+                detectors_per_culprit[culprit] += 1
+            elif culprit in system.correct_pids:
+                false_positives.setdefault(culprit, []).append(pid)
+        if process.detector is not None:
+            suspected |= process.detector.suspected
+    detected_by_all = bool(byzantine) and all(
+        count == len(correct) for count in detectors_per_culprit.values()
+    )
+    detected_by_any = bool(byzantine) and all(
+        count > 0 for count in detectors_per_culprit.values()
+    )
+    return DetectionReport(
+        detected_by_all=detected_by_all,
+        detected_by_any=detected_by_any,
+        detectors_per_culprit=detectors_per_culprit,
+        false_positives=false_positives,
+        suspected_by_any=frozenset(suspected),
+    )
+
+
+def _freeze(value: Any) -> Any:
+    """Hashable view of a decision value (vectors are already tuples)."""
+    if isinstance(value, list):
+        return tuple(value)
+    return value

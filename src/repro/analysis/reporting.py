@@ -1,0 +1,55 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmarks print the same rows EXPERIMENTS.md records; this module
+keeps the formatting in one place so every experiment reads alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    text_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    header = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> None:
+    print()
+    print(render_table(title, headers, rows))
+    print()
+
+
+def percent(rate: float) -> str:
+    """A rate in [0, 1] rendered as a percentage."""
+    return f"{100.0 * rate:.0f}%"

@@ -1,0 +1,86 @@
+"""Small statistics helpers for experiment reporting.
+
+The experiment tables report rates over finite seed batches; a bare
+"100%" over 25 seeds and over 1000 seeds carry very different weight.
+:func:`wilson_interval` provides the standard binomial confidence
+interval (Wilson score — well-behaved at the 0/1 extremes where the
+normal approximation fails, which is exactly where our rates live), and
+:func:`rate_with_ci` formats a rate with it for table cells.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: z-scores for the usual confidence levels.
+Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """The Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` bounds on the true rate. Handles the
+    boundary cases (0 or all successes) gracefully — unlike the Wald
+    interval, which collapses to a width of zero there.
+    """
+    if trials <= 0:
+        raise ConfigurationError("wilson_interval needs at least one trial")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes={successes} outside [0, trials={trials}]"
+        )
+    z = Z_SCORES.get(confidence)
+    if z is None:
+        raise ConfigurationError(
+            f"unsupported confidence {confidence}; pick one of "
+            f"{sorted(Z_SCORES)}"
+        )
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
+        / denom
+    )
+    low = max(0.0, centre - margin)
+    high = min(1.0, centre + margin)
+    # The exact bounds at the extremes are 0 and 1; keep them there
+    # rather than a float epsilon away (p must lie inside the interval).
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return (low, high)
+
+
+def rate_with_ci(
+    successes: int, trials: int, confidence: float = 0.95
+) -> str:
+    """``"96% [80%, 99%]"``-style cell text for experiment tables."""
+    low, high = wilson_interval(successes, trials, confidence)
+    rate = 100.0 * successes / trials
+    return f"{rate:.0f}% [{100 * low:.0f}%, {100 * high:.0f}%]"
+
+
+def min_trials_for_zero_failures(target_rate: float, confidence: float = 0.95) -> int:
+    """How many all-success trials certify a rate of at least ``target``?
+
+    Inverts the Wilson lower bound at ``successes == trials``: the
+    smallest batch size whose zero-failure outcome still places the true
+    rate above ``target_rate`` with the given confidence. Useful when
+    sizing seed batches for "must be 100%" claims.
+    """
+    if not 0.0 < target_rate < 1.0:
+        raise ConfigurationError("target_rate must be strictly inside (0, 1)")
+    trials = 1
+    while trials < 1_000_000:
+        low, _high = wilson_interval(trials, trials, confidence)
+        if low >= target_rate:
+            return trials
+        trials += 1
+    raise ConfigurationError("target_rate too demanding")

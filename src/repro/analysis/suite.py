@@ -1,0 +1,104 @@
+"""Programmatic access to the experiment suite.
+
+The benchmarks under ``benchmarks/`` are pytest files, but each exposes a
+pure ``run_experiment()`` returning its table rows. This module loads
+those files by path and runs them outside pytest, which powers
+``python -m repro experiments`` — regenerate any experiment table from a
+shell, no test runner involved.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import sys
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+#: Experiment id -> benchmark file stem.
+_FILE_PATTERN = re.compile(r"test_(e\d+)_[a-z_0-9]+\.py$")
+
+
+def benchmarks_dir() -> Path:
+    """Locate the repository's ``benchmarks/`` directory.
+
+    Works from a source checkout (the layout this library ships in); the
+    directory can also be supplied explicitly to :func:`discover`.
+    """
+    here = Path(__file__).resolve()
+    for ancestor in here.parents:
+        candidate = ancestor / "benchmarks"
+        if (candidate / "conftest.py").exists():
+            return candidate
+    raise ConfigurationError(
+        "benchmarks/ directory not found; pass its path explicitly"
+    )
+
+
+def discover(directory: Path | None = None) -> dict[str, Path]:
+    """Map experiment ids (``e1``..) to their benchmark files."""
+    directory = directory or benchmarks_dir()
+    found: dict[str, Path] = {}
+    for path in sorted(directory.glob("test_e*_*.py")):
+        match = _FILE_PATTERN.match(path.name)
+        if match:
+            found[match.group(1)] = path
+    return found
+
+
+def load_runner(path: Path) -> Callable[[], Any]:
+    """Import a benchmark file and return its ``run_experiment``.
+
+    The benchmark files import their shared ``conftest`` helpers by
+    module name, so the benchmarks directory joins ``sys.path`` for the
+    import (and stays there; repeat loads are cheap).
+    """
+    directory = str(path.parent)
+    if directory not in sys.path:
+        sys.path.insert(0, directory)
+    spec = importlib.util.spec_from_file_location(f"repro_bench_{path.stem}", path)
+    if spec is None or spec.loader is None:
+        raise ConfigurationError(f"cannot load benchmark file {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    runner = getattr(module, "run_experiment", None)
+    if runner is None:
+        raise ConfigurationError(
+            f"{path.name} exposes no run_experiment() "
+            "(performance microbenchmarks are pytest-only)"
+        )
+    return runner
+
+
+def run_experiments(
+    only: list[str] | None = None,
+    directory: Path | None = None,
+) -> dict[str, Any]:
+    """Run the selected experiments; returns id -> run_experiment result.
+
+    ``only`` filters by experiment id (``["e3", "e13"]``); ``None`` runs
+    everything discovered. Unknown ids raise.
+    """
+    available = discover(directory)
+    if only is None:
+        selected = dict(available)
+    else:
+        selected = {}
+        for key in only:
+            normalised = key.lower().strip()
+            if normalised not in available:
+                raise ConfigurationError(
+                    f"unknown experiment {key!r}; available: "
+                    f"{', '.join(sorted(available, key=_numeric))}"
+                )
+            selected[normalised] = available[normalised]
+    results: dict[str, Any] = {}
+    for key in sorted(selected, key=_numeric):
+        results[key] = load_runner(selected[key])()
+    return results
+
+
+def _numeric(experiment_id: str) -> int:
+    return int(experiment_id[1:])

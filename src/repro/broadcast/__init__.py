@@ -1,0 +1,10 @@
+"""Byzantine reliable broadcast — an extension substrate (see DESIGN.md)."""
+
+from repro.broadcast.reliable import (
+    RbEcho,
+    RbReady,
+    RbSend,
+    ReliableBroadcast,
+)
+
+__all__ = ["RbEcho", "RbReady", "RbSend", "ReliableBroadcast"]

@@ -1,0 +1,110 @@
+"""Attack catalogues and adversary helpers.
+
+Maps attack names to process factories with the signatures the system
+builders expect, so experiments can be written as::
+
+    build_transformed_system(proposals, byzantine=transformed_attack(0, "corrupt-vector"))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.byzantine import crash_attacks, transformed_attacks
+from repro.byzantine.faults import FaultProfile
+from repro.consensus.base import ConsensusProcess
+from repro.errors import ConfigurationError
+
+#: name -> crash-model attacker class (Figure 2 victims, experiment E2).
+CRASH_ATTACKS: dict[str, type] = {
+    cls.profile.name: cls
+    for cls in (
+        crash_attacks.CrashSpuriousDecideAttacker,
+        crash_attacks.CrashValueCorruptingAttacker,
+        crash_attacks.CrashEquivocatingAttacker,
+        crash_attacks.CrashDuplicatingAttacker,
+        crash_attacks.CrashIdentityForgingAttacker,
+        crash_attacks.CrashWrongRoundAttacker,
+        crash_attacks.CrashMuteAttacker,
+    )
+}
+
+#: name -> transformed-protocol attacker class (experiments E3/E4/E8).
+TRANSFORMED_ATTACKS: dict[str, type] = {
+    cls.profile.name: cls
+    for cls in (
+        transformed_attacks.TMuteAttacker,
+        transformed_attacks.TCorruptVectorAttacker,
+        transformed_attacks.TFalsifiedEntryAttacker,
+        transformed_attacks.TForgedDecideAttacker,
+        transformed_attacks.TPrematureDecideAttacker,
+        transformed_attacks.TDuplicateCurrentAttacker,
+        transformed_attacks.TWrongRoundAttacker,
+        transformed_attacks.TBadSignatureAttacker,
+        transformed_attacks.TImpersonationAttacker,
+        transformed_attacks.TEquivocatingInitAttacker,
+        transformed_attacks.TEquivocatingCurrentAttacker,
+        transformed_attacks.TUnsignedAttacker,
+        transformed_attacks.TWrongCertCurrentAttacker,
+    )
+}
+
+
+def crash_attack_profile(name: str) -> FaultProfile:
+    return _lookup(CRASH_ATTACKS, name).profile
+
+
+def transformed_attack_profile(name: str) -> FaultProfile:
+    return _lookup(TRANSFORMED_ATTACKS, name).profile
+
+
+def crash_attack(pid: int, name: str) -> Mapping[int, Any]:
+    """A ``byzantine=`` mapping installing one crash-model attacker."""
+    cls = _lookup(CRASH_ATTACKS, name)
+
+    def factory(
+        _pid: int, proposal: Any, detector: Any
+    ) -> ConsensusProcess:
+        return cls(proposal, detector)
+
+    return {pid: factory}
+
+
+def transformed_attack(pid: int, name: str) -> Mapping[int, Any]:
+    """A ``byzantine=`` mapping installing one transformed-model attacker."""
+    cls = _lookup(TRANSFORMED_ATTACKS, name)
+
+    def factory(
+        _pid: int,
+        proposal: Any,
+        params: Any,
+        authority: Any,
+        detector: Any,
+        config: Any,
+    ) -> ConsensusProcess:
+        return cls(
+            proposal=proposal,
+            params=params,
+            authority=authority,
+            detector=detector,
+            config=config,
+        )
+
+    return {pid: factory}
+
+
+def transformed_attacks_at(assignment: Mapping[int, str]) -> dict[int, Any]:
+    """Multiple attackers: pid -> attack name."""
+    combined: dict[int, Any] = {}
+    for pid, name in assignment.items():
+        combined.update(transformed_attack(pid, name))
+    return combined
+
+
+def _lookup(catalog: Mapping[str, type], name: str) -> type:
+    try:
+        return catalog[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown attack {name!r}; known: {sorted(catalog)}"
+        ) from None

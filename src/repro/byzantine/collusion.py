@@ -1,0 +1,143 @@
+"""Colluding adversaries: multiple Byzantine processes with a shared brain.
+
+The single-attacker gallery models independent faults; a real adversary
+corrupts ``F`` processes and coordinates them. This module provides the
+strongest coordinated attack available against the transformed protocol
+— **amplified equivocation** — for systems with F >= 2:
+
+* the *leader* (holding the round-1 coordinator seat) over-collects
+  INITs and proposes two different certified vectors, branch X to one
+  half of the system and branch Y to the other;
+* the *amplifier* relays whichever branch its target saw *least*,
+  keeping both branches alive as long as possible and equivocating its
+  own relay in the process.
+
+The quorum arithmetic defeats the attack (two same-vector quorums of
+``n - F`` would need ``2(n - F) - F > n - F`` correct processes relaying
+both branches, and a correct process relays once), which is exactly what
+the collusion tests pin down: safety holds *and* both colluders end in
+the correct processes' ``faulty`` sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.consensus.transformed import TransformedConsensusProcess
+from repro.core.certificates import Certificate, EMPTY_CERTIFICATE, SignedMessage
+from repro.messages.consensus import Init, NULL, VCurrent
+
+
+class SharedBrain:
+    """Out-of-band adversary state shared by the colluders.
+
+    Simulated Byzantine processes may coordinate instantaneously — the
+    adversary is one entity — so the brain is a plain shared object, not
+    a network participant.
+    """
+
+    def __init__(self) -> None:
+        self.branches: list[SignedMessage] = []  # the leader's two CURRENTs
+
+    @property
+    def ready(self) -> bool:
+        return len(self.branches) == 2
+
+
+class CollusionLeader(TransformedConsensusProcess):
+    """Seat 0: equivocates two certified vectors and shares them."""
+
+    def __init__(self, brain: SharedBrain, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.brain = brain
+        self._all_inits: dict[int, SignedMessage] = {}
+        self._fired = False
+
+    def _on_init(self, message: SignedMessage) -> None:
+        if self._fired:
+            return
+        self._all_inits[message.body.sender] = message
+        if len(self._all_inits) <= self._quorum():
+            return
+        self._fired = True
+        self.phase = "rounds"
+        self.round = 1
+        self.sent_current = True
+        senders = sorted(self._all_inits)
+        for subset in (senders[: self._quorum()], senders[-self._quorum():]):
+            values = [NULL] * self.n
+            for pid in subset:
+                init = self._all_inits[pid]
+                assert isinstance(init.body, Init)
+                values[pid] = init.body.value
+            cert = Certificate(tuple(self._all_inits[pid] for pid in subset))
+            body = VCurrent(sender=self.pid, round=1, est_vect=tuple(values))
+            self.brain.branches.append(self.authority.make(body, cert))
+        branch_x, branch_y = self.brain.branches
+        for dst in range(self.n):
+            self.send(dst, branch_x if dst % 2 == 0 else branch_y)
+        self.est_vect = branch_x.body.est_vect  # type: ignore[union-attr]
+        self.est_cert = branch_x.full_cert()
+        self.next_cert = EMPTY_CERTIFICATE
+        self.current_cert = EMPTY_CERTIFICATE
+
+
+class CollusionAmplifier(TransformedConsensusProcess):
+    """Last seat: relays the branch each target did *not* get directly,
+    equivocating its own relay."""
+
+    def __init__(self, brain: SharedBrain, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.brain = brain
+        self._amplified = False
+
+    def _on_current(self, message: SignedMessage) -> None:
+        if not self._amplified and self.brain.ready and self.phase == "rounds":
+            self._amplified = True
+            branch_x, branch_y = self.brain.branches
+            for dst in range(self.n):
+                # The leader sent X to even pids; amplify Y there (and
+                # vice versa), relayed under our own signature.
+                inner = branch_y if dst % 2 == 0 else branch_x
+                assert isinstance(inner.body, VCurrent)
+                relay = self.authority.make(
+                    VCurrent(
+                        sender=self.pid, round=1, est_vect=inner.body.est_vect
+                    ),
+                    Certificate((inner,)),
+                )
+                self.send(dst, relay)
+            self.sent_current = True
+            return
+        super()._on_current(message)
+
+
+def make_colluding_equivocators(n: int) -> Mapping[int, Any]:
+    """A ``byzantine=`` mapping installing the colluding pair.
+
+    Seats 0 (round-1 coordinator; the leader) and ``n - 1`` (the
+    amplifier). Requires a deployment tolerating F >= 2 (e.g. n = 7).
+    """
+    brain = SharedBrain()
+
+    def leader(_pid, proposal, params, authority, detector, config):
+        return CollusionLeader(
+            brain=brain,
+            proposal=proposal,
+            params=params,
+            authority=authority,
+            detector=detector,
+            config=config,
+        )
+
+    def amplifier(_pid, proposal, params, authority, detector, config):
+        return CollusionAmplifier(
+            brain=brain,
+            proposal=proposal,
+            params=params,
+            authority=authority,
+            detector=detector,
+            config=config,
+        )
+
+    return {0: leader, n - 1: amplifier}

@@ -1,0 +1,181 @@
+"""Arbitrary-fault behaviours against the *crash-model* protocol.
+
+These processes run inside a Hurfin–Raynal (Figure 2) system, where no
+signature, certificate or behaviour monitoring exists. Experiment E2 uses
+them to demonstrate the paper's motivation: "a malicious process can
+exhibit failures more subtle than crashes and these failures can lead to
+the violation of the correctness criteria of the algorithm".
+
+Each attacker subclasses the honest process, so it follows the protocol
+except for its specific deviation — the paper's model of a faulty process
+(a process is faulty as soon as it makes *one* fault w.r.t. one process).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.byzantine.faults import DetectingModule, FailureClass, FaultProfile
+from repro.consensus.hurfin_raynal import HurfinRaynalProcess
+from repro.messages.consensus import Current, Decide, Next
+
+#: Value injected by value-corrupting behaviours; never a real proposal,
+#: so any decision on it is a Validity violation by construction.
+POISON = "<poison>"
+
+
+class CrashSpuriousDecideAttacker(HurfinRaynalProcess):
+    """Broadcasts a fabricated DECIDE at startup.
+
+    In the crash model DECIDE messages are trusted and relayed blindly
+    (Figure 2 line 2), so every correct process decides the poison value:
+    a Validity violation, and an Agreement violation whenever some
+    process decided the legitimate value first.
+    """
+
+    profile = FaultProfile(
+        name="spurious-decide",
+        failure_class=FailureClass.SPURIOUS_MESSAGE,
+        detecting_module=DetectingModule.CERTIFICATION,
+        description="fabricated DECIDE without any supporting votes",
+    )
+
+    def start_protocol(self) -> None:
+        self.broadcast(Decide(sender=self.pid, est=POISON))
+        super().start_protocol()
+
+
+class CrashValueCorruptingAttacker(HurfinRaynalProcess):
+    """Corrupts the estimate in every CURRENT vote it sends.
+
+    Realises the "corruption of a variable value" manifestation: when it
+    coordinates a round it imposes the poison value; when it relays, it
+    relays poison instead of the adopted estimate.
+    """
+
+    profile = FaultProfile(
+        name="value-corruption",
+        failure_class=FailureClass.VALUE_CORRUPTION,
+        detecting_module=DetectingModule.CERTIFICATION,
+        description="CURRENT votes carry a corrupted estimate",
+    )
+
+    def broadcast(self, payload: Any) -> None:
+        if isinstance(payload, Current):
+            payload = payload.replace(est=POISON)
+        super().broadcast(payload)
+
+
+class CrashEquivocatingAttacker(HurfinRaynalProcess):
+    """Sends different estimates to different receivers (two-faced votes).
+
+    When coordinating, half the processes are told ``v``, the other half
+    ``POISON``; vote counting in Figure 2 ignores vote *values*
+    (``nb_current`` counts messages), so both camps can assemble a
+    majority view and decide differently — an Agreement violation.
+    """
+
+    profile = FaultProfile(
+        name="equivocation",
+        failure_class=FailureClass.VALUE_CORRUPTION,
+        detecting_module=DetectingModule.NON_MUTENESS_DETECTOR,
+        description="different CURRENT values sent to different receivers",
+    )
+
+    def broadcast(self, payload: Any) -> None:
+        if isinstance(payload, Current):
+            for dst in range(self.n):
+                branch = payload if dst % 2 == 0 else payload.replace(est=POISON)
+                self.send(dst, branch)
+            return
+        super().broadcast(payload)
+
+
+class CrashDuplicatingAttacker(HurfinRaynalProcess):
+    """Sends every vote twice (duplication of a send statement).
+
+    Inflates the receivers' ``nb_current`` / ``nb_next`` counters, so a
+    "majority" can be assembled from fewer than a majority of processes —
+    corrupting both safety and round progression.
+    """
+
+    profile = FaultProfile(
+        name="duplication",
+        failure_class=FailureClass.DUPLICATION,
+        detecting_module=DetectingModule.NON_MUTENESS_DETECTOR,
+        description="every CURRENT/NEXT vote is sent twice",
+    )
+
+    def broadcast(self, payload: Any) -> None:
+        super().broadcast(payload)
+        if isinstance(payload, (Current, Next)):
+            super().broadcast(payload)
+
+
+class CrashIdentityForgingAttacker(HurfinRaynalProcess):
+    """Injects votes under other processes' identities.
+
+    Without signatures the identity field of a message is taken at face
+    value, so the attacker mints a full set of CURRENT votes "from"
+    everyone, letting any receiver assemble an instant majority for the
+    poison value.
+    """
+
+    profile = FaultProfile(
+        name="identity-forgery",
+        failure_class=FailureClass.IDENTITY_FALSIFICATION,
+        detecting_module=DetectingModule.SIGNATURE,
+        description="votes injected under every other process's identity",
+    )
+
+    def start_protocol(self) -> None:
+        super().start_protocol()
+        for forged in range(self.n):
+            if forged != self.pid:
+                self.broadcast(Current(sender=forged, round=1, est=POISON))
+
+
+class CrashWrongRoundAttacker(HurfinRaynalProcess):
+    """Votes carry displaced round numbers (out-of-order messages).
+
+    Future-round votes poison the receivers' buffers: when round ``r+k``
+    eventually starts, phantom votes are already counted.
+    """
+
+    profile = FaultProfile(
+        name="wrong-round",
+        failure_class=FailureClass.SPURIOUS_MESSAGE,
+        detecting_module=DetectingModule.NON_MUTENESS_DETECTOR,
+        description="votes sent with future round numbers",
+    )
+
+    ROUND_SHIFT = 3
+
+    def broadcast(self, payload: Any) -> None:
+        if isinstance(payload, Current):
+            payload = payload.replace(round=payload.round + self.ROUND_SHIFT)
+        elif isinstance(payload, Next):
+            payload = payload.replace(round=payload.round + self.ROUND_SHIFT)
+        super().broadcast(payload)
+
+
+class CrashMuteAttacker(HurfinRaynalProcess):
+    """Participates in nothing: permanent omission from the start.
+
+    Indistinguishable from a crash for the other processes — the case the
+    crash protocol *does* tolerate (it only costs liveness margin).
+    """
+
+    profile = FaultProfile(
+        name="mute",
+        failure_class=FailureClass.MUTENESS,
+        detecting_module=DetectingModule.MUTENESS_DETECTOR,
+        description="never sends any message",
+        visible_in_messages=False,
+    )
+
+    def broadcast(self, payload: Any) -> None:
+        del payload  # silent
+
+    def send(self, dst: int, payload: Any) -> None:
+        del dst, payload  # silent

@@ -1,0 +1,196 @@
+"""Arbitrary-fault behaviours against the transformed CT protocol."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.byzantine.faults import DetectingModule, FailureClass, FaultProfile
+from repro.byzantine.transformed_attacks import POISON
+from repro.consensus.certification_ct import build_justification
+from repro.consensus.transformed_ct import TransformedCtProcess
+from repro.core.certificates import EMPTY_CERTIFICATE, Certificate, SignedMessage
+from repro.errors import ConfigurationError
+from repro.messages.base import Message
+from repro.messages.ct import CtDecide, CtEstimate, CtPropose
+
+
+def _poison_vector(n: int) -> tuple[Any, ...]:
+    return tuple(f"{POISON}{k}" for k in range(n))
+
+
+class CtMuteAttacker(TransformedCtProcess):
+    """Sends its INIT then falls silent (pure muteness)."""
+
+    profile = FaultProfile(
+        name="ct-mute",
+        failure_class=FailureClass.MUTENESS,
+        detecting_module=DetectingModule.MUTENESS_DETECTOR,
+        description="silent after INIT; a mute coordinator stalls a round",
+        visible_in_messages=False,
+    )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        message = self.authority.make(body, cert)
+        from repro.messages.consensus import Init
+
+        if isinstance(body, Init):
+            self.broadcast(message)
+        return message
+
+
+class CtCorruptEstimateAttacker(TransformedCtProcess):
+    """Estimates carry a fabricated vector the certificate cannot witness."""
+
+    profile = FaultProfile(
+        name="ct-corrupt-estimate",
+        failure_class=FailureClass.VALUE_CORRUPTION,
+        detecting_module=DetectingModule.CERTIFICATION,
+        description="ESTIMATE vector disagrees with its certificate",
+    )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        if isinstance(body, CtEstimate):
+            body = body.replace(est_vect=_poison_vector(self.n))
+        return super()._broadcast_signed(body, cert)
+
+
+class CtCorruptSelectionAttacker(TransformedCtProcess):
+    """As coordinator, proposes a vector that is *not* the deterministic
+    pick of its own justification — the corrupted phase-2 selection the
+    verifiable justification was designed to catch."""
+
+    profile = FaultProfile(
+        name="ct-corrupt-selection",
+        failure_class=FailureClass.MISEVALUATION,
+        detecting_module=DetectingModule.CERTIFICATION,
+        description="PROPOSE vector differs from the highest-ts pick",
+    )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        if isinstance(body, CtPropose):
+            body = body.replace(est_vect=_poison_vector(self.n))
+        return super()._broadcast_signed(body, cert)
+
+
+class CtSpuriousProposeAttacker(TransformedCtProcess):
+    """Proposes without holding the coordinator seat."""
+
+    profile = FaultProfile(
+        name="ct-spurious-propose",
+        failure_class=FailureClass.SPURIOUS_MESSAGE,
+        detecting_module=DetectingModule.NON_MUTENESS_DETECTOR,
+        description="PROPOSE sent by a non-coordinator",
+    )
+
+    def _begin_round(self, round_number: int) -> None:
+        super()._begin_round(round_number)
+        if round_number == 1 and self.pid != self.coordinator and not self.decided:
+            self._broadcast_signed(
+                CtPropose(
+                    sender=self.pid, round=self.round, est_vect=self.est_vect
+                ),
+                self.est_cert,
+            )
+
+
+class CtPrematureDecideAttacker(TransformedCtProcess):
+    """Announces a decision backed by no ack quorum (misevaluation)."""
+
+    profile = FaultProfile(
+        name="ct-premature-decide",
+        failure_class=FailureClass.MISEVALUATION,
+        detecting_module=DetectingModule.CERTIFICATION,
+        description="DECIDE with an empty ack quorum",
+    )
+
+    def _begin_round(self, round_number: int) -> None:
+        super()._begin_round(round_number)
+        if round_number == 1 and not self.decided:
+            self._broadcast_signed(
+                CtDecide(sender=self.pid, est_vect=self.est_vect),
+                EMPTY_CERTIFICATE,
+            )
+
+
+class CtFakeTimestampAttacker(TransformedCtProcess):
+    """Claims its estimate was adopted in a round that never adopted it.
+
+    A high fake ``ts`` would steer every coordinator's selection towards
+    the attacker's vector; the estimate certificate (which must embed the
+    acknowledged PROPOSE of round ``ts``) makes the lie checkable.
+    """
+
+    profile = FaultProfile(
+        name="ct-fake-timestamp",
+        failure_class=FailureClass.VALUE_CORRUPTION,
+        detecting_module=DetectingModule.CERTIFICATION,
+        description="ESTIMATE with an unwitnessed high timestamp",
+    )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        if isinstance(body, CtEstimate) and body.round >= 2:
+            body = body.replace(ts=body.round - 1)
+        return super()._broadcast_signed(body, cert)
+
+
+class CtPartialProposeAttacker(TransformedCtProcess):
+    """As coordinator, shows its (valid!) proposal to only half the system.
+
+    Without proposal extraction this wedges the round: half acks, half
+    waits forever (the coordinator is not mute — it keeps estimating).
+    With extraction the starved half recovers the proposal from the ack
+    certificates and the round completes; the attack costs nothing, which
+    is exactly what this behaviour is in the gallery to show.
+    """
+
+    profile = FaultProfile(
+        name="ct-partial-propose",
+        failure_class=FailureClass.TRANSIENT_OMISSION,
+        detecting_module=DetectingModule.NON_MUTENESS_DETECTOR,
+        description="PROPOSE delivered to half the processes only",
+    )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        message = self.authority.make(body, cert)
+        if isinstance(body, CtPropose):
+            for dst in range(self.n):
+                if dst % 2 == 0:
+                    self.send(dst, message)
+            return message
+        self.broadcast(message)
+        return message
+
+
+CT_ATTACKS: dict[str, type] = {
+    cls.profile.name: cls
+    for cls in (
+        CtMuteAttacker,
+        CtCorruptEstimateAttacker,
+        CtCorruptSelectionAttacker,
+        CtSpuriousProposeAttacker,
+        CtPrematureDecideAttacker,
+        CtFakeTimestampAttacker,
+        CtPartialProposeAttacker,
+    )
+}
+
+
+def ct_attack(pid: int, name: str) -> Mapping[int, Any]:
+    """A ``byzantine=`` mapping installing one transformed-CT attacker."""
+    try:
+        cls = CT_ATTACKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown CT attack {name!r}; known: {sorted(CT_ATTACKS)}"
+        ) from None
+
+    def factory(_pid, proposal, params, authority, detector, config):
+        return cls(
+            proposal=proposal,
+            params=params,
+            authority=authority,
+            detector=detector,
+            config=config,
+        )
+
+    return {pid: factory}

@@ -1,0 +1,60 @@
+"""Attacks against the echo-INIT variant (reliable-broadcast INIT phase)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.broadcast.reliable import RbSend
+from repro.byzantine.faults import DetectingModule, FailureClass, FaultProfile
+from repro.byzantine.transformed_attacks import POISON
+from repro.consensus.echo_init import EchoInitConsensusProcess
+from repro.core.certificates import EMPTY_CERTIFICATE
+from repro.messages.consensus import Init
+
+
+class EchoInitEquivocator(EchoInitConsensusProcess):
+    """Equivocates its INIT *underneath* the reliable broadcast.
+
+    Sends RB ``SEND``s with different signed INITs to the two halves of
+    the system — the strongest divergence attack available against the
+    INIT phase. Bracha's echo-quorum intersection guarantees that at most
+    one branch can ever be RB-delivered, so every correct process that
+    obtains a value for this slot obtains the *same* value (experiment
+    E11 measures the divergence being zero).
+    """
+
+    profile = FaultProfile(
+        name="rb-equivocate-init",
+        failure_class=FailureClass.VALUE_CORRUPTION,
+        detecting_module=DetectingModule.NON_MUTENESS_DETECTOR,
+        description="two signed INIT branches pushed into reliable broadcast",
+    )
+
+    def start_protocol(self) -> None:
+        branch_a = self.authority.make(
+            Init(sender=self.pid, value=self.proposal), EMPTY_CERTIFICATE
+        )
+        branch_b = self.authority.make(
+            Init(sender=self.pid, value=POISON), EMPTY_CERTIFICATE
+        )
+        for dst in range(self.n):
+            chosen = branch_a if dst % 2 == 0 else branch_b
+            self.send(dst, RbSend(sender=self.pid, tag=0, payload=chosen))
+        # Locally adopt branch A so the attacker stays runnable.
+        self._vector_builder.add(branch_a)
+        self._maybe_finish_init()
+
+
+def echo_equivocation_attack(pid: int) -> Mapping[int, Any]:
+    """A ``byzantine=`` mapping installing the RB-level INIT equivocator."""
+
+    def factory(_pid, proposal, params, authority, detector, config):
+        return EchoInitEquivocator(
+            proposal=proposal,
+            params=params,
+            authority=authority,
+            detector=detector,
+            config=config,
+        )
+
+    return {pid: factory}

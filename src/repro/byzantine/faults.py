@@ -1,0 +1,59 @@
+"""The paper's fault taxonomy (Section 2) as data.
+
+Every Byzantine behaviour in :mod:`repro.byzantine.behaviors` is tagged
+with the failure class it realises and the module that is responsible for
+detecting it (the modularity claim of the paper: each failure type is
+encapsulated in a specific module). Experiments E4 and E8 are driven off
+this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class FailureClass(Enum):
+    """The two top-level classes and their manifestations (Section 2/3)."""
+
+    MUTENESS = "muteness"  # permanent message omission (includes crash)
+    VALUE_CORRUPTION = "value-corruption"  # corrupted variable / message value
+    DUPLICATION = "duplication"  # statement executed twice
+    SPURIOUS_MESSAGE = "spurious-message"  # message the text cannot generate
+    MISEVALUATION = "misevaluation"  # wrongly evaluated send/decide condition
+    IDENTITY_FALSIFICATION = "identity-falsification"  # wrong sender
+    TRANSIENT_OMISSION = "transient-omission"  # skipped statements
+
+
+class DetectingModule(Enum):
+    """Which of the five modules (Figure 1) catches a failure class."""
+
+    SIGNATURE = "signature"
+    MUTENESS_DETECTOR = "muteness-detector"
+    NON_MUTENESS_DETECTOR = "non-muteness-detector"
+    CERTIFICATION = "certification"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultProfile:
+    """Metadata describing one Byzantine behaviour in the gallery."""
+
+    name: str
+    failure_class: FailureClass
+    detecting_module: DetectingModule
+    description: str
+    #: True when the fault manifests through messages (detectable by
+    #: receivers); pure muteness is only visible as absence.
+    visible_in_messages: bool = True
+
+
+#: Expected detector for each failure class — the paper's encapsulation map.
+EXPECTED_DETECTOR: dict[FailureClass, DetectingModule] = {
+    FailureClass.MUTENESS: DetectingModule.MUTENESS_DETECTOR,
+    FailureClass.VALUE_CORRUPTION: DetectingModule.CERTIFICATION,
+    FailureClass.DUPLICATION: DetectingModule.NON_MUTENESS_DETECTOR,
+    FailureClass.SPURIOUS_MESSAGE: DetectingModule.NON_MUTENESS_DETECTOR,
+    FailureClass.MISEVALUATION: DetectingModule.CERTIFICATION,
+    FailureClass.IDENTITY_FALSIFICATION: DetectingModule.SIGNATURE,
+    FailureClass.TRANSIENT_OMISSION: DetectingModule.NON_MUTENESS_DETECTOR,
+}

@@ -1,0 +1,411 @@
+"""Arbitrary-fault behaviours against the *transformed* protocol.
+
+The same attack intents as :mod:`repro.byzantine.crash_attacks`, now
+launched against the five-module processes of Figure 3. Experiments E3
+and E4 run this gallery to show that (a) the correct processes keep
+Agreement / Termination / Vector Validity, and (b) each manifested fault
+is detected by the module the methodology assigns to it.
+
+Attackers hold only their own signing capability, so every forgery
+attempt is a *real* attempt against the unforgeable-signature assumption
+and fails verification at the receivers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.byzantine.faults import DetectingModule, FailureClass, FaultProfile
+from repro.consensus.transformed import TransformedConsensusProcess
+from repro.core.certificates import Certificate, EMPTY_CERTIFICATE, SignedMessage
+from repro.messages.base import Message
+from repro.messages.consensus import Init, NULL, VCurrent, VDecide, VNext
+
+POISON = "<poison>"
+
+
+def _poison_vector(n: int) -> tuple[Any, ...]:
+    """A fabricated full vector no honest INIT set can witness."""
+    return tuple(f"{POISON}{k}" for k in range(n))
+
+
+class TMuteAttacker(TransformedConsensusProcess):
+    """Sends its INIT then falls permanently silent.
+
+    Pure muteness: invisible to the non-muteness machinery by definition,
+    caught only by the ◇M module. Costs rounds when it holds the
+    coordinator slot, never safety.
+    """
+
+    profile = FaultProfile(
+        name="mute",
+        failure_class=FailureClass.MUTENESS,
+        detecting_module=DetectingModule.MUTENESS_DETECTOR,
+        description="silent after its INIT; mute coordinator stalls a round",
+        visible_in_messages=False,
+    )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        message = self.authority.make(body, cert)
+        if isinstance(body, Init):
+            self.broadcast(message)  # keep the INIT so the phase completes
+        return message
+
+
+class TCorruptVectorAttacker(TransformedConsensusProcess):
+    """Corrupts ``est_vect`` in every CURRENT it sends, keeping the
+    honest certificate.
+
+    The receivers' certificate analyser finds the vector inconsistent
+    with its witnessing ``est_cert`` — the canonical value-corruption
+    detection of Section 5.1.
+    """
+
+    profile = FaultProfile(
+        name="corrupt-vector",
+        failure_class=FailureClass.VALUE_CORRUPTION,
+        detecting_module=DetectingModule.CERTIFICATION,
+        description="CURRENT vector disagrees with its own certificate",
+    )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        if isinstance(body, VCurrent):
+            body = body.replace(est_vect=_poison_vector(self.n))
+        return super()._broadcast_signed(body, cert)
+
+
+class TFalsifiedEntryAttacker(TransformedConsensusProcess):
+    """Falsifies one correct process's entry inside its vector.
+
+    The paper's motivating check for Vector Validity: "if a process
+    falsifies an entry from a process, it will be detected as faulty by
+    correct processes" — the signed INIT in the certificate contradicts
+    the altered entry.
+    """
+
+    profile = FaultProfile(
+        name="falsified-entry",
+        failure_class=FailureClass.VALUE_CORRUPTION,
+        detecting_module=DetectingModule.CERTIFICATION,
+        description="one entry of the vector contradicts its signed INIT",
+    )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        if isinstance(body, VCurrent):
+            victim = next(
+                (
+                    k
+                    for k, value in enumerate(body.est_vect)
+                    if k != self.pid and value != NULL
+                ),
+                None,
+            )
+            if victim is not None:
+                vector = list(body.est_vect)
+                vector[victim] = POISON
+                body = body.replace(est_vect=tuple(vector))
+        return super()._broadcast_signed(body, cert)
+
+
+class TForgedDecideAttacker(TransformedConsensusProcess):
+    """Broadcasts a DECIDE for a fabricated vector with an empty
+    certificate (a spurious message).
+
+    In the crash model this attack ends the game instantly; here the
+    DECIDE predicate finds no CURRENT quorum and the receivers declare
+    the attacker faulty.
+    """
+
+    profile = FaultProfile(
+        name="forged-decide",
+        failure_class=FailureClass.SPURIOUS_MESSAGE,
+        detecting_module=DetectingModule.CERTIFICATION,
+        description="DECIDE with no supporting CURRENT quorum",
+    )
+
+    def start_protocol(self) -> None:
+        self._broadcast_signed(
+            VDecide(sender=self.pid, est_vect=_poison_vector(self.n)),
+            EMPTY_CERTIFICATE,
+        )
+        super().start_protocol()
+
+
+class TPrematureDecideAttacker(TransformedConsensusProcess):
+    """Decides (and announces) after a single CURRENT instead of ``n-F``.
+
+    A misevaluation of the decision condition (line 20): the attached
+    ``current_cert`` is genuine but too small, which the receivers'
+    DECIDE predicate counts and rejects.
+    """
+
+    profile = FaultProfile(
+        name="premature-decide",
+        failure_class=FailureClass.MISEVALUATION,
+        detecting_module=DetectingModule.CERTIFICATION,
+        description="DECIDE sent with a sub-quorum current_cert",
+    )
+
+    def _on_current(self, message: SignedMessage) -> None:
+        super()._on_current(message)
+        if not self.decided and len(self.current_cert) == 1:
+            self._broadcast_signed(
+                VDecide(sender=self.pid, est_vect=self.est_vect),
+                self.current_cert.union(self.est_cert),
+            )
+            self.decide_value(self.est_vect, round_number=self.round)
+
+
+class TDuplicateCurrentAttacker(TransformedConsensusProcess):
+    """Sends its CURRENT twice in the same round (duplicated statement).
+
+    The second copy finds the peer automaton in q1, where no CURRENT is
+    enabled — an out-of-order message.
+    """
+
+    profile = FaultProfile(
+        name="duplicate-current",
+        failure_class=FailureClass.DUPLICATION,
+        detecting_module=DetectingModule.NON_MUTENESS_DETECTOR,
+        description="the same CURRENT broadcast twice in one round",
+    )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        message = super()._broadcast_signed(body, cert)
+        if isinstance(body, VCurrent):
+            self.broadcast(message)
+        return message
+
+
+class TWrongRoundAttacker(TransformedConsensusProcess):
+    """Sends NEXT votes for a round it cannot be in (skipped rounds).
+
+    The peer automata track each peer's round from its own FIFO stream;
+    a vote jumping rounds without the intervening NEXTs is out-of-order.
+    """
+
+    profile = FaultProfile(
+        name="wrong-round",
+        failure_class=FailureClass.SPURIOUS_MESSAGE,
+        detecting_module=DetectingModule.NON_MUTENESS_DETECTOR,
+        description="NEXT vote for a far-future round",
+    )
+
+    ROUND_SHIFT = 3
+
+    def _begin_round(self, round_number: int) -> None:
+        super()._begin_round(round_number)
+        if round_number == 1 and not self.decided:
+            # A vote for a round the sender cannot have reached: the
+            # receivers' automata track its stream at round 1.
+            self._broadcast_signed(
+                VNext(sender=self.pid, round=1 + self.ROUND_SHIFT),
+                self.next_cert,
+            )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        if isinstance(body, VNext) and body.round <= self.round:
+            body = body.replace(round=body.round + self.ROUND_SHIFT)
+        return super()._broadcast_signed(body, cert)
+
+
+class TBadSignatureAttacker(TransformedConsensusProcess):
+    """Broadcasts messages whose signature bytes are forged garbage.
+
+    Exercises the unforgeability assumption: the signature module
+    discards every such message and declares the channel's sender faulty.
+    """
+
+    profile = FaultProfile(
+        name="bad-signature",
+        failure_class=FailureClass.IDENTITY_FALSIFICATION,
+        detecting_module=DetectingModule.SIGNATURE,
+        description="messages carry forged (invalid) signatures",
+    )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        draft = SignedMessage(
+            body=body,
+            cert=cert,
+            signature=self.authority.scheme.forge(self.pid, None),
+        )
+        forged = SignedMessage(
+            body=body,
+            cert=cert,
+            signature=self.authority.scheme.forge(
+                self.pid, draft.signed_payload()
+            ),
+        )
+        self.broadcast(forged)
+        return forged
+
+
+class TImpersonationAttacker(TransformedConsensusProcess):
+    """Sends an INIT claiming another process's identity, signed with its
+    own key (it has no other).
+
+    The signature module sees an identity field inconsistent with both
+    the signature and the arrival channel, discards the message and adds
+    the channel's sender to ``faulty``.
+    """
+
+    profile = FaultProfile(
+        name="impersonation",
+        failure_class=FailureClass.IDENTITY_FALSIFICATION,
+        detecting_module=DetectingModule.SIGNATURE,
+        description="messages claim another process's identity",
+    )
+
+    def start_protocol(self) -> None:
+        # Target a process that is neither ourselves nor the round-1
+        # coordinator: the coordinator's own slot is immune (it holds its
+        # own value), so poisoning it would demonstrate nothing.
+        victim = next(
+            pid for pid in range(1, self.n) if pid not in (self.pid, 0)
+        )
+        body = Init(sender=victim, value=POISON)
+        # The attacker only holds its own capability, so the signature it
+        # can produce names itself — inconsistent with the identity field.
+        signature = self.authority.scheme.sign(
+            self.authority.signer, (body, EMPTY_CERTIFICATE.digest().hex)
+        )
+        # Fake first, own INIT second: if the signature module is ablated
+        # (E8) the forged identity reaches the vector builders.
+        self.broadcast(
+            SignedMessage(body=body, cert=EMPTY_CERTIFICATE, signature=signature)
+        )
+        super().start_protocol()
+
+
+class TEquivocatingInitAttacker(TransformedConsensusProcess):
+    """Signs two different INIT values and sends one to each half.
+
+    Both branches verify in isolation; they meet inside the receivers'
+    certificates (every CURRENT embeds an INIT set), where the
+    equivocation ledger convicts the signer — the detectable core of
+    Proposition 2.
+    """
+
+    profile = FaultProfile(
+        name="equivocate-init",
+        failure_class=FailureClass.VALUE_CORRUPTION,
+        detecting_module=DetectingModule.NON_MUTENESS_DETECTOR,
+        description="two different signed INIT values to different halves",
+    )
+
+    def start_protocol(self) -> None:
+        branch_a = self.authority.make(
+            Init(sender=self.pid, value=self.proposal), EMPTY_CERTIFICATE
+        )
+        branch_b = self.authority.make(
+            Init(sender=self.pid, value=POISON), EMPTY_CERTIFICATE
+        )
+        for dst in range(self.n):
+            self.send(dst, branch_a if dst % 2 == 0 else branch_b)
+
+
+class TEquivocatingCurrentAttacker(TransformedConsensusProcess):
+    """As coordinator, proposes two different (individually well-formed)
+    vectors to the two halves of the system.
+
+    It over-collects INITs so it can certify two distinct ``n - F``
+    subsets. Relayed CURRENTs spread both branches everywhere; the
+    ledger then convicts the coordinator, and the same-vector decision
+    quorum keeps at most one branch decidable.
+    """
+
+    profile = FaultProfile(
+        name="equivocate-current",
+        failure_class=FailureClass.VALUE_CORRUPTION,
+        detecting_module=DetectingModule.NON_MUTENESS_DETECTOR,
+        description="two certified vectors proposed in the same round",
+    )
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._all_inits: dict[int, SignedMessage] = {}
+        self._equivocated = False
+
+    def _on_init(self, message: SignedMessage) -> None:
+        # Over-collect: keep every INIT so that two distinct (n - F)
+        # subsets can be certified, and delay round 1 until the surplus
+        # INIT needed for equivocation has arrived.
+        if self._equivocated:
+            return
+        self._all_inits[message.body.sender] = message
+        if len(self._all_inits) <= self._quorum():
+            return
+        if self.pid != 0:
+            # Not round 1's coordinator: no equivocation slot; act as an
+            # honest-but-slow process from here on.
+            super()._on_init(message)
+            for stashed in self._all_inits.values():
+                super()._on_init(stashed)
+            return
+        self._equivocate_round_one()
+
+    def _equivocate_round_one(self) -> None:
+        self._equivocated = True
+        self.phase = "rounds"
+        self.round = 1
+        self.sent_current = True
+        self.sent_next = False
+        senders = sorted(self._all_inits)
+        subset_a = senders[: self._quorum()]
+        subset_b = senders[-self._quorum():]
+        branches = []
+        for subset in (subset_a, subset_b):
+            vector = [NULL] * self.n
+            for pid in subset:
+                init = self._all_inits[pid]
+                assert isinstance(init.body, Init)
+                vector[pid] = init.body.value
+            cert = Certificate(tuple(self._all_inits[pid] for pid in subset))
+            body = VCurrent(sender=self.pid, round=1, est_vect=tuple(vector))
+            branches.append(self.authority.make(body, cert))
+        # Adopt branch A as the local state so later rounds stay runnable.
+        self.est_vect = branches[0].body.est_vect  # type: ignore[union-attr]
+        self.est_cert = branches[0].full_cert()
+        for dst in range(self.n):
+            self.send(dst, branches[0] if dst % 2 == 0 else branches[1])
+        self.next_cert = EMPTY_CERTIFICATE
+        self.current_cert = EMPTY_CERTIFICATE
+
+
+class TUnsignedAttacker(TransformedConsensusProcess):
+    """Sends raw (unsigned) message bodies.
+
+    The lowest-effort attack: rejected at the very first module.
+    """
+
+    profile = FaultProfile(
+        name="unsigned",
+        failure_class=FailureClass.SPURIOUS_MESSAGE,
+        detecting_module=DetectingModule.SIGNATURE,
+        description="raw protocol bodies without signature envelopes",
+    )
+
+    def start_protocol(self) -> None:
+        super().start_protocol()
+        self.broadcast(Init(sender=self.pid, value=POISON))
+
+
+class TWrongCertCurrentAttacker(TransformedConsensusProcess):
+    """As coordinator, attaches an empty certificate to its CURRENT.
+
+    A transient omission of the certification step: the message itself is
+    plausible, but its certificate cannot ground the vector, so the
+    certificate analyser rejects it.
+    """
+
+    profile = FaultProfile(
+        name="wrong-cert-current",
+        failure_class=FailureClass.TRANSIENT_OMISSION,
+        detecting_module=DetectingModule.CERTIFICATION,
+        description="coordinator CURRENT with an empty certificate",
+    )
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        if isinstance(body, VCurrent) and body.sender == self.coordinator:
+            cert = EMPTY_CERTIFICATE
+        return super()._broadcast_signed(body, cert)

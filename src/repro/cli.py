@@ -1,0 +1,314 @@
+"""Command-line interface: run and inspect reproductions from a shell.
+
+Usage (``python -m repro <command> ...``):
+
+* ``run`` — one consensus instance (any protocol, faults, attacks), with
+  optional trace chart / JSON export;
+* ``gallery`` — the full attack gallery against the transformed protocol
+  as a table;
+* ``attacks`` — list the attack catalogues and their fault profiles;
+* ``params`` — the resilience arithmetic for a system size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.properties import (
+    check_crash_consensus,
+    check_detection,
+    check_vector_consensus,
+)
+from repro.analysis.reporting import print_table
+from repro.analysis.tracefmt import render_sequence, trace_to_json
+from repro.byzantine import (
+    CRASH_ATTACKS,
+    TRANSFORMED_ATTACKS,
+    crash_attack,
+    transformed_attack,
+)
+from repro.byzantine.ct_attacks import CT_ATTACKS, ct_attack
+from repro.core.specs import SystemParameters, certification_resilience, crash_resilience
+from repro.errors import ReproError
+from repro.systems import build_crash_system, build_transformed_system
+
+CRASH_PROTOCOLS = ("hurfin-raynal", "chandra-toueg")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Baldoni/Hélary/Raynal (DSN 2000): "
+        "crash-to-arbitrary fault-tolerance transformation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one consensus instance")
+    run.add_argument("--n", type=int, default=4, help="number of processes")
+    run.add_argument(
+        "--protocol",
+        choices=("transformed",) + CRASH_PROTOCOLS,
+        default="transformed",
+    )
+    run.add_argument(
+        "--variant",
+        choices=("standard", "echo-init"),
+        default="standard",
+        help="transformed-protocol variant",
+    )
+    run.add_argument(
+        "--base",
+        choices=("hurfin-raynal", "chandra-toueg"),
+        default="hurfin-raynal",
+        help="which crash protocol the transformation was applied to",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="PID:TIME",
+        help="crash PID at virtual TIME (repeatable)",
+    )
+    run.add_argument(
+        "--attack",
+        action="append",
+        default=[],
+        metavar="PID:NAME",
+        help="install a Byzantine behaviour (repeatable)",
+    )
+    run.add_argument("--max-time", type=float, default=3_000.0)
+    run.add_argument(
+        "--chart", action="store_true", help="print the message-sequence chart"
+    )
+    run.add_argument(
+        "--chart-rows", type=int, default=60, help="chart row budget"
+    )
+    run.add_argument(
+        "--json", metavar="FILE", help="export the trace as JSON to FILE"
+    )
+
+    gallery = sub.add_parser(
+        "gallery", help="run every attack against the transformed protocol"
+    )
+    gallery.add_argument("--n", type=int, default=4)
+    gallery.add_argument("--seed", type=int, default=0)
+
+    attacks = sub.add_parser("attacks", help="list the attack catalogues")
+    attacks.add_argument(
+        "--model",
+        choices=("crash", "transformed", "both"),
+        default="both",
+    )
+
+    params = sub.add_parser("params", help="resilience arithmetic for n")
+    params.add_argument("--n", type=int, required=True)
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="regenerate experiment tables (E1..E18) outside pytest",
+    )
+    experiments.add_argument(
+        "--only",
+        help="comma-separated experiment ids, e.g. e3,e13 (default: list them)",
+    )
+    experiments.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+
+    return parser
+
+
+def _parse_pairs(pairs: list[str], what: str) -> dict[int, str]:
+    parsed: dict[int, str] = {}
+    for pair in pairs:
+        pid_text, _, value = pair.partition(":")
+        if not value:
+            raise SystemExit(f"--{what} expects PID:VALUE, got {pair!r}")
+        parsed[int(pid_text)] = value
+    return parsed
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    crash_at = {
+        pid: float(time)
+        for pid, time in _parse_pairs(args.crash, "crash").items()
+    }
+    attack_names = _parse_pairs(args.attack, "attack")
+    proposals = [f"v{i}" for i in range(args.n)]
+    if args.protocol == "transformed":
+        byzantine = {}
+        attack_maker = (
+            transformed_attack if args.base == "hurfin-raynal" else ct_attack
+        )
+        for pid, name in attack_names.items():
+            byzantine.update(attack_maker(pid, name))
+        system = build_transformed_system(
+            proposals,
+            byzantine=byzantine,
+            crash_at=crash_at,
+            seed=args.seed,
+            variant=args.variant,
+            base=args.base,
+        )
+        system.run(max_time=args.max_time)
+        report = check_vector_consensus(system)
+    else:
+        byzantine = {}
+        for pid, name in attack_names.items():
+            byzantine.update(crash_attack(pid, name))
+        system = build_crash_system(
+            proposals,
+            byzantine=byzantine,
+            crash_at=crash_at,
+            protocol=args.protocol,
+            seed=args.seed,
+        )
+        system.run(max_time=args.max_time)
+        report = check_crash_consensus(system)
+
+    print(f"run finished: {system.result.reason} at t={system.result.end_time:.2f}, "
+          f"{system.world.network.messages_sent} messages")
+    for pid in sorted(system.correct_pids):
+        process = system.processes[pid]
+        state = f"decided {process.decision!r} (round {process.decision_round})" \
+            if process.decided else "undecided"
+        print(f"  p{pid}: {state}")
+    detection = check_detection(system)
+    if detection.detectors_per_culprit:
+        print(f"detections: {detection.detectors_per_culprit}")
+    print(f"properties: termination={report.termination} "
+          f"agreement={report.agreement} validity={report.validity}")
+    for violation in report.violations:
+        print(f"  violation: {violation}")
+    if args.chart:
+        print()
+        print(render_sequence(system.world.trace, args.n, max_events=args.chart_rows))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(trace_to_json(system.world.trace))
+        print(f"trace exported to {args.json}")
+    return 0 if report.all_hold else 1
+
+
+def cmd_gallery(args: argparse.Namespace) -> int:
+    proposals = [f"v{i}" for i in range(args.n)]
+    rows = []
+    worst = 0
+    for name in sorted(TRANSFORMED_ATTACKS):
+        seat = 0 if name in ("equivocate-current", "wrong-cert-current") else args.n - 1
+        system = build_transformed_system(
+            proposals,
+            byzantine=transformed_attack(seat, name),
+            seed=args.seed,
+        )
+        system.run(max_time=3_000.0)
+        report = check_vector_consensus(system)
+        detection = check_detection(system)
+        rows.append(
+            [
+                name,
+                "yes" if report.all_hold else "NO",
+                detection.detectors_per_culprit.get(seat, 0),
+                "yes" if seat in detection.suspected_by_any else "no",
+            ]
+        )
+        if not report.all_hold:
+            worst = 1
+    print_table(
+        f"attack gallery (n={args.n}, seed={args.seed})",
+        ["attack", "safe", "convictions", "suspected"],
+        rows,
+    )
+    return worst
+
+
+def cmd_attacks(args: argparse.Namespace) -> int:
+    def rows_for(catalog):
+        return [
+            [
+                cls.profile.name,
+                cls.profile.failure_class.value,
+                cls.profile.detecting_module.value,
+                cls.profile.description,
+            ]
+            for cls in sorted(catalog.values(), key=lambda c: c.profile.name)
+        ]
+
+    headers = ["name", "failure class", "owning module", "description"]
+    if args.model in ("crash", "both"):
+        print_table("crash-model attacks (Figure 2 victims)", headers,
+                    rows_for(CRASH_ATTACKS))
+    if args.model in ("transformed", "both"):
+        print_table("transformed-model attacks (Figure 3 targets)", headers,
+                    rows_for(TRANSFORMED_ATTACKS))
+        print_table("transformed-CT attacks (second case study)", headers,
+                    rows_for(CT_ATTACKS))
+    return 0
+
+
+def cmd_params(args: argparse.Namespace) -> int:
+    params = SystemParameters.for_n(args.n)
+    print(f"n                          = {params.n}")
+    print(f"crash resilience           = {crash_resilience(args.n)}  (floor((n-1)/2))")
+    print(f"certification resilience C = {certification_resilience(args.n)}  (floor((n-1)/3))")
+    print(f"arbitrary-fault bound F    = {params.f}  (min of the two)")
+    print(f"quorum n-F                 = {params.quorum}")
+    print(f"vector validity floor n-2F = {params.alpha}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import print_table as table
+    from repro.analysis.suite import discover, run_experiments
+
+    available = discover()
+    if args.list or not args.only:
+        table(
+            "available experiments (see DESIGN.md §3 / EXPERIMENTS.md)",
+            ["id", "benchmark file"],
+            [[key, available[key].name] for key in sorted(
+                available, key=lambda k: int(k[1:])
+            )],
+        )
+        if not args.only:
+            print("run some with: python -m repro experiments --only e3,e13")
+        return 0
+    selected = [key.strip() for key in args.only.split(",") if key.strip()]
+    results = run_experiments(only=selected)
+    for key, result in results.items():
+        rows = result[0] if isinstance(result, tuple) else result
+        width = max(len(row) for row in rows)
+        table(
+            f"{key.upper()} — {available[key].stem.removeprefix('test_')}",
+            [f"col {i}" for i in range(width)],
+            rows,
+        )
+    print(
+        "(column legends and shape assertions live in the benchmark files; "
+        "run `pytest benchmarks/ --benchmark-only -s` for the full report)"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "gallery": cmd_gallery,
+        "attacks": cmd_attacks,
+        "params": cmd_params,
+        "experiments": cmd_experiments,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,400 @@
+"""Well-formedness predicates for the transformed protocol's certificates.
+
+Implements Section 5.1 of the paper: what it means for ``est_cert``,
+``next_cert`` and ``current_cert`` to be *well-formed* with respect to a
+value, a round, and a send decision. These predicates are the certificate
+analyser that the non-muteness failure detection module (the Figure 4
+automaton) runs at the receiving side — the ``PF`` predicates.
+
+Every function returns a list of human-readable problems; an empty list
+means well-formed. Reporting all problems (rather than the first) keeps
+the experiment E4 coverage tables informative.
+
+Certificate shapes accepted (see DESIGN.md §5 for the pruning scheme):
+
+* **initial est_cert** — ``n - F`` signed ``INIT`` messages from distinct
+  senders, witnessing the entries of an estimate vector;
+* **adopted est_cert** — the certificate of the first valid ``CURRENT``
+  of a round: either the coordinator form (``est_cert ∪ next_cert`` =
+  INITs + NEXTs) or the relay form (one signed ``CURRENT``), followed
+  recursively until an INIT set is reached;
+* **next_cert** — signed ``NEXT`` messages of one round from at least
+  ``n - F`` distinct senders;
+* **current_cert** — signed ``CURRENT`` messages of one round, all
+  carrying the same vector, from at least ``n - F`` distinct senders.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.consensus.hurfin_raynal import coordinator_of
+from repro.core.certificates import Certificate, SignedMessage
+from repro.core.specs import SystemParameters
+from repro.core.vector_certification import certified_vector_problems
+from repro.messages.consensus import Init, VCurrent, VDecide, VNext, Vector
+
+#: Verifier callback: validates one signed message's signature + identity.
+SignatureCheck = Callable[[SignedMessage], bool]
+
+
+def _entry_signature_problems(
+    cert: Certificate, verify: SignatureCheck
+) -> list[str]:
+    """Every certificate entry must carry a valid signature."""
+    problems = []
+    for entry in cert:
+        if not verify(entry):
+            problems.append(
+                f"entry {type(entry.body).__name__} claiming sender "
+                f"{entry.body.sender} has an invalid signature"
+            )
+    return problems
+
+
+def init_set_problems(
+    inits: list[SignedMessage],
+    est_vect: Vector,
+    params: SystemParameters,
+    verify: SignatureCheck,
+) -> list[str]:
+    """Check an INIT set against a vector (initial ``est_cert`` form).
+
+    This is the paper's "est_cert is well-formed with respect to
+    est_vect" for the initial form; the actual analysis is the generic
+    vector-certification check of the core methodology.
+    """
+    return certified_vector_problems(inits, est_vect, params, verify)
+
+
+def est_cert_problems(
+    cert: Certificate,
+    est_vect: Vector,
+    params: SystemParameters,
+    verify: SignatureCheck,
+    _depth: int = 0,
+) -> list[str]:
+    """Check an ``est_cert`` (initial or adopted form) against a vector.
+
+    Adopted certificates are followed through relay chains: a relay-form
+    certificate holds one signed ``CURRENT`` whose own certificate is
+    checked recursively until the INIT set that grounds the vector is
+    reached. Chains longer than ``n`` cannot be produced by correct
+    processes (each relays at most once per round), so deeper nesting is
+    itself a fault.
+    """
+    if _depth > params.n + 1:
+        return ["certificate relay chain deeper than n (cannot be honest)"]
+    inits = cert.of_type(Init)
+    currents = cert.of_type(VCurrent)
+    if inits and not currents:
+        return init_set_problems(inits, est_vect, params, verify)
+    if len(currents) == 1:
+        inner = currents[0]
+        problems: list[str] = []
+        if not verify(inner):
+            return [f"embedded CURRENT from {inner.body.sender}: bad signature"]
+        if inner.body.est_vect != est_vect:
+            problems.append(
+                "embedded CURRENT carries a different vector than the one "
+                "it is supposed to certify"
+            )
+        if not inner.has_full_cert:
+            problems.append(
+                "embedded CURRENT's certificate was pruned; cannot ground "
+                "the vector in an INIT set"
+            )
+        else:
+            problems.extend(
+                est_cert_problems(
+                    inner.full_cert(), est_vect, params, verify, _depth + 1
+                )
+            )
+        return problems
+    return [
+        f"est_cert has neither an INIT set nor a single embedded CURRENT "
+        f"(inits=0, currents={len(currents)})"
+    ]
+
+
+def next_set_problems(
+    nexts: list[SignedMessage],
+    expected_round: int,
+    params: SystemParameters,
+    verify: SignatureCheck,
+) -> list[str]:
+    """Check a NEXT quorum against a round (``next_cert`` well-formed
+    w.r.t. ``expected_round``): at least ``n - F`` distinct, correctly
+    signed senders, every entry referring to ``expected_round``.
+
+    Round 1 is special (paper): it cannot be certified by NEXT messages,
+    so its well-formed ``next_cert`` is the empty set — callers pass
+    ``expected_round = 0`` and an empty list.
+    """
+    if expected_round < 1:
+        if nexts:
+            return [
+                f"round {expected_round + 1} must carry an empty next_cert, "
+                f"found {len(nexts)} NEXT entries"
+            ]
+        return []
+    problems: list[str] = []
+    senders: set[int] = set()
+    for sm in nexts:
+        if not verify(sm):
+            problems.append(f"NEXT claiming sender {sm.body.sender}: bad signature")
+            continue
+        if sm.body.round != expected_round:
+            problems.append(
+                f"NEXT from {sm.body.sender} refers to round {sm.body.round}, "
+                f"expected {expected_round}"
+            )
+            continue
+        senders.add(sm.body.sender)
+    if len(senders) < params.quorum:
+        problems.append(
+            f"next_cert has {len(senders)} valid distinct senders for round "
+            f"{expected_round}, needs n-F = {params.quorum}"
+        )
+    return problems
+
+
+def current_message_problems(
+    message: SignedMessage,
+    params: SystemParameters,
+    verify: SignatureCheck,
+    _depth: int = 0,
+) -> list[str]:
+    """The ``PF`` predicate for a ``CURRENT`` message (both forms).
+
+    Coordinator form (sender leads the message's round): the certificate
+    is ``est_cert ∪ next_cert`` — an INIT set grounding ``est_vect`` plus,
+    for rounds after the first, a NEXT quorum for the previous round.
+
+    Relay form (any other sender): the certificate is the single signed
+    ``CURRENT`` the relayer received first, carrying the same round and
+    vector; it is checked recursively.
+    """
+    if _depth > params.n + 1:
+        return ["CURRENT relay chain deeper than n (cannot be honest)"]
+    body = message.body
+    if not isinstance(body, VCurrent):
+        return [f"expected a CURRENT body, found {type(body).__name__}"]
+    problems: list[str] = []
+    if body.round < 1:
+        problems.append(f"CURRENT carries invalid round {body.round}")
+    if len(body.est_vect) != params.n:
+        problems.append(
+            f"CURRENT vector has length {len(body.est_vect)}, expected {params.n}"
+        )
+    if not message.has_full_cert:
+        problems.append("CURRENT certificate was pruned; cannot be analysed")
+        return problems
+    cert = message.full_cert()
+    coordinator = coordinator_of(body.round, params.n)
+    if body.sender == coordinator:
+        # Coordinator form: est_cert ∪ next_cert. The est part is either
+        # the initial INIT set or an adopted certificate (which may itself
+        # contain one CURRENT of an earlier round and residual NEXTs of
+        # rounds before body.round - 1); the next part is the NEXT quorum
+        # for body.round - 1. Entries of future rounds are impossible.
+        nexts = cert.of_type(VNext)
+        fresh_nexts = [sm for sm in nexts if sm.body.round == body.round - 1]
+        for sm in cert:
+            entry_round = getattr(sm.body, "round", None)
+            if entry_round is not None and entry_round >= body.round:
+                problems.append(
+                    f"coordinator CURRENT for round {body.round} embeds a "
+                    f"{type(sm.body).__name__} of round {entry_round} "
+                    "(evidence from the future)"
+                )
+        est_part = cert.filter(
+            lambda sm: not isinstance(sm.body, VNext)
+            or sm.body.round < body.round - 1
+        )
+        problems.extend(
+            est_cert_problems(est_part, body.est_vect, params, verify, _depth)
+        )
+        problems.extend(
+            next_set_problems(fresh_nexts, body.round - 1, params, verify)
+        )
+        return problems
+    # Relay form.
+    currents = cert.of_type(VCurrent)
+    if len(currents) != 1 or len(cert) != 1:
+        problems.append(
+            f"relayed CURRENT certificate must be exactly one signed CURRENT, "
+            f"found {len(currents)} CURRENTs among {len(cert)} entries"
+        )
+        return problems
+    inner = currents[0]
+    if not verify(inner):
+        problems.append(
+            f"relayed certificate CURRENT claiming {inner.body.sender}: "
+            "bad signature"
+        )
+        return problems
+    assert isinstance(inner.body, VCurrent)
+    if inner.body.round != body.round:
+        problems.append(
+            f"relayed CURRENT round {body.round} does not match the certified "
+            f"CURRENT round {inner.body.round}"
+        )
+    if inner.body.est_vect != body.est_vect:
+        problems.append(
+            "relayed CURRENT vector differs from the vector of the CURRENT "
+            "it relays — the relayer corrupted est_vect"
+        )
+    if inner.body.sender == body.sender:
+        problems.append("a CURRENT cannot be certified by its own sender")
+    problems.extend(
+        current_message_problems(inner, params, verify, _depth + 1)
+    )
+    return problems
+
+
+def next_message_problems(
+    message: SignedMessage,
+    params: SystemParameters,
+    verify: SignatureCheck,
+) -> list[str]:
+    """The ``PF`` predicate for a ``NEXT`` message.
+
+    A NEXT is sent in exactly three situations (Figure 3); the attached
+    certificate must match at least one of the corresponding shapes:
+
+    * **q0 → q2** (line 24, suspicion of the coordinator): certificate is
+      ``current_cert ∪ next_cert ∪ est_cert`` with no CURRENT entry — the
+      suspicion itself is local and unverifiable, so the certificate only
+      witnesses the sender's state;
+    * **q1 → q2** (line 29, ``change_mind``): certificate is
+      ``current_cert ∪ next_cert`` with votes from at least ``n - F``
+      distinct senders (the ``REC_FROM`` test);
+    * **round end** (line 31): certificate is ``next_cert`` with a full
+      NEXT quorum for the sender's round.
+
+    All embedded entries must be correctly signed and refer to the NEXT's
+    own round (INIT entries excepted).
+    """
+    body = message.body
+    if not isinstance(body, VNext):
+        return [f"expected a NEXT body, found {type(body).__name__}"]
+    problems: list[str] = []
+    if body.round < 1:
+        problems.append(f"NEXT carries invalid round {body.round}")
+    if not message.has_full_cert:
+        problems.append("NEXT certificate was pruned; cannot be analysed")
+        return problems
+    cert = message.full_cert()
+    inits = cert.of_type(Init)
+    currents = cert.of_type(VCurrent)
+    nexts = cert.of_type(VNext)
+    stray = len(cert) - len(inits) - len(currents) - len(nexts)
+    if stray:
+        problems.append(f"NEXT certificate contains {stray} foreign entries")
+    problems.extend(_entry_signature_problems(cert, verify))
+    # Entries of the NEXT's own round are the *votes* justifying the send;
+    # entries of earlier rounds are residue of the adopted est_cert (the
+    # q0 -> q2 certificate unions est_cert in); future rounds are
+    # impossible for an honest sender.
+    for sm in currents + nexts:
+        entry_round = sm.body.round  # type: ignore[union-attr]
+        if entry_round > body.round:
+            problems.append(
+                f"{type(sm.body).__name__} entry from {sm.body.sender} refers "
+                f"to round {entry_round}, after the NEXT's round {body.round} "
+                "(evidence from the future)"
+            )
+    if problems:
+        return problems
+    fresh_currents = [sm for sm in currents if sm.body.round == body.round]
+    fresh_nexts = [sm for sm in nexts if sm.body.round == body.round]
+    vote_senders = {sm.body.sender for sm in fresh_currents} | {
+        sm.body.sender for sm in fresh_nexts
+    }
+    suspicion_shape = not fresh_currents  # q0 -> q2: no CURRENT received yet
+    change_mind_shape = (
+        bool(fresh_currents) and len(vote_senders) >= params.quorum
+    )
+    round_end_shape = (
+        len({sm.body.sender for sm in fresh_nexts}) >= params.quorum
+    )
+    if not (suspicion_shape or change_mind_shape or round_end_shape):
+        problems.append(
+            "NEXT certificate matches no legitimate send condition: "
+            f"currents={len(fresh_currents)}, distinct voters="
+            f"{len(vote_senders)}, quorum={params.quorum} — the sender "
+            "misevaluated its guard"
+        )
+    return problems
+
+
+def decide_message_problems(
+    message: SignedMessage,
+    params: SystemParameters,
+    verify: SignatureCheck,
+) -> list[str]:
+    """The ``PF`` predicate for a ``DECIDE`` message.
+
+    The certificate must contain signed ``CURRENT`` messages of one round,
+    all carrying exactly the decided vector, from at least ``n - F``
+    distinct senders, each itself passing the CURRENT predicate — this
+    witnesses that the sender's decision condition (line 20) was evaluated
+    correctly and grounds the decided vector in certified initial values.
+    """
+    body = message.body
+    if not isinstance(body, VDecide):
+        return [f"expected a DECIDE body, found {type(body).__name__}"]
+    if not message.has_full_cert:
+        return ["DECIDE certificate was pruned; cannot be analysed"]
+    cert = message.full_cert()
+    currents = cert.of_type(VCurrent)
+    problems: list[str] = []
+    senders_by_round: dict[int, set[int]] = {}
+    for sm in currents:
+        if not verify(sm):
+            problems.append(
+                f"CURRENT entry claiming {sm.body.sender}: bad signature"
+            )
+            continue
+        assert isinstance(sm.body, VCurrent)
+        if sm.body.est_vect != body.est_vect:
+            problems.append(
+                f"CURRENT entry from {sm.body.sender} carries a different "
+                "vector than the decided one"
+            )
+            continue
+        senders_by_round.setdefault(sm.body.round, set()).add(sm.body.sender)
+    # The decision round must exhibit a full quorum; entries of earlier
+    # rounds may legitimately appear as residue of the adopted est_cert.
+    best = max((len(s) for s in senders_by_round.values()), default=0)
+    if best < params.quorum:
+        problems.append(
+            f"DECIDE certificate has at most {best} valid CURRENT senders in "
+            f"any one round, needs n-F = {params.quorum} — the sender "
+            "misevaluated its decision condition"
+        )
+    if problems:
+        return problems
+    for sm in currents:
+        inner_problems = current_message_problems(sm, params, verify)
+        if inner_problems:
+            problems.extend(
+                f"CURRENT entry from {sm.body.sender}: {p}" for p in inner_problems
+            )
+    return problems
+
+
+def init_message_problems(
+    message: SignedMessage,
+    params: SystemParameters,
+    verify: SignatureCheck,
+) -> list[str]:
+    """The ``PF`` predicate for an ``INIT`` message: empty certificate."""
+    body = message.body
+    if not isinstance(body, Init):
+        return [f"expected an INIT body, found {type(body).__name__}"]
+    if message.has_full_cert and len(message.full_cert()) != 0:
+        return ["INIT messages must carry an empty certificate"]
+    del params, verify  # signature already checked upstream; no content rule
+    return []

@@ -1,0 +1,272 @@
+"""Certificate well-formedness predicates for the transformed CT protocol.
+
+Designed by re-applying the Section 3 guidelines ("certificates must
+witness the values carried by messages and the correct evaluation of the
+conditions enabling their send events") to the Chandra–Toueg protocol —
+the second case study demonstrating that the methodology, not the
+Figure 3 artefact, is the paper's contribution.
+
+Embedding depth (same pruning discipline as the HR case):
+
+* an ``ESTIMATE`` with ``ts = 0`` carries its INIT set in full;
+* an ``ESTIMATE`` with ``ts = r'`` carries the round-``r'`` ``PROPOSE``
+  it acknowledged, with that proposal's own justification kept one level
+  (estimate bodies + signatures) so the selection rule stays checkable;
+* a ``PROPOSE`` carries its ``n - F`` justifying estimates, each with
+  certificate pruned to the shape above;
+* ``ACK`` carries the proposal it acknowledges; ``NACK`` carries nothing
+  (suspicion is local); ``DECIDE`` carries the proposal plus the ack
+  quorum.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.consensus.hurfin_raynal import coordinator_of
+from repro.core.certificates import Certificate, SignedMessage
+from repro.core.specs import SystemParameters
+from repro.core.vector_certification import certified_vector_problems
+from repro.messages.consensus import Init
+from repro.messages.ct import CtAck, CtDecide, CtEstimate, CtPropose
+
+SignatureCheck = Callable[[SignedMessage], bool]
+
+
+def select_proposal(
+    estimates: list[SignedMessage],
+) -> SignedMessage:
+    """CT's deterministic phase-2 rule: highest ts, ties to lowest pid.
+
+    Both the coordinator and every verifier run this over the same
+    justification set, which is what makes a corrupted selection
+    detectable.
+    """
+    return max(
+        estimates,
+        key=lambda sm: (sm.body.ts, -sm.body.sender),  # type: ignore[union-attr]
+    )
+
+
+def estimate_problems(
+    message: SignedMessage,
+    params: SystemParameters,
+    verify: SignatureCheck,
+    shallow: bool = False,
+) -> list[str]:
+    """PF for an ESTIMATE: the certificate witnesses (est_vect, ts).
+
+    ``shallow=True`` is used for estimates embedded inside a proposal's
+    justification, whose own certificates are pruned one level deeper:
+    only the body invariants are checked there (the full check already
+    ran at the direct receivers of those estimates).
+    """
+    body = message.body
+    if not isinstance(body, CtEstimate):
+        return [f"expected an ESTIMATE body, found {type(body).__name__}"]
+    problems: list[str] = []
+    if len(body.est_vect) != params.n:
+        problems.append(
+            f"estimate vector has length {len(body.est_vect)}, expected {params.n}"
+        )
+    if body.ts < 0 or body.ts >= body.round:
+        problems.append(
+            f"estimate carries ts={body.ts}, impossible for round {body.round}"
+        )
+    if shallow or problems:
+        return problems
+    if not message.has_full_cert:
+        return ["estimate certificate was pruned; cannot be analysed"]
+    cert = message.full_cert()
+    if body.ts == 0:
+        inits = cert.of_type(Init)
+        problems.extend(
+            certified_vector_problems(inits, body.est_vect, params, verify)
+        )
+        return problems
+    proposes = cert.of_type(CtPropose)
+    if len(proposes) != 1:
+        return [
+            f"estimate with ts={body.ts} must embed exactly the acknowledged "
+            f"PROPOSE, found {len(proposes)}"
+        ]
+    inner = proposes[0]
+    if not verify(inner):
+        return ["embedded PROPOSE has an invalid signature"]
+    assert isinstance(inner.body, CtPropose)
+    if inner.body.round != body.ts:
+        problems.append(
+            f"embedded PROPOSE is for round {inner.body.round}, estimate "
+            f"claims adoption at ts={body.ts}"
+        )
+    if inner.body.sender != coordinator_of(body.ts, params.n):
+        problems.append(
+            "embedded PROPOSE was not signed by its round's coordinator"
+        )
+    if inner.body.est_vect != body.est_vect:
+        problems.append(
+            "estimate vector differs from the acknowledged proposal's vector"
+        )
+    if not problems and inner.has_full_cert:
+        problems.extend(propose_problems(inner, params, verify, shallow=True))
+    return problems
+
+
+def propose_problems(
+    message: SignedMessage,
+    params: SystemParameters,
+    verify: SignatureCheck,
+    shallow: bool = False,
+) -> list[str]:
+    """PF for a PROPOSE: quorum justification + the selection rule.
+
+    ``shallow=True`` (proposal embedded inside an estimate's certificate)
+    checks the justification with the embedded estimates in shallow mode.
+    """
+    body = message.body
+    if not isinstance(body, CtPropose):
+        return [f"expected a PROPOSE body, found {type(body).__name__}"]
+    problems: list[str] = []
+    if body.sender != coordinator_of(body.round, params.n):
+        problems.append(
+            f"PROPOSE for round {body.round} signed by {body.sender}, not the "
+            f"coordinator {coordinator_of(body.round, params.n)}"
+        )
+    if len(body.est_vect) != params.n:
+        problems.append("proposal vector has the wrong length")
+    if not message.has_full_cert:
+        problems.append("PROPOSE certificate was pruned; cannot be analysed")
+        return problems
+    cert = message.full_cert()
+    estimates: list[SignedMessage] = []
+    senders: set[int] = set()
+    for sm in cert.of_type(CtEstimate):
+        if not verify(sm):
+            problems.append(
+                f"justifying estimate claiming {sm.body.sender}: bad signature"
+            )
+            continue
+        assert isinstance(sm.body, CtEstimate)
+        if sm.body.round != body.round:
+            problems.append(
+                f"justifying estimate from {sm.body.sender} is for round "
+                f"{sm.body.round}, proposal is for round {body.round}"
+            )
+            continue
+        inner_problems = estimate_problems(sm, params, verify, shallow=shallow)
+        if inner_problems:
+            problems.extend(
+                f"justifying estimate from {sm.body.sender}: {p}"
+                for p in inner_problems
+            )
+            continue
+        if sm.body.sender in senders:
+            continue
+        senders.add(sm.body.sender)
+        estimates.append(sm)
+    if len(senders) < params.quorum:
+        problems.append(
+            f"proposal justified by {len(senders)} valid estimates, needs "
+            f"n-F = {params.quorum} — the coordinator misevaluated phase 2"
+        )
+        return problems
+    picked = select_proposal(estimates)
+    assert isinstance(picked.body, CtEstimate)
+    if picked.body.est_vect != body.est_vect:
+        problems.append(
+            "proposal vector is not the deterministic pick (highest ts, "
+            "lowest pid) of its own justification — corrupted selection"
+        )
+    return problems
+
+
+def ack_problems(
+    message: SignedMessage,
+    params: SystemParameters,
+    verify: SignatureCheck,
+) -> list[str]:
+    """PF for an ACK: it must embed the proposal being acknowledged."""
+    body = message.body
+    if not isinstance(body, CtAck):
+        return [f"expected an ACK body, found {type(body).__name__}"]
+    if not message.has_full_cert:
+        return ["ACK certificate was pruned; cannot be analysed"]
+    proposes = message.full_cert().of_type(CtPropose)
+    if len(proposes) != 1:
+        return [
+            f"ACK must embed exactly the acknowledged PROPOSE, found "
+            f"{len(proposes)}"
+        ]
+    inner = proposes[0]
+    problems: list[str] = []
+    if not verify(inner):
+        return ["acknowledged PROPOSE has an invalid signature"]
+    assert isinstance(inner.body, CtPropose)
+    if inner.body.round != body.round:
+        problems.append(
+            f"ACK for round {body.round} embeds a PROPOSE for round "
+            f"{inner.body.round}"
+        )
+    problems.extend(propose_problems(inner, params, verify, shallow=True))
+    return problems
+
+
+def decide_problems(
+    message: SignedMessage,
+    params: SystemParameters,
+    verify: SignatureCheck,
+) -> list[str]:
+    """PF for a DECIDE: the proposal plus an ``n - F`` ack quorum."""
+    body = message.body
+    if not isinstance(body, CtDecide):
+        return [f"expected a DECIDE body, found {type(body).__name__}"]
+    if not message.has_full_cert:
+        return ["DECIDE certificate was pruned; cannot be analysed"]
+    cert = message.full_cert()
+    proposes = cert.of_type(CtPropose)
+    if len(proposes) != 1:
+        return [
+            f"DECIDE must embed exactly one PROPOSE, found {len(proposes)}"
+        ]
+    proposal = proposes[0]
+    problems: list[str] = []
+    if not verify(proposal):
+        return ["embedded PROPOSE has an invalid signature"]
+    assert isinstance(proposal.body, CtPropose)
+    if proposal.body.est_vect != body.est_vect:
+        problems.append("decided vector differs from the embedded proposal's")
+    problems.extend(propose_problems(proposal, params, verify, shallow=True))
+    ack_senders: set[int] = set()
+    for sm in cert.of_type(CtAck):
+        if not verify(sm):
+            problems.append(
+                f"ACK entry claiming {sm.body.sender}: bad signature"
+            )
+            continue
+        assert isinstance(sm.body, CtAck)
+        if sm.body.round != proposal.body.round:
+            problems.append(
+                f"ACK entry from {sm.body.sender} is for round {sm.body.round}, "
+                f"proposal is for round {proposal.body.round}"
+            )
+            continue
+        ack_senders.add(sm.body.sender)
+    if len(ack_senders) < params.quorum:
+        problems.append(
+            f"DECIDE backed by {len(ack_senders)} valid acks, needs "
+            f"n-F = {params.quorum} — the sender misevaluated its decision"
+        )
+    return problems
+
+
+def build_justification(estimates: list[SignedMessage]) -> Certificate:
+    """The coordinator's proposal certificate, with the embedded
+    estimates' own certificates pruned to the documented shape."""
+    pruned = []
+    for sm in estimates:
+        assert isinstance(sm.body, CtEstimate)
+        if sm.body.ts == 0:
+            pruned.append(sm)  # INIT sets stay (they are leaves)
+        else:
+            pruned.append(sm.pruned(1))  # keep the acked PROPOSE, light
+    return Certificate(tuple(pruned))

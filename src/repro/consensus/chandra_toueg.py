@@ -1,0 +1,190 @@
+"""Chandra–Toueg ◇S consensus (crash model) — an independent baseline.
+
+The classic rotating-coordinator protocol of Chandra & Toueg [3], used by
+experiment E10 to put the Hurfin–Raynal protocol's costs in context. Each
+asynchronous round has four phases:
+
+1. every process sends its timestamped estimate to the round coordinator;
+2. the coordinator gathers a majority of estimates, adopts the one with
+   the highest timestamp and broadcasts it as a proposal;
+3. every process either acknowledges the proposal (adopting it) or, upon
+   suspecting the coordinator, sends a negative acknowledgement;
+4. the coordinator gathers a majority of replies; if all are positive it
+   reliably broadcasts the decision.
+
+The decision is propagated with a relay-on-first-receipt reliable
+broadcast, as in the original paper. Assumes ``f <= floor((n-1)/2)``
+crashes and a ◇S detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.consensus.base import ConsensusProcess
+from repro.detectors.base import FailureDetector
+from repro.messages.base import Message
+
+
+@dataclass(frozen=True, slots=True)
+class Estimate(Message):
+    """Phase-1 message: a timestamped estimate sent to the coordinator."""
+
+    round: int
+    est: Any
+    ts: int
+
+
+@dataclass(frozen=True, slots=True)
+class Propose(Message):
+    """Phase-2 message: the coordinator's proposal for this round."""
+
+    round: int
+    est: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Ack(Message):
+    """Phase-3 positive reply."""
+
+    round: int
+
+
+@dataclass(frozen=True, slots=True)
+class Nack(Message):
+    """Phase-3 negative reply (sent upon suspecting the coordinator)."""
+
+    round: int
+
+
+@dataclass(frozen=True, slots=True)
+class CtDecide(Message):
+    """Reliably-broadcast decision."""
+
+    est: Any
+
+
+class ChandraTouegProcess(ConsensusProcess):
+    """One participant in the Chandra–Toueg ◇S protocol."""
+
+    def __init__(
+        self,
+        proposal: Any,
+        detector: FailureDetector,
+        suspicion_poll: float = 0.5,
+    ) -> None:
+        super().__init__(proposal, detector, suspicion_poll)
+        self.round = 0
+        self.est: Any = proposal
+        self.ts = 0
+        self.replied = False  # this round's phase-3 reply already sent
+        self._estimates: dict[int, Estimate] = {}  # coordinator: phase-1 inbox
+        self._replies: list[bool] = []  # coordinator: phase-4 inbox
+        self._proposed = False  # coordinator: phase-2 proposal sent
+        self._counted = False  # coordinator: phase-4 tally done
+        self._future: dict[int, list[tuple[int, Message]]] = {}
+
+    # -- round management ------------------------------------------------------
+
+    def start_protocol(self) -> None:
+        self._begin_round(1)
+
+    @property
+    def coordinator(self) -> int:
+        return (self.round - 1) % self.n
+
+    def _majority(self) -> int:
+        return self.n // 2 + 1
+
+    def _begin_round(self, round_number: int) -> None:
+        self.round = round_number
+        self.replied = False
+        self._estimates = {}
+        self._replies = []
+        self._proposed = False
+        self._counted = False
+        self.record("round-start", round=round_number)
+        # Phase 1: send the timestamped estimate to the coordinator.
+        self.send(
+            self.coordinator,
+            Estimate(sender=self.pid, round=self.round, est=self.est, ts=self.ts),
+        )
+        self._replay_buffered()
+        self.evaluate_guards()
+
+    def _replay_buffered(self) -> None:
+        for src, payload in self._future.pop(self.round, []):
+            if not self.decided:
+                self.handle_message(src, payload)
+
+    # -- message handling ---------------------------------------------------------
+
+    def handle_message(self, src: int, payload: Any) -> None:
+        if self.detector is not None:
+            self.detector.on_protocol_message(src)
+        if isinstance(payload, CtDecide):
+            self.broadcast(CtDecide(sender=self.pid, est=payload.est))
+            self.decide_value(payload.est, round_number=self.round)
+            return
+        round_number = getattr(payload, "round", None)
+        if round_number is None:
+            return
+        if round_number < self.round:
+            return
+        if round_number > self.round:
+            self._future.setdefault(round_number, []).append((src, payload))
+            return
+        if isinstance(payload, Estimate):
+            self._on_estimate(payload)
+        elif isinstance(payload, Propose):
+            self._on_propose(payload)
+        elif isinstance(payload, (Ack, Nack)):
+            self._on_reply(isinstance(payload, Ack))
+
+    def _on_estimate(self, payload: Estimate) -> None:
+        if self.pid != self.coordinator or self._proposed:
+            return
+        self._estimates[payload.sender] = payload
+        if len(self._estimates) >= self._majority():
+            # Phase 2: adopt the estimate with the highest timestamp.
+            best = max(self._estimates.values(), key=lambda e: e.ts)
+            self._proposed = True
+            self.broadcast(Propose(sender=self.pid, round=self.round, est=best.est))
+
+    def _on_propose(self, payload: Propose) -> None:
+        if payload.sender != self.coordinator or self.replied:
+            return
+        # Phase 3 (positive branch): adopt and acknowledge.
+        self.est = payload.est
+        self.ts = self.round
+        self.replied = True
+        self.send(self.coordinator, Ack(sender=self.pid, round=self.round))
+        if self.pid != self.coordinator:
+            self._begin_round(self.round + 1)
+
+    def _on_reply(self, positive: bool) -> None:
+        if self.pid != self.coordinator or self._counted:
+            return
+        self._replies.append(positive)
+        if len(self._replies) >= self._majority():
+            self._counted = True
+            if all(self._replies):
+                # Phase 4: unanimous majority — reliably broadcast decide.
+                self.broadcast(CtDecide(sender=self.pid, est=self.est))
+                self.decide_value(self.est, round_number=self.round)
+            else:
+                self._begin_round(self.round + 1)
+
+    # -- guards ----------------------------------------------------------------------
+
+    def evaluate_guards(self) -> None:
+        # Phase 3 (negative branch): suspecting the coordinator.
+        if (
+            not self.replied
+            and self.pid != self.coordinator
+            and self.coordinator in self.suspected
+        ):
+            self.replied = True
+            self.send(self.coordinator, Nack(sender=self.pid, round=self.round))
+            self._begin_round(self.round + 1)

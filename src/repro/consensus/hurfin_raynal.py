@@ -1,0 +1,174 @@
+"""Hurfin–Raynal ◇S-based consensus in the crash model (paper Figure 2).
+
+The protocol proceeds in asynchronous rounds under the rotating-coordinator
+paradigm. In round ``r`` the coordinator broadcasts a ``CURRENT`` vote
+carrying its estimate; every process votes either ``CURRENT`` (adopting the
+coordinator's estimate) or ``NEXT`` (when it suspects the coordinator). A
+majority of ``CURRENT`` votes decides; a majority of ``NEXT`` votes moves
+everyone to round ``r + 1``. A process that voted ``CURRENT`` may *change
+its mind* and vote ``NEXT`` when a majority of votes arrived but neither
+kind has a majority, which prevents deadlock. ``DECIDE`` messages are
+relayed so that one decision reaches all correct processes.
+
+Assumptions (as in the paper): a majority of correct processes
+(``f <= floor((n-1)/2)`` crashes), a ◇S failure detector, reliable FIFO
+channels. Votes for a future round are buffered and replayed when the
+round starts; votes for past rounds are discarded (paper footnote 5).
+
+This is an event-driven translation of the pseudocode: the ``while`` loop
+of lines 6–16 becomes re-evaluation of the decide / change-mind /
+progress conditions after every receipt, and the ``upon (p_c in
+suspected)`` guard is additionally evaluated on a periodic poll.
+
+The three automaton states of the paper (q0: not yet voted, q1: voted
+CURRENT, q2: voted NEXT) are tracked explicitly in ``state``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.base import ConsensusProcess
+from repro.detectors.base import FailureDetector
+from repro.messages.consensus import Current, Decide, Next
+
+# Automaton states of Figure 2.
+Q0 = "q0"
+Q1 = "q1"
+Q2 = "q2"
+
+
+def coordinator_of(round_number: int, n: int) -> int:
+    """Rotating coordinator: round ``r`` is led by process ``(r-1) mod n``.
+
+    The paper writes ``c = (r_i mod n) + 1`` with 1-based identities and
+    the increment *before* use; with 0-based identities and rounds
+    starting at 1 this is ``(r - 1) mod n``.
+    """
+    return (round_number - 1) % n
+
+
+class HurfinRaynalProcess(ConsensusProcess):
+    """One participant in the Hurfin–Raynal crash-model protocol."""
+
+    def __init__(
+        self,
+        proposal: Any,
+        detector: FailureDetector,
+        suspicion_poll: float = 0.5,
+    ) -> None:
+        super().__init__(proposal, detector, suspicion_poll)
+        self.round = 0
+        self.est: Any = proposal
+        self.state = Q0
+        self.nb_current = 0
+        self.nb_next = 0
+        self.rec_from: set[int] = set()
+        self._future: dict[int, list[tuple[int, Any]]] = {}
+
+    # -- round management -----------------------------------------------------
+
+    def start_protocol(self) -> None:
+        self._begin_round(1)
+
+    @property
+    def coordinator(self) -> int:
+        return coordinator_of(self.round, self.n)
+
+    def _begin_round(self, round_number: int) -> None:
+        self.round = round_number
+        self.state = Q0
+        self.nb_current = 0
+        self.nb_next = 0
+        self.rec_from = set()
+        self.record("round-start", round=round_number)
+        if self.pid == self.coordinator:
+            # Line 5: the coordinator proposes its estimate.
+            self.broadcast(Current(sender=self.pid, round=self.round, est=self.est))
+        self._replay_buffered()
+        self.evaluate_guards()
+
+    def _replay_buffered(self) -> None:
+        for src, payload in self._future.pop(self.round, []):
+            if not self.decided:
+                self.handle_message(src, payload)
+
+    # -- message handling --------------------------------------------------------
+
+    def handle_message(self, src: int, payload: Any) -> None:
+        if self.detector is not None:
+            self.detector.on_protocol_message(src)
+        if isinstance(payload, Decide):
+            self._on_decide(payload)
+            return
+        if isinstance(payload, (Current, Next)):
+            if payload.round < self.round:
+                return  # stale vote: discard (footnote 5)
+            if payload.round > self.round:
+                self._future.setdefault(payload.round, []).append((src, payload))
+                return
+        if isinstance(payload, Current):
+            self._on_current(payload)
+        elif isinstance(payload, Next):
+            self._on_next(payload)
+
+    def _on_decide(self, payload: Decide) -> None:
+        # Line 2: relay the decision, then decide.
+        self.broadcast(Decide(sender=self.pid, est=payload.est))
+        self.decide_value(payload.est, round_number=self.round)
+
+    def _on_current(self, payload: Current) -> None:
+        # Lines 7-12.
+        self.nb_current += 1
+        self.rec_from.add(payload.sender)
+        if self.nb_current == 1:
+            self.est = payload.est
+        if self.state == Q0:
+            self.state = Q1
+            if self.pid != self.coordinator:
+                self.broadcast(
+                    Current(sender=self.pid, round=self.round, est=self.est)
+                )
+        self._check_progress()
+
+    def _on_next(self, payload: Next) -> None:
+        # Line 14.
+        self.nb_next += 1
+        self.rec_from.add(payload.sender)
+        self._check_progress()
+
+    # -- guards -------------------------------------------------------------------
+
+    def evaluate_guards(self) -> None:
+        # Line 13: upon (p_c in suspected_i), while still in q0.
+        if self.state == Q0 and self.coordinator in self.suspected:
+            self.state = Q2
+            self.broadcast(Next(sender=self.pid, round=self.round))
+            self._check_progress()
+
+    def _majority(self, count: int) -> bool:
+        return count > self.n / 2
+
+    def _check_progress(self) -> None:
+        if self.decided:
+            return
+        # Line 12: decide on a majority of CURRENT votes.
+        if self._majority(self.nb_current):
+            self.broadcast(Decide(sender=self.pid, est=self.est))
+            self.decide_value(self.est, round_number=self.round)
+            return
+        # Line 15: change_mind — voted CURRENT, a majority of votes
+        # arrived, but neither kind reached a majority.
+        if (
+            self.state == Q1
+            and self._majority(len(self.rec_from))
+            and not self._majority(self.nb_next)
+        ):
+            self.state = Q2
+            self.broadcast(Next(sender=self.pid, round=self.round))
+        # Line 6 exit + line 17: a majority of NEXT votes ends the round.
+        if self._majority(self.nb_next):
+            if self.state != Q2:
+                self.state = Q2
+                self.broadcast(Next(sender=self.pid, round=self.round))
+            self._begin_round(self.round + 1)

@@ -1,0 +1,344 @@
+"""Non-muteness failure detection for the transformed protocol (Figure 4).
+
+For each peer ``p_k``, process ``p_i`` runs a :class:`PeerMonitor` — the
+state machine ``SM_pi(p_k)`` of the paper — over the stream of signed
+messages received from ``p_k``. Because channels are FIFO, that stream
+reflects ``p_k``'s send order, so the monitor can track which round
+``p_k`` is in and which automaton state (q0 / q1 / q2) it occupies, and
+flag:
+
+* **out-of-order messages** — a type not enabled in the current state
+  (duplicated CURRENT, a vote for a skipped round, traffic after DECIDE,
+  a second INIT, ...);
+* **wrong expected messages** — enabled type but wrong syntax or a
+  certificate that is not well-formed w.r.t. its arguments or its send
+  decision (the ``PF_{a,b}`` predicates, implemented by the analysers in
+  :mod:`repro.consensus.certification`).
+
+States mirror Figure 4: ``start`` (before INIT), per-round ``q0`` (no vote
+sent), ``q1`` (CURRENT sent), ``q2`` (NEXT sent), ``final`` (DECIDE seen)
+and the absorbing ``faulty``. The ``r -> r+1`` arcs of the figure are the
+round-rollover transitions out of ``q2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.consensus import certification as certs
+from repro.core.automaton import FAULTY, BehaviorViolation, StateMachine, Step
+from repro.core.certificates import SignedMessage
+from repro.crypto.encoding import canonical_bytes
+from repro.core.specs import SystemParameters
+from repro.consensus.certification import SignatureCheck
+from repro.consensus.hurfin_raynal import coordinator_of
+from repro.messages.consensus import Init, VCurrent, VDecide, VNext
+
+START = "start"
+Q0 = "q0"
+Q1 = "q1"
+Q2 = "q2"
+FINAL = "final"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultReport:
+    """A declaration that ``culprit`` exhibited a non-muteness failure."""
+
+    culprit: int
+    reason: str
+    time: float
+
+
+class PeerMonitorLike(Protocol):
+    """What the monitor bank requires of a per-peer behaviour automaton."""
+
+    faulty: bool
+
+    def feed(self, message: SignedMessage) -> Step:  # pragma: no cover
+        ...
+
+    @property
+    def state(self) -> str:  # pragma: no cover
+        ...
+
+
+#: Builds the behaviour automaton for one peer.
+MonitorFactory = Callable[[int], "PeerMonitorLike"]
+
+
+class PeerMonitor:
+    """``SM_p(q)``: the behaviour automaton ``p`` runs for one peer ``q``."""
+
+    def __init__(
+        self,
+        peer: int,
+        params: SystemParameters,
+        verify: SignatureCheck,
+        check_certificates: bool = True,
+        initial_state: str = START,
+    ) -> None:
+        self.peer = peer
+        self.params = params
+        self.verify = verify
+        self.check_certificates = check_certificates
+        # Streams normally open with the peer's INIT; variants that move
+        # the INIT phase off-channel (echo-INIT over reliable broadcast)
+        # start the stream directly in round 1 / q0.
+        self.round = 0 if initial_state == START else 1
+        self._machine = StateMachine(initial=initial_state)
+        self._wire_rules()
+
+    # -- public surface ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._machine.state
+
+    @property
+    def faulty(self) -> bool:
+        return self._machine.faulty
+
+    @property
+    def fault_reason(self) -> str | None:
+        return self._machine.fault_reason
+
+    def feed(self, message: SignedMessage) -> Step:
+        """Advance on a receipt from this peer (signature pre-checked)."""
+        return self._machine.feed(message)
+
+    # -- rule wiring -------------------------------------------------------------
+
+    def _wire_rules(self) -> None:
+        machine = self._machine
+        machine.add_rule(START, Init, self._on_init)
+        for state in (Q0, Q1, Q2):
+            machine.add_rule(state, VDecide, self._on_decide)
+        machine.add_rule(Q0, VCurrent, self._on_current_same_round)
+        machine.add_rule(Q0, VNext, self._on_next_same_round)
+        machine.add_rule(Q1, VNext, self._on_next_same_round)
+        machine.add_rule(Q2, VCurrent, self._on_current_new_round)
+        machine.add_rule(Q2, VNext, self._on_next_new_round)
+        # q1 receiving a second CURRENT and final receiving anything have
+        # no rules on purpose: those receipts are out-of-order faults.
+
+    # -- handlers -------------------------------------------------------------------
+
+    def _on_init(self, message: SignedMessage) -> str:
+        self._require_clean(
+            certs.init_message_problems(message, self.params, self.verify)
+        )
+        self.round = 1
+        return Q0
+
+    def _on_current_same_round(self, message: SignedMessage) -> str:
+        self._check_current(message, expected_round=self.round)
+        return Q1
+
+    def _on_current_new_round(self, message: SignedMessage) -> str:
+        self._check_current(message, expected_round=self.round + 1)
+        self.round += 1
+        return Q1
+
+    def _on_next_same_round(self, message: SignedMessage) -> str:
+        self._check_next(message, expected_round=self.round)
+        return Q2
+
+    def _on_next_new_round(self, message: SignedMessage) -> str:
+        self._check_next(message, expected_round=self.round + 1)
+        self.round += 1
+        return Q2
+
+    def _on_decide(self, message: SignedMessage) -> str:
+        self._require_clean(
+            certs.decide_message_problems(message, self.params, self.verify)
+        )
+        return FINAL
+
+    # -- shared checks ------------------------------------------------------------------
+
+    def _check_current(self, message: SignedMessage, expected_round: int) -> None:
+        body = message.body
+        assert isinstance(body, VCurrent)
+        if body.round != expected_round:
+            raise BehaviorViolation(
+                f"out-of-order: CURRENT for round {body.round} while the peer's "
+                f"stream is at round {expected_round} "
+                "(skipped or repeated round)"
+            )
+        coordinator = coordinator_of(body.round, self.params.n)
+        if self.peer != body.sender:
+            raise BehaviorViolation(
+                f"identity mismatch: CURRENT claims sender {body.sender} on "
+                f"the channel of peer {self.peer}"
+            )
+        del coordinator  # form dispatch happens inside the predicate
+        self._require_clean(
+            certs.current_message_problems(message, self.params, self.verify)
+        )
+
+    def _check_next(self, message: SignedMessage, expected_round: int) -> None:
+        body = message.body
+        assert isinstance(body, VNext)
+        if body.round != expected_round:
+            raise BehaviorViolation(
+                f"out-of-order: NEXT for round {body.round} while the peer's "
+                f"stream is at round {expected_round}"
+            )
+        if self.peer != body.sender:
+            raise BehaviorViolation(
+                f"identity mismatch: NEXT claims sender {body.sender} on the "
+                f"channel of peer {self.peer}"
+            )
+        self._require_clean(
+            certs.next_message_problems(message, self.params, self.verify)
+        )
+
+    def _require_clean(self, problems: list[str]) -> None:
+        if problems and self.check_certificates:
+            raise BehaviorViolation("; ".join(problems))
+
+
+class EquivocationLedger:
+    """Cross-channel uniqueness tracking of signed per-round messages.
+
+    A correct process signs at most one CURRENT and one NEXT per round and
+    one INIT overall. Signed messages surface both directly (on the
+    sender's channel) and *embedded in certificates* relayed by third
+    parties; collecting every sighting in one ledger turns an
+    equivocation — two differently-valued signed messages for the same
+    (sender, type, round) slot — into verifiable evidence against the
+    signer, whichever channels the two branches travelled.
+
+    This realises the paper's check that "the right message has been sent
+    by the right process at the right time with the right arguments"
+    across *all* observed history.
+
+    The ledger *declares* equivocators faulty but does not veto otherwise
+    well-formed messages: an innocent process may have built its state on
+    one branch of an equivocation before anyone could know, and rejecting
+    its messages would sacrifice Termination (see DESIGN.md §5 for the
+    liveness/safety trade-off analysis).
+    """
+
+    def __init__(self, verify: SignatureCheck) -> None:
+        self._verify = verify
+        self._seen: dict[tuple[int, str, int | None], bytes] = {}
+
+    def conflicts(self, message: SignedMessage) -> list[tuple[int, str]]:
+        """Record ``message`` and everything embedded in its certificate.
+
+        Returns ``(culprit, description)`` pairs for every *newly proven*
+        equivocation. Unverifiable entries are skipped (they are handled
+        by the signature predicates, not the ledger).
+        """
+        found: list[tuple[int, str]] = []
+        self._walk(message, found)
+        return found
+
+    def _walk(self, message: SignedMessage, found: list[tuple[int, str]]) -> None:
+        if not self._verify(message):
+            return
+        body = message.body
+        key = (body.sender, type(body).__name__, getattr(body, "round", None))
+        fingerprint = canonical_bytes(message.light_canonical())
+        previous = self._seen.get(key)
+        if previous is None:
+            self._seen[key] = fingerprint
+        elif previous != fingerprint:
+            found.append(
+                (
+                    body.sender,
+                    f"equivocation: two different signed "
+                    f"{type(body).__name__} messages for round "
+                    f"{getattr(body, 'round', '-')}",
+                )
+            )
+        if message.has_full_cert:
+            for entry in message.full_cert():
+                self._walk(entry, found)
+
+
+class MonitorBank:
+    """All of one process's peer monitors plus its ``faulty`` set.
+
+    This is the complete non-muteness failure detection module of
+    Figure 1: it admits or rejects each incoming signed message, and
+    maintains the set ``faulty_i`` that the protocol module may read.
+    """
+
+    def __init__(
+        self,
+        own_pid: int,
+        params: SystemParameters,
+        verify: SignatureCheck,
+        use_ledger: bool = True,
+        check_certificates: bool = True,
+        initial_state: str = START,
+        monitor_factory: "MonitorFactory | None" = None,
+    ) -> None:
+        self.own_pid = own_pid
+        self.params = params
+        if monitor_factory is None:
+            def monitor_factory(peer: int):  # the Figure 4 default
+                return PeerMonitor(
+                    peer,
+                    params,
+                    verify,
+                    check_certificates=check_certificates,
+                    initial_state=initial_state,
+                )
+        self.monitors: dict[int, "PeerMonitorLike"] = {
+            peer: monitor_factory(peer)
+            for peer in range(params.n)
+            if peer != own_pid
+        }
+        self.ledger = EquivocationLedger(verify) if use_ledger else None
+        self._faulty: set[int] = set()
+        self._reports: list[FaultReport] = []
+
+    @property
+    def faulty(self) -> frozenset[int]:
+        """The ``faulty_i`` set (read-only view for the protocol module)."""
+        return frozenset(self._faulty)
+
+    @property
+    def reports(self) -> tuple[FaultReport, ...]:
+        return tuple(self._reports)
+
+    def admit(self, src: int, message: SignedMessage, now: float) -> bool:
+        """Run the peer's automaton; ``False`` means drop (sender declared
+        faulty or already faulty)."""
+        equivocations = (
+            self.ledger.conflicts(message) if self.ledger is not None else []
+        )
+        for culprit, description in equivocations:
+            if culprit != self.own_pid:
+                self.declare(culprit, description, now)
+        monitor = self.monitors.get(src)
+        if monitor is None:  # own loopback messages are trusted
+            return True
+        already_faulty = monitor.faulty
+        step = monitor.feed(message)
+        if step.accepted:
+            return True
+        if not already_faulty:
+            self.declare(src, step.reason or "behaviour violation", now)
+        return False
+
+    def declare(self, culprit: int, reason: str, now: float) -> None:
+        """Add ``culprit`` to the faulty set (used also by the signature
+        module for identity/signature failures)."""
+        if culprit not in self._faulty:
+            self._faulty.add(culprit)
+            self._reports.append(
+                FaultReport(culprit=culprit, reason=reason, time=now)
+            )
+
+    def state_of(self, peer: int) -> str:
+        if peer == self.own_pid:
+            return "self"
+        if peer in self._faulty and not self.monitors[peer].faulty:
+            return FAULTY
+        return self.monitors[peer].state

@@ -1,0 +1,162 @@
+"""Per-peer behaviour automaton for the transformed CT protocol.
+
+The Figure 4 construction re-applied to Chandra–Toueg's round shape. A
+peer's per-round stream (on FIFO channels) is::
+
+    ESTIMATE(r) [ -> PROPOSE(r) if the peer coordinates r ]
+                [ -> ACK(r) | NACK(r) ]  -> ESTIMATE(r+1) ...
+
+with a ``DECIDE`` terminal from any state, at most one message of each
+kind per round, proposals only from the round's coordinator, acks only
+after that peer could have seen a proposal, and no NACK from a round's
+own coordinator (a correct process never suspects itself).
+"""
+
+from __future__ import annotations
+
+from repro.consensus import certification_ct as certs
+from repro.consensus.hurfin_raynal import coordinator_of
+from repro.core.automaton import BehaviorViolation, StateMachine, Step
+from repro.core.certificates import SignedMessage
+from repro.core.specs import SystemParameters
+from repro.consensus.certification import SignatureCheck
+from repro.consensus.certification import init_message_problems
+from repro.messages.consensus import Init
+from repro.messages.ct import CtAck, CtDecide, CtEstimate, CtNack, CtPropose
+
+START = "start"
+WAIT = "between-phases"
+EST = "estimated"
+PROPOSED = "proposed"
+REPLIED = "replied"
+FINAL = "final"
+
+
+class CtPeerMonitor:
+    """``SM_p(q)`` instantiated for the transformed CT protocol."""
+
+    def __init__(
+        self,
+        peer: int,
+        params: SystemParameters,
+        verify: SignatureCheck,
+        check_certificates: bool = True,
+    ) -> None:
+        self.peer = peer
+        self.params = params
+        self.verify = verify
+        self.check_certificates = check_certificates
+        self.round = 0
+        self._machine = StateMachine(initial=START)
+        self._wire_rules()
+
+    @property
+    def state(self) -> str:
+        return self._machine.state
+
+    @property
+    def faulty(self) -> bool:
+        return self._machine.faulty
+
+    @property
+    def fault_reason(self) -> str | None:
+        return self._machine.fault_reason
+
+    def feed(self, message: SignedMessage) -> Step:
+        return self._machine.feed(message)
+
+    # -- rules ----------------------------------------------------------------
+
+    def _wire_rules(self) -> None:
+        machine = self._machine
+        machine.add_rule(START, Init, self._on_init)
+        machine.add_rule(WAIT, CtEstimate, self._on_estimate)
+        for state in (EST, PROPOSED, REPLIED):
+            machine.add_rule(state, CtDecide, self._on_decide)
+            machine.add_rule(state, CtEstimate, self._on_estimate)
+        machine.add_rule(EST, CtPropose, self._on_propose)
+        machine.add_rule(EST, CtAck, self._on_ack)
+        machine.add_rule(EST, CtNack, self._on_nack)
+        machine.add_rule(PROPOSED, CtAck, self._on_ack)
+        machine.add_rule(WAIT, CtDecide, self._on_decide)
+
+    # -- handlers ----------------------------------------------------------------
+
+    def _on_init(self, message: SignedMessage) -> str:
+        self._clean(init_message_problems(message, self.params, self.verify))
+        self.round = 0
+        return WAIT
+
+    def _on_estimate(self, message: SignedMessage) -> str:
+        body = message.body
+        assert isinstance(body, CtEstimate)
+        self._identity(message)
+        if body.round != self.round + 1:
+            raise BehaviorViolation(
+                f"out-of-order: ESTIMATE for round {body.round}, the peer's "
+                f"stream is leaving round {self.round}"
+            )
+        self._clean(certs.estimate_problems(message, self.params, self.verify))
+        self.round += 1
+        return EST
+
+    def _on_propose(self, message: SignedMessage) -> str:
+        body = message.body
+        assert isinstance(body, CtPropose)
+        self._identity(message)
+        if body.round != self.round:
+            raise BehaviorViolation(
+                f"out-of-order: PROPOSE for round {body.round} in the peer's "
+                f"round {self.round}"
+            )
+        if self.peer != coordinator_of(self.round, self.params.n):
+            raise BehaviorViolation(
+                f"spurious: peer {self.peer} proposed in round {self.round} "
+                "without holding the coordinator seat"
+            )
+        self._clean(certs.propose_problems(message, self.params, self.verify))
+        return PROPOSED
+
+    def _on_ack(self, message: SignedMessage) -> str:
+        body = message.body
+        assert isinstance(body, CtAck)
+        self._identity(message)
+        if body.round != self.round:
+            raise BehaviorViolation(
+                f"out-of-order: ACK for round {body.round} in the peer's "
+                f"round {self.round}"
+            )
+        self._clean(certs.ack_problems(message, self.params, self.verify))
+        return REPLIED
+
+    def _on_nack(self, message: SignedMessage) -> str:
+        body = message.body
+        assert isinstance(body, CtNack)
+        self._identity(message)
+        if body.round != self.round:
+            raise BehaviorViolation(
+                f"out-of-order: NACK for round {body.round} in the peer's "
+                f"round {self.round}"
+            )
+        if self.peer == coordinator_of(self.round, self.params.n):
+            raise BehaviorViolation(
+                "misevaluation: a round's coordinator nacked itself"
+            )
+        return REPLIED
+
+    def _on_decide(self, message: SignedMessage) -> str:
+        self._clean(certs.decide_problems(message, self.params, self.verify))
+        return FINAL
+
+    # -- shared -----------------------------------------------------------------
+
+    def _identity(self, message: SignedMessage) -> None:
+        if message.body.sender != self.peer:
+            raise BehaviorViolation(
+                f"identity mismatch: message claims sender "
+                f"{message.body.sender} on the channel of peer {self.peer}"
+            )
+
+    def _clean(self, problems: list[str]) -> None:
+        if problems and self.check_certificates:
+            raise BehaviorViolation("; ".join(problems))

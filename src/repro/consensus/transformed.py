@@ -1,0 +1,363 @@
+"""The transformed protocol: Byzantine-resilient Vector Consensus (Figure 3).
+
+This is the Hurfin–Raynal protocol after applying the paper's methodology.
+Each process is the composition of the five modules of Figure 1:
+
+* the **signature module** (`CertificationAuthority` + the ingress check
+  in :meth:`TransformedConsensusProcess.on_message`) signs egress and
+  authenticates ingress, discarding messages whose signature is
+  inconsistent with their identity field;
+* the **muteness failure detection module** (a ◇M detector) maintains
+  ``suspected_i``;
+* the **non-muteness failure detection module**
+  (:class:`~repro.consensus.monitor.MonitorBank`, the Figure 4 automata)
+  maintains ``faulty_i`` and drops wrong messages;
+* the **certification module** (the ``est_cert`` / ``next_cert`` /
+  ``current_cert`` variables and the cert constructions at each send)
+  appends and stores certificates;
+* the **round-based protocol module** is the transformed algorithm below.
+
+Differences from the crash protocol (Figure 2), per Section 5:
+
+* a preliminary **INIT phase** builds a certified vector of proposals
+  (Vector Consensus — decisions are vectors, giving Vector Validity);
+* every quorum is ``n - F`` instead of a majority;
+* every message is signed and carries a certificate witnessing both its
+  values and the decision to send it;
+* the coordinator-suspicion guard consults ``suspected_i ∪ faulty_i``.
+
+One deliberate deviation, recorded in DESIGN.md §5: the paper expresses
+the automaton state of a process through certificate membership of its
+*received-back* own messages (``NEXT(p_i) ∈ next_cert_i``), which leaves a
+window where a correct process could relay a CURRENT after broadcasting a
+NEXT (its own NEXT still in flight on the loopback channel) — and FIFO
+receivers would then correctly flag it. We close the window by tracking
+``sent_current`` / ``sent_next`` as local booleans: truthful for correct
+processes, and lies by Byzantine processes are exactly what the receivers'
+monitors catch.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.base import ConsensusProcess
+from repro.consensus.hurfin_raynal import coordinator_of
+from repro.consensus.monitor import MonitorBank
+from repro.core.certificates import (
+    Certificate,
+    CertificationAuthority,
+    EMPTY_CERTIFICATE,
+    SignedMessage,
+)
+from repro.core.modules import ModuleConfig
+from repro.core.specs import SystemParameters
+from repro.core.vector_certification import CertifiedVectorBuilder
+from repro.detectors.base import FailureDetector
+from repro.messages.base import Message
+from repro.messages.consensus import Init, VCurrent, VDecide, VNext, Vector
+
+#: Protocol phases.
+PHASE_INIT = "init"
+PHASE_ROUNDS = "rounds"
+
+
+class TransformedConsensusProcess(ConsensusProcess):
+    """One correct participant in the transformed (Figure 3) protocol."""
+
+    def __init__(
+        self,
+        proposal: Any,
+        params: SystemParameters,
+        authority: CertificationAuthority,
+        detector: FailureDetector,
+        suspicion_poll: float = 0.5,
+        config: ModuleConfig | None = None,
+    ) -> None:
+        super().__init__(proposal, detector, suspicion_poll)
+        self.params = params
+        self.authority = authority
+        self.config = config if config is not None else ModuleConfig.full()
+        self.monitor_bank = MonitorBank(
+            own_pid=authority.pid,
+            params=params,
+            verify=authority.signature_valid,
+            use_ledger=self.config.track_equivocation,
+            check_certificates=self.config.verify_certificates,
+        )
+        self.phase = PHASE_INIT
+        self.round = 0
+        self.est_vect: Vector | None = None
+        self.est_cert: Certificate = EMPTY_CERTIFICATE
+        self.next_cert: Certificate = EMPTY_CERTIFICATE
+        self.current_cert: Certificate = EMPTY_CERTIFICATE
+        self.sent_current = False
+        self.sent_next = False
+        self._vector_builder = CertifiedVectorBuilder(params)
+        self._future: dict[int, list[SignedMessage]] = {}
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def faulty(self) -> frozenset[int]:
+        """``faulty_i`` — maintained by the non-muteness module."""
+        return self.monitor_bank.faulty
+
+    @property
+    def coordinator(self) -> int:
+        return coordinator_of(self.round, self.n)
+
+    def _quorum(self) -> int:
+        return self.params.quorum
+
+    # -- the five-module ingress pipeline (Figure 1) ------------------------------
+
+    def on_message(self, src: int, payload: Any) -> None:
+        # The detection modules stay live even after the decision — they
+        # sit upstream of the protocol module in Figure 1, and late
+        # evidence of a fault still belongs in ``faulty_i``.
+        # 1. Signature module.
+        message = self._admit_signature(src, payload)
+        if message is None:
+            return
+        # 2. Muteness failure detection module.
+        if self.detector is not None:
+            self.detector.on_protocol_message(src)
+        # 3. Non-muteness failure detection module (Figure 4 automata).
+        if self.config.monitor_behavior and not self.monitor_bank.admit(
+            src, message, self.now
+        ):
+            self.evaluate_guards()  # the coordinator may just have turned faulty
+            return
+        # 4.+5. Certification module updates and protocol module, which are
+        # merged in Figure 3 exactly as here.
+        if not self.decided:
+            self.handle_valid(message)
+
+    def _admit_signature(self, src: int, payload: Any) -> SignedMessage | None:
+        """The signature module's ingress check.
+
+        A payload that is not a signed message, claims an identity other
+        than its channel of arrival, or fails verification is discarded
+        and its (channel-identified) sender is declared faulty.
+        """
+        if not isinstance(payload, SignedMessage):
+            self._declare(src, "signature module: unsigned payload")
+            return None
+        if not self.config.verify_signatures:
+            return payload  # ablated: admit without authentication (E8)
+        if payload.body.sender != src:
+            self._declare(
+                src,
+                f"signature module: identity field {payload.body.sender} "
+                f"inconsistent with the sending channel {src}",
+            )
+            return None
+        if not self.authority.signature_valid(payload):
+            self._declare(src, "signature module: invalid signature")
+            return None
+        return payload
+
+    def _declare(self, culprit: int, reason: str) -> None:
+        if culprit == self.pid:
+            return
+        before = culprit in self.monitor_bank.faulty
+        self.monitor_bank.declare(culprit, reason, self.now)
+        if not before:
+            self.record("declare_faulty", target=culprit, reason=reason)
+        self.evaluate_guards()
+
+    # -- egress: sign, certify, broadcast ----------------------------------------
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        message = self.authority.make(body, cert)
+        self.broadcast(message)
+        return message
+
+    # -- protocol module ------------------------------------------------------------
+
+    def start_protocol(self) -> None:
+        # Lines 4-5: empty vector; broadcast the signed INIT. The own INIT
+        # is also recorded directly: Proposition 1 requires
+        # ``est_vect_i[i] = v_i``, which must not depend on the loopback
+        # delivery winning the race into the first n - F arrivals.
+        own_init = self._broadcast_signed(
+            Init(sender=self.pid, value=self.proposal), EMPTY_CERTIFICATE
+        )
+        self._vector_builder.add(own_init)
+
+    def handle_valid(self, message: SignedMessage) -> None:
+        body = message.body
+        if isinstance(body, VDecide):
+            self._on_decide(message)
+            return
+        if isinstance(body, Init):
+            self._on_init(message)
+            return
+        if not isinstance(body, (VCurrent, VNext)):
+            return  # unknown type; monitors only admit protocol messages
+        if self.phase == PHASE_INIT:
+            # Votes can arrive while we are still collecting INITs (a fast
+            # peer finished its INIT phase first): buffer them.
+            self._future.setdefault(body.round, []).append(message)
+            return
+        if body.round < self.round:
+            return  # stale vote (footnote 5)
+        if body.round > self.round:
+            self._future.setdefault(body.round, []).append(message)
+            return
+        if isinstance(body, VCurrent):
+            self._on_current(message)
+        else:
+            self._on_next(message)
+
+    # -- INIT phase (lines 4-9) --------------------------------------------------------
+
+    def _on_init(self, message: SignedMessage) -> None:
+        if self.phase != PHASE_INIT:
+            return  # straggler INIT after the vector was fixed: ignored
+        self._vector_builder.add(message)
+        if not self._vector_builder.ready:
+            return
+        # Lines 6-9 complete: build the certified vector.
+        self.est_vect, self.est_cert = self._vector_builder.build()
+        self.record("vector-built", vector=self.est_vect)
+        self.phase = PHASE_ROUNDS
+        self._begin_round(1)
+
+    # -- round machinery (lines 10-31) ----------------------------------------------------
+
+    def _begin_round(self, round_number: int) -> None:
+        self.round = round_number
+        self.sent_current = False
+        self.sent_next = False
+        notify = getattr(self.detector, "notify_round", None)
+        if notify is not None:
+            notify(round_number)  # round-aware ◇M variants scale patience
+        self.record("round-start", round=round_number)
+        # Line 12: the coordinator proposes, certified by est ∪ next.
+        if self.pid == self.coordinator:
+            self._broadcast_signed(
+                VCurrent(sender=self.pid, round=self.round, est_vect=self.est_vect),
+                self.est_cert.union(self.next_cert),
+            )
+            self.sent_current = True
+        # Line 13: reset the round certificates.
+        self.next_cert = EMPTY_CERTIFICATE
+        self.current_cert = EMPTY_CERTIFICATE
+        self._replay_buffered()
+        if not self.decided:
+            self.evaluate_guards()
+
+    def _replay_buffered(self) -> None:
+        for message in self._future.pop(self.round, []):
+            if self.decided:
+                return
+            if isinstance(message.body, VCurrent):
+                self._on_current(message)
+            elif isinstance(message.body, VNext):
+                self._on_next(message)
+
+    def _on_current(self, message: SignedMessage) -> None:
+        # Line 16: store the signed CURRENT.
+        self.current_cert = self.current_cert.add(message)
+        # Line 17: adopt the first CURRENT's vector and certificate.
+        if len(self.current_cert) == 1:
+            assert isinstance(message.body, VCurrent)
+            if message.has_full_cert:
+                self.est_cert = message.full_cert()
+            self.est_vect = message.body.est_vect
+            # Lines 18-19: relay (q0 -> q1 for i != c).
+            if (
+                not self.sent_current
+                and not self.sent_next
+                and self.pid != self.coordinator
+            ):
+                self._broadcast_signed(
+                    VCurrent(
+                        sender=self.pid, round=self.round, est_vect=self.est_vect
+                    ),
+                    self.current_cert,
+                )
+                self.sent_current = True
+        self._check_progress()
+
+    def _on_next(self, message: SignedMessage) -> None:
+        # Lines 26-27: store the signed NEXT (pruned: receivers of our
+        # future certificates only need its body and signature).
+        self.next_cert = self.next_cert.add(message.light())
+        self._check_progress()
+
+    def _check_progress(self) -> None:
+        if self.decided:
+            return
+        # Lines 20-21: decide on an (n - F) CURRENT quorum. Only CURRENTs
+        # carrying *our* adopted vector count: the DECIDE certificate must
+        # be well-formed w.r.t. the decided vector (§5.1), and under an
+        # equivocating coordinator a round can contain valid CURRENTs with
+        # different vectors.
+        matching = self.current_cert.filter(
+            lambda sm: isinstance(sm.body, VCurrent)
+            and sm.body.est_vect == self.est_vect
+        )
+        if len(matching.senders()) >= self._quorum():
+            decide_cert = matching.union(self.est_cert)
+            self._broadcast_signed(
+                VDecide(sender=self.pid, est_vect=self.est_vect), decide_cert
+            )
+            self.decide_value(self.est_vect, round_number=self.round)
+            return
+        current_senders = self.current_cert.senders()
+        # Lines 28-29: change_mind (q1 -> q2).
+        rec_from = current_senders | self.next_cert.senders()
+        if (
+            self.sent_current
+            and not self.sent_next
+            and len(rec_from) >= self._quorum()
+        ):
+            self._broadcast_signed(
+                VNext(sender=self.pid, round=self.round),
+                self.current_cert.union(self.next_cert),
+            )
+            self.sent_next = True
+        # Line 14 exit + line 31: an (n - F) NEXT quorum ends the round.
+        if len(self.next_cert.senders()) >= self._quorum():
+            if not self.sent_next:
+                self._broadcast_signed(
+                    VNext(sender=self.pid, round=self.round), self.next_cert
+                )
+                self.sent_next = True
+            self._begin_round(self.round + 1)
+
+    def _on_decide(self, message: SignedMessage) -> None:
+        # Lines 2-3: relay the DECIDE with the same certificate, decide.
+        assert isinstance(message.body, VDecide)
+        cert = message.cert if isinstance(message.cert, Certificate) else None
+        if cert is None:
+            return  # a pruned DECIDE certificate would have been rejected
+        self._broadcast_signed(
+            VDecide(sender=self.pid, est_vect=message.body.est_vect), cert
+        )
+        self.decide_value(message.body.est_vect, round_number=self.round)
+
+    # -- guards (lines 22-25) ---------------------------------------------------------------
+
+    def evaluate_guards(self) -> None:
+        if self.decided or self.phase != PHASE_ROUNDS:
+            return
+        coordinator = self.coordinator
+        if coordinator == self.pid:
+            return
+        suspected = self.suspected if self.config.detect_muteness else frozenset()
+        if coordinator not in suspected and coordinator not in self.faulty:
+            return
+        # q0 -> q2: only from the initial state (no vote sent, no CURRENT
+        # received).
+        if self.sent_current or self.sent_next or len(self.current_cert) > 0:
+            return
+        self._broadcast_signed(
+            VNext(sender=self.pid, round=self.round),
+            self.current_cert.union(self.next_cert).union(self.est_cert),
+        )
+        self.sent_next = True
+        self._check_progress()

@@ -1,0 +1,135 @@
+"""Generic behaviour state machines (paper Section 3, "State machines").
+
+Under the assumption that every process knows the program text of every
+other process, process ``p`` can build an ad-hoc state machine
+``SM_p(q)`` modelling the expected behaviour of ``q``. Transitions fire
+when ``p`` receives a message from ``q``:
+
+* a message whose *type* is not enabled in the current state is an
+  **out-of-order** message (non-permanent omission, duplication, or a
+  message the program text cannot generate) — transition to ``faulty``;
+* a message whose type is enabled but whose **syntax** or **certificate**
+  is not consistent with the expected message is a **wrong expected
+  message** — transition to ``faulty``;
+* otherwise the machine advances to the rule's target state.
+
+This module provides the table-driven skeleton; the consensus-specific
+instantiation (paper Figure 4, with its ``PF`` predicates) lives in
+:mod:`repro.consensus.monitor`, because — as the paper stresses — "the
+actual design of a particular state machine has to be done in the
+particular context of the protocol to transform".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Type
+
+from repro.core.certificates import SignedMessage
+from repro.errors import ProtocolError
+from repro.messages.base import Message
+
+#: Conventional name of the absorbing fault state.
+FAULTY = "faulty"
+
+#: A rule handler inspects the message and either returns the next state
+#: (accept) or raises :class:`BehaviorViolation` (reject).
+RuleHandler = Callable[[SignedMessage], str]
+
+
+class BehaviorViolation(Exception):
+    """Raised by a rule handler when the message is a wrong expected message.
+
+    Carries the human-readable reason recorded in the fault report. This
+    is a control-flow exception internal to the automaton — it never
+    escapes :meth:`StateMachine.feed`.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """Outcome of feeding one message to a state machine."""
+
+    accepted: bool
+    state: str
+    reason: str | None = None
+
+
+class StateMachine:
+    """A table-driven automaton over signed-message receipts.
+
+    Rules are registered per ``(state, message type)``. Feeding a message
+    whose type has no rule in the current state moves to ``faulty`` with
+    an out-of-order reason; a rule that raises :class:`BehaviorViolation`
+    moves to ``faulty`` with the rule's reason. The fault state is
+    absorbing: once faulty, always faulty.
+    """
+
+    def __init__(self, initial: str) -> None:
+        self._state = initial
+        self._rules: dict[tuple[str, Type[Message]], RuleHandler] = {}
+        self._fault_reason: str | None = None
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def faulty(self) -> bool:
+        return self._state == FAULTY
+
+    @property
+    def fault_reason(self) -> str | None:
+        return self._fault_reason
+
+    def add_rule(
+        self, state: str, message_type: Type[Message], handler: RuleHandler
+    ) -> None:
+        """Enable ``message_type`` in ``state`` with the given checker."""
+        key = (state, message_type)
+        if key in self._rules:
+            raise ProtocolError(
+                f"duplicate rule for {message_type.__name__} in state {state!r}"
+            )
+        self._rules[key] = handler
+
+    def enabled_types(self, state: str | None = None) -> frozenset[str]:
+        """Names of the message types enabled in ``state`` (default: current)."""
+        at = self._state if state is None else state
+        return frozenset(
+            message_type.__name__
+            for (rule_state, message_type) in self._rules
+            if rule_state == at
+        )
+
+    def force_state(self, state: str) -> None:
+        """Internal (non-receipt) transition, e.g. a round rollover."""
+        if self._state != FAULTY:
+            self._state = state
+
+    def feed(self, message: SignedMessage) -> Step:
+        """Advance the machine on the receipt of ``message``."""
+        if self._state == FAULTY:
+            return Step(accepted=False, state=FAULTY, reason=self._fault_reason)
+        handler = self._rules.get((self._state, type(message.body)))
+        if handler is None:
+            return self._fail(
+                f"out-of-order: {type(message.body).__name__} not enabled "
+                f"in state {self._state!r} (enabled: "
+                f"{sorted(self.enabled_types()) or 'none'})"
+            )
+        try:
+            next_state = handler(message)
+        except BehaviorViolation as violation:
+            return self._fail(violation.reason)
+        self._state = next_state
+        return Step(accepted=True, state=next_state)
+
+    def _fail(self, reason: str) -> Step:
+        self._state = FAULTY
+        self._fault_reason = reason
+        return Step(accepted=False, state=FAULTY, reason=reason)

@@ -1,0 +1,95 @@
+"""The five-module process structure (paper Figure 1) and its ablation.
+
+A process of the transformed protocol is composed of five modules:
+
+1. **signature module** — signs egress, authenticates ingress;
+2. **muteness failure detection module** — maintains ``suspected_i``;
+3. **non-muteness failure detection module** — behaviour automata and the
+   equivocation ledger, maintains ``faulty_i``;
+4. **reliable certification module** — builds/stores certificates;
+5. **round-based protocol module** — the transformed algorithm.
+
+:class:`ModuleConfig` lets experiments switch individual modules off —
+experiment E8 re-runs the attack gallery with one module ablated at a
+time to show each is load-bearing (the paper's modularity claim: every
+failure type is encapsulated in exactly one module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Ablation switch names accepted by :meth:`ModuleConfig.without`.
+ABLATABLE_MODULES = (
+    "signature",
+    "monitor",
+    "ledger",
+    "muteness",
+    "certification",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleConfig:
+    """Which of the five modules are active on a process.
+
+    The protocol module itself cannot be disabled (there would be no
+    process left); the certification switch disables the *verification*
+    of certificates (they are still attached, so other processes can
+    verify them — this models a receiver whose certification analyser is
+    broken, not a sender that stops certifying).
+    """
+
+    verify_signatures: bool = True
+    monitor_behavior: bool = True
+    track_equivocation: bool = True
+    detect_muteness: bool = True
+    verify_certificates: bool = True
+
+    @classmethod
+    def full(cls) -> "ModuleConfig":
+        """Every module active — the configuration the paper mandates."""
+        return cls()
+
+    def without(self, module: str) -> "ModuleConfig":
+        """A copy with one named module disabled (for ablation studies)."""
+        match module:
+            case "signature":
+                return replace(self, verify_signatures=False)
+            case "monitor":
+                # Without the behaviour automata there is nothing to run
+                # the certificate analyser either.
+                return replace(
+                    self,
+                    monitor_behavior=False,
+                    verify_certificates=False,
+                    track_equivocation=False,
+                )
+            case "ledger":
+                return replace(self, track_equivocation=False)
+            case "muteness":
+                return replace(self, detect_muteness=False)
+            case "certification":
+                return replace(self, verify_certificates=False)
+            case _:
+                raise ConfigurationError(
+                    f"unknown module {module!r}; expected one of "
+                    f"{ABLATABLE_MODULES}"
+                )
+
+    def active_modules(self) -> tuple[str, ...]:
+        """Names of the active switchable modules (for reports)."""
+        active = []
+        if self.verify_signatures:
+            active.append("signature")
+        if self.detect_muteness:
+            active.append("muteness")
+        if self.monitor_behavior:
+            active.append("monitor")
+        if self.track_equivocation:
+            active.append("ledger")
+        if self.verify_certificates:
+            active.append("certification")
+        return tuple(active)

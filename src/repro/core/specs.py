@@ -1,0 +1,105 @@
+"""Problem specifications and resilience arithmetic.
+
+Collects, in one place, the numeric bounds the paper states:
+
+* crash model: a majority of correct processes, ``f <= floor((n-1)/2)``;
+* arbitrary model: ``F <= min(floor((n-1)/2), C)`` where ``C`` is the
+  maximum number of faulty processes the certification service copes
+  with — "usual certification mechanisms require C = floor((n-1)/3)"
+  (paper footnote 2);
+* transformed-protocol quorum: ``n - F`` messages;
+* Vector Validity floor: the decided vector contains at least
+  ``alpha = n - 2F >= 1`` initial values of correct processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def crash_resilience(n: int) -> int:
+    """Maximum tolerated crashes: ``floor((n-1)/2)`` (majority correct)."""
+    _check_n(n)
+    return (n - 1) // 2
+
+
+def certification_resilience(n: int) -> int:
+    """``C`` of the usual certification mechanisms: ``floor((n-1)/3)``."""
+    _check_n(n)
+    return (n - 1) // 3
+
+
+def max_arbitrary_faults(n: int, certification_c: int | None = None) -> int:
+    """``F <= min(floor((n-1)/2), C)`` — the paper's resilience bound."""
+    _check_n(n)
+    c = certification_resilience(n) if certification_c is None else certification_c
+    return min((n - 1) // 2, c)
+
+
+def quorum(n: int, f: int) -> int:
+    """The transformed protocol's quorum: ``n - F`` messages."""
+    return n - f
+
+
+def vector_validity_floor(n: int, f: int) -> int:
+    """``alpha = n - 2F``: guaranteed count of correct initial values."""
+    return n - 2 * f
+
+
+@dataclass(frozen=True, slots=True)
+class SystemParameters:
+    """Validated parameters of one transformed-protocol deployment.
+
+    Attributes:
+        n: number of processes.
+        f: assumed maximum number of non-correct processes (the paper's
+            ``F``); defaults to the bound when built via :meth:`for_n`.
+        certification_c: resilience of the certification service.
+    """
+
+    n: int
+    f: int
+    certification_c: int
+
+    def __post_init__(self) -> None:
+        _check_n(self.n)
+        if self.f < 0:
+            raise ConfigurationError(f"F must be non-negative, got {self.f}")
+        bound = min((self.n - 1) // 2, self.certification_c)
+        if self.f > bound:
+            raise ConfigurationError(
+                f"F={self.f} exceeds the resilience bound "
+                f"min(floor((n-1)/2), C) = {bound} for n={self.n}, "
+                f"C={self.certification_c}"
+            )
+        if vector_validity_floor(self.n, self.f) < 1:
+            raise ConfigurationError(
+                f"alpha = n - 2F = {vector_validity_floor(self.n, self.f)} < 1; "
+                "the Vector Validity property would be vacuous"
+            )
+
+    @classmethod
+    def for_n(cls, n: int, f: int | None = None) -> "SystemParameters":
+        """Parameters for ``n`` processes with the default certification
+        service (``C = floor((n-1)/3)``) and, unless given, the maximum
+        tolerated ``F``."""
+        c = certification_resilience(n)
+        return cls(n=n, f=max_arbitrary_faults(n, c) if f is None else f,
+                   certification_c=c)
+
+    @property
+    def quorum(self) -> int:
+        """``n - F``, the size of every certificate quorum."""
+        return self.n - self.f
+
+    @property
+    def alpha(self) -> int:
+        """``n - 2F``, the Vector Validity floor."""
+        return vector_validity_floor(self.n, self.f)
+
+
+def _check_n(n: int) -> None:
+    if n < 2:
+        raise ConfigurationError(f"a system needs at least 2 processes, got {n}")

@@ -1,0 +1,147 @@
+"""Vector certification (paper Section 3, "Handling local variables").
+
+Some local variables — initial values above all — cannot be certified by
+prior messages. The paper's remedy is **vector certification**: exchange
+a round of signed messages among all processes; each process then holds a
+vector of values together with the set of signed messages that witnesses
+it. An entry is *correct* when it is the value of a correct process, and
+any falsification of an entry is detectable by correct processes because
+the entry disagrees with (or lacks) its signed witness.
+
+Instantiated for consensus, this is the INIT phase of Figure 3 (lines
+4–9) and yields the Vector Consensus problem with its Vector Validity
+property. Propositions 1 and 2 of the paper are about the objects built
+here; experiment E5 exercises them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.certificates import Certificate, SignedMessage
+from repro.core.specs import SystemParameters
+from repro.errors import CertificateError
+from repro.messages.consensus import NULL, Init, Vector
+
+SignatureCheck = Callable[[SignedMessage], bool]
+
+
+class CertifiedVectorBuilder:
+    """Collects signed ``INIT`` messages until a certified vector exists.
+
+    The builder accepts the first ``INIT`` per sender (later ones are the
+    sender's problem — a duplicate INIT is flagged by the behaviour
+    automaton upstream) and becomes *ready* when ``n - F`` distinct
+    senders contributed. The resulting vector has the contributed values
+    in the contributors' slots and ``NULL`` elsewhere; the resulting
+    certificate is exactly the witnessing INIT set.
+    """
+
+    def __init__(self, params: SystemParameters) -> None:
+        self._params = params
+        self._collected: dict[int, SignedMessage] = {}
+
+    @property
+    def collected_count(self) -> int:
+        return len(self._collected)
+
+    @property
+    def ready(self) -> bool:
+        return len(self._collected) >= self._params.quorum
+
+    def add(self, message: SignedMessage) -> bool:
+        """Offer one signed INIT; returns True if it was newly recorded."""
+        if not isinstance(message.body, Init):
+            raise CertificateError(
+                f"vector builder fed a {type(message.body).__name__}, "
+                "expected INIT"
+            )
+        sender = message.body.sender
+        if sender in self._collected:
+            return False
+        if self.ready:
+            return False  # the vector is already fixed (paper: wait n-F, stop)
+        self._collected[sender] = message
+        return True
+
+    def build(self) -> tuple[Vector, Certificate]:
+        """The certified vector; raises if not enough INITs were collected."""
+        if not self.ready:
+            raise CertificateError(
+                f"vector builder has {len(self._collected)} INITs, needs "
+                f"n-F = {self._params.quorum}"
+            )
+        values: list[Any] = [NULL] * self._params.n
+        for pid, message in self._collected.items():
+            assert isinstance(message.body, Init)
+            values[pid] = message.body.value
+        certificate = Certificate(tuple(self._collected.values()))
+        return tuple(values), certificate
+
+
+def certified_vector_problems(
+    inits: list[SignedMessage],
+    est_vect: Vector,
+    params: SystemParameters,
+    verify: SignatureCheck,
+) -> list[str]:
+    """Check an INIT set against a vector (Proposition-1 well-formedness).
+
+    Well-formed iff: ``n - F`` INITs from distinct senders, all correctly
+    signed, and ``est_vect`` equals exactly the collected values — entry
+    ``k`` is the value signed by ``p_k`` where present and ``NULL``
+    elsewhere. Returns a list of problems (empty means well-formed).
+    """
+    problems: list[str] = []
+    if len(est_vect) != params.n:
+        return [f"vector has length {len(est_vect)}, expected n={params.n}"]
+    by_sender: dict[int, SignedMessage] = {}
+    for sm in inits:
+        if not isinstance(sm.body, Init):
+            problems.append(
+                f"non-INIT entry ({type(sm.body).__name__}) in an INIT set"
+            )
+            continue
+        if not verify(sm):
+            problems.append(f"INIT claiming sender {sm.body.sender}: bad signature")
+            continue
+        if sm.body.sender in by_sender:
+            problems.append(f"two INIT entries from sender {sm.body.sender}")
+            continue
+        by_sender[sm.body.sender] = sm
+    if len(by_sender) != params.quorum:
+        problems.append(
+            f"INIT set has {len(by_sender)} distinct valid senders, "
+            f"expected n-F = {params.quorum}"
+        )
+    for k in range(params.n):
+        entry = est_vect[k]
+        if k in by_sender:
+            witnessed = by_sender[k].body.value  # type: ignore[union-attr]
+            if entry != witnessed:
+                problems.append(
+                    f"vector entry {k} is {entry!r} but the signed INIT "
+                    f"witnesses {witnessed!r}"
+                )
+        elif entry != NULL:
+            problems.append(
+                f"vector entry {k} is {entry!r} with no witnessing INIT "
+                "(must be null)"
+            )
+    return problems
+
+
+def vectors_compatible(a: Vector, b: Vector) -> bool:
+    """Two certified vectors never disagree on a *present* entry.
+
+    Any two well-formed certified vectors may differ in which entries are
+    ``NULL`` (they witness different ``n - F`` subsets) but, because each
+    present entry is pinned by a signed INIT and signatures are
+    unforgeable, they cannot hold two different non-null values at the
+    same position unless the position's owner equivocated its INIT. Used
+    by the E5 experiment as the checkable core of Proposition 2.
+    """
+    return all(
+        x == y or x == NULL or y == NULL  # noqa: PLR1714 - clarity over merge
+        for x, y in zip(a, b, strict=True)
+    )

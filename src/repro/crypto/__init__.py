@@ -1,0 +1,20 @@
+"""Simulated unforgeable signatures (the paper's private/public key pairs).
+
+See DESIGN.md for the substitution note: RSA in the paper becomes keyed
+MACs behind a capability API here; unforgeability and sender
+authentication — the only properties the methodology relies on — are
+preserved inside the simulation.
+"""
+
+from repro.crypto.encoding import Canonicalizable, canonical_bytes
+from repro.crypto.keys import KeyAuthority, Signer
+from repro.crypto.signatures import Signature, SignatureScheme
+
+__all__ = [
+    "Canonicalizable",
+    "KeyAuthority",
+    "Signature",
+    "SignatureScheme",
+    "Signer",
+    "canonical_bytes",
+]

@@ -1,0 +1,69 @@
+"""Canonical byte encoding of message values.
+
+Signatures are computed over a *canonical* encoding so that two equal
+values always produce identical bytes (and two different values different
+bytes). The encoding is a simple tag-length-value scheme over the small
+vocabulary of types that protocol messages are built from.
+
+Objects may participate by implementing ``canonical()`` returning a value
+built from that vocabulary; dataclass-based messages do this generically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import EncodingError
+
+
+@runtime_checkable
+class Canonicalizable(Protocol):
+    """Objects that can describe themselves as encodable structure."""
+
+    def canonical(self) -> Any:  # pragma: no cover - protocol stub
+        ...
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministically encode ``value`` to bytes.
+
+    Supported vocabulary: ``None``, ``bool``, ``int``, ``float``, ``str``,
+    ``bytes``, ``tuple``/``list`` (order-preserving), ``dict`` (sorted by
+    encoded key), ``set``/``frozenset`` (sorted by encoding), and any
+    object exposing ``canonical()``.
+    """
+    return _encode(value)
+
+
+def _tlv(tag: bytes, payload: bytes) -> bytes:
+    return tag + len(payload).to_bytes(8, "big") + payload
+
+
+def _encode(value: Any) -> bytes:
+    if value is None:
+        return _tlv(b"N", b"")
+    if isinstance(value, bool):  # must precede int: bool is an int subclass
+        return _tlv(b"B", b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        return _tlv(b"I", str(value).encode("ascii"))
+    if isinstance(value, float):
+        return _tlv(b"F", value.hex().encode("ascii"))
+    if isinstance(value, str):
+        return _tlv(b"S", value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return _tlv(b"Y", value)
+    if isinstance(value, (tuple, list)):
+        return _tlv(b"T", b"".join(_encode(item) for item in value))
+    if isinstance(value, dict):
+        items = sorted(
+            (_encode(key), _encode(val)) for key, val in value.items()
+        )
+        return _tlv(b"D", b"".join(key + val for key, val in items))
+    if isinstance(value, (set, frozenset)):
+        return _tlv(b"E", b"".join(sorted(_encode(item) for item in value)))
+    if isinstance(value, Canonicalizable):
+        # Tag with the class name so structurally-equal values of distinct
+        # message types never collide.
+        name = type(value).__qualname__.encode("utf-8")
+        return _tlv(b"O", _tlv(b"S", name) + _encode(value.canonical()))
+    raise EncodingError(f"cannot canonically encode {type(value).__name__}: {value!r}")

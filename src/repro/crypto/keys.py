@@ -1,0 +1,75 @@
+"""Key management for the simulated signature scheme.
+
+The paper assumes each process owns a private key used to sign outgoing
+messages in an *unforgeable* way (Section 2, citing RSA [13]). Inside the
+simulation we replace public-key signatures with keyed MACs held by a
+:class:`KeyAuthority`:
+
+* the authority derives one secret key per process from the run seed;
+* a process receives a :class:`Signer` capability that can only sign *as
+  that process* — the secret bytes are never handed out, so a simulated
+  Byzantine process cannot sign on behalf of anyone else;
+* verification goes through the authority, which plays the role of the
+  public-key directory.
+
+This preserves the two properties the paper uses — unforgeability and
+sender authentication — which is all the substitution needs (DESIGN.md
+records it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import UnknownKeyError
+
+
+class KeyAuthority:
+    """Derives and guards the per-process secret keys of one run."""
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        self._n = n
+        self._keys: dict[int, bytes] = {
+            pid: hashlib.sha256(f"key/{seed}/{pid}".encode("utf-8")).digest()
+            for pid in range(n)
+        }
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def signer_for(self, pid: int) -> "Signer":
+        """Hand out the signing capability of process ``pid``."""
+        if pid not in self._keys:
+            raise UnknownKeyError(f"no key registered for process {pid}")
+        return Signer(self, pid)
+
+    def _mac(self, pid: int, data: bytes) -> bytes:
+        key = self._keys.get(pid)
+        if key is None:
+            raise UnknownKeyError(f"no key registered for process {pid}")
+        return hmac.new(key, data, hashlib.sha256).digest()
+
+    def verify(self, pid: int, data: bytes, mac: bytes) -> bool:
+        """Check that ``mac`` is ``pid``'s signature over ``data``."""
+        if pid not in self._keys:
+            return False
+        return hmac.compare_digest(self._mac(pid, data), mac)
+
+
+class Signer:
+    """Capability to sign bytes as exactly one process."""
+
+    __slots__ = ("_authority", "_pid")
+
+    def __init__(self, authority: KeyAuthority, pid: int) -> None:
+        self._authority = authority
+        self._pid = pid
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    def sign(self, data: bytes) -> bytes:
+        return self._authority._mac(self._pid, data)

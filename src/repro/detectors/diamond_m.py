@@ -1,0 +1,123 @@
+"""Muteness failure detector — class ◇M_A (Doudou et al. [6]).
+
+In an arbitrary-fault setting, the crash detector's notion of "quiet"
+is protocol-relative: a process is *mute to p with respect to algorithm A*
+if it eventually stops sending A's protocol messages to p, whether or not
+it crashed (it may keep chattering garbage — muteness only counts the
+protocol messages A expects). The paper's methodology requires a detector
+of class ◇M, whose specification mirrors ◇S:
+
+* **Mute A-completeness** — eventually every process mute to a correct
+  ``p`` is permanently suspected by ``p``;
+* **Eventual weak A-accuracy** — eventually some correct process is never
+  suspected by any correct process.
+
+This implementation follows the timeout scheme discussed in [6] for
+*regular round-based algorithms*: each peer has a timeout that is re-armed
+whenever one of A's protocol messages from that peer passes the upstream
+modules; on expiry the peer is suspected; if the peer speaks again it is
+unsuspected and its timeout doubles, so wrongful suspicions of slow-but-
+correct processes die out once the run's delays stabilise.
+
+Only *protocol* messages re-arm the timeout — the host feeds the detector
+through :meth:`on_protocol_message` strictly after the signature and
+syntax checks, so garbage traffic does not let a mute-but-babbling process
+escape suspicion.
+"""
+
+from __future__ import annotations
+
+from repro.detectors.base import FailureDetector
+
+
+class MutenessDetector(FailureDetector):
+    """Timeout-based ◇M_A detector for regular round-based protocols."""
+
+    def __init__(self, initial_timeout: float = 8.0, backoff: float = 2.0) -> None:
+        super().__init__()
+        self._initial_timeout = initial_timeout
+        self._backoff = backoff
+        self._timeout: dict[int, float] = {}
+        self._deadline: dict[int, float] = {}
+        self._wrongful_suspicions = 0
+
+    @property
+    def wrongful_suspicions(self) -> int:
+        return self._wrongful_suspicions
+
+    def timeout_of(self, pid: int) -> float:
+        return self._timeout.get(pid, self._initial_timeout)
+
+    def start(self) -> None:
+        for pid in range(self.env.n):
+            if pid != self.env.pid:
+                self._timeout[pid] = self._initial_timeout
+                self._arm(pid)
+
+    def on_protocol_message(self, src: int) -> None:
+        """Re-arm ``src``'s muteness timeout: it just sent a valid protocol
+        message, so it is not mute *now*."""
+        if src == self.env.pid or self._stopped:
+            return
+        if src in self._suspected:
+            self._wrongful_suspicions += 1
+            self._timeout[src] = self.timeout_of(src) * self._backoff
+            self._unsuspect(src)
+        self._arm(src)
+
+    def _arm(self, pid: int) -> None:
+        deadline = self.env.now + self.timeout_of(pid)
+        self._deadline[pid] = deadline
+        self.env.scheduler.schedule_after(
+            self.timeout_of(pid),
+            "muteness-timeout",
+            lambda: self._expire(pid, deadline),
+        )
+
+    def _expire(self, pid: int, deadline: float) -> None:
+        if self.env.crashed or self._stopped:
+            return
+        if self._deadline.get(pid) != deadline:
+            return
+        self._suspect(pid)
+
+
+class RoundAwareMutenessDetector(MutenessDetector):
+    """◇M whose patience grows with the protocol's round number.
+
+    The second implementation strategy discussed in [6] for regular
+    round-based algorithms: instead of (only) backing off after wrongful
+    suspicions, the timeout is scaled by the current round index the host
+    protocol reports via :meth:`notify_round` — later rounds mean the run
+    is already degraded, so suspicion should be slower to trigger and the
+    system gets calmer instead of churning.
+
+    The effective timeout for a peer is::
+
+        timeout(peer) * round_growth ** (round - 1)
+
+    on top of the inherited wrongful-suspicion doubling.
+    """
+
+    def __init__(
+        self,
+        initial_timeout: float = 8.0,
+        backoff: float = 2.0,
+        round_growth: float = 1.5,
+    ) -> None:
+        super().__init__(initial_timeout=initial_timeout, backoff=backoff)
+        self._round_growth = round_growth
+        self._round = 1
+
+    @property
+    def current_round(self) -> int:
+        return self._round
+
+    def notify_round(self, round_number: int) -> None:
+        """Host protocol hook: a new round started."""
+        if round_number > self._round:
+            self._round = round_number
+
+    def timeout_of(self, pid: int) -> float:
+        base = super().timeout_of(pid)
+        return base * self._round_growth ** (self._round - 1)

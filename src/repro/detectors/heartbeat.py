@@ -1,0 +1,115 @@
+"""Heartbeat-based eventually-perfect detector (an honest ◇S implementation).
+
+Each process periodically broadcasts a heartbeat; each detector keeps a
+per-peer timeout. When a peer's timeout expires it is suspected; when a
+message from a suspected peer later arrives, the peer is unsuspected and
+its timeout is increased (the classic Chandra–Toueg adaptive scheme).
+
+In a partially-synchronous run (delays that are eventually bounded —
+which every run with a bounded delay model is), timeouts stop growing and
+eventually no correct process is suspected: the detector converges into
+◇P ⊆ ◇S. With adversarial delay dilations (``TargetedSlowdown``) it
+exhibits genuine wrongful suspicions, which is what E9 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detectors.base import FailureDetector
+from repro.messages.base import Message
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat(Message):
+    """Detector-internal liveness beacon; invisible to protocol modules."""
+
+
+class HeartbeatDetector(FailureDetector):
+    """Adaptive-timeout failure detector fed by heartbeats *and* protocol
+    messages (any traffic from a peer proves it is not crashed).
+
+    Args:
+        period: heartbeat emission interval.
+        initial_timeout: starting per-peer suspicion timeout; should
+            comfortably exceed ``period`` plus the typical network delay.
+        backoff: multiplicative timeout increase after each wrongful
+            suspicion (must be > 1 for eventual accuracy).
+    """
+
+    def __init__(
+        self,
+        period: float = 1.0,
+        initial_timeout: float = 4.0,
+        backoff: float = 2.0,
+    ) -> None:
+        super().__init__()
+        self._period = period
+        self._initial_timeout = initial_timeout
+        self._backoff = backoff
+        self._timeout: dict[int, float] = {}
+        self._deadline: dict[int, float] = {}
+        self._wrongful_suspicions = 0
+
+    @property
+    def wrongful_suspicions(self) -> int:
+        """Number of times a suspicion was later revoked by a message."""
+        return self._wrongful_suspicions
+
+    def timeout_of(self, pid: int) -> float:
+        return self._timeout.get(pid, self._initial_timeout)
+
+    def start(self) -> None:
+        for pid in range(self.env.n):
+            if pid != self.env.pid:
+                self._timeout[pid] = self._initial_timeout
+                self._arm(pid)
+        self._beat()
+
+    # -- heartbeat emission ----------------------------------------------------
+
+    def _beat(self) -> None:
+        if self.env.crashed or self._stopped:
+            return
+        beat = Heartbeat(sender=self.env.pid)
+        for dst in range(self.env.n):
+            if dst != self.env.pid:
+                self.env.send(dst, beat)
+        self.env.scheduler.schedule_after(self._period, "heartbeat", self._beat)
+
+    # -- inputs ---------------------------------------------------------------
+
+    def filter_message(self, src: int, payload: object) -> bool:
+        if isinstance(payload, Heartbeat):
+            self._alive(src)
+            return True
+        return False
+
+    def on_protocol_message(self, src: int) -> None:
+        self._alive(src)
+
+    def _alive(self, src: int) -> None:
+        if src == self.env.pid or self._stopped:
+            return
+        if src in self._suspected:
+            self._wrongful_suspicions += 1
+            self._timeout[src] = self.timeout_of(src) * self._backoff
+            self._unsuspect(src)
+        self._arm(src)
+
+    # -- timeout machinery -------------------------------------------------------
+
+    def _arm(self, pid: int) -> None:
+        deadline = self.env.now + self.timeout_of(pid)
+        self._deadline[pid] = deadline
+        self.env.scheduler.schedule_after(
+            self.timeout_of(pid), "fd-timeout", lambda: self._expire(pid, deadline)
+        )
+
+    def _expire(self, pid: int, deadline: float) -> None:
+        if self.env.crashed or self._stopped:
+            return
+        # Stale timer: the peer spoke since this timer was armed.
+        if self._deadline.get(pid) != deadline:
+            return
+        self._suspect(pid)

@@ -1,0 +1,146 @@
+"""Oracle failure detectors.
+
+These detectors are driven by ground truth (which processes have actually
+crashed / gone mute) plus controllable noise, so experiments can enforce a
+failure-detector class *by construction*:
+
+* **strong completeness** — a process that is genuinely faulty (per the
+  status source) is suspected at the first poll after it becomes faulty
+  and stays suspected;
+* **eventual weak accuracy** — after ``accuracy_time`` the oracle stops
+  producing erroneous suspicions, and the designated ``trusted`` process
+  is never erroneously suspected at any time.
+
+Before ``accuracy_time`` the oracle may wrongly suspect correct processes
+at a configurable rate — the "unreliable" in unreliable failure detector.
+The same class serves ◇S (status = crashed) and the oracle flavour of ◇M
+(status = mute), since their formal shape is identical; only the notion of
+"faulty" differs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.detectors.base import FailureDetector
+
+StatusSource = Callable[[int], bool]
+
+
+class OracleDetector(FailureDetector):
+    """Ground-truth detector with pre-GST noise.
+
+    Args:
+        status: maps a pid to ``True`` when that process is genuinely
+            faulty in the sense this detector watches (crashed, mute, ...).
+        trusted: a process id that is *never* erroneously suspected; when
+            every instance shares a correct ``trusted``, eventual weak
+            accuracy holds system-wide. ``None`` disables the guarantee.
+        poll_interval: virtual time between oracle refreshes.
+        accuracy_time: after this virtual time no erroneous suspicion is
+            produced (the eventual-accuracy horizon).
+        noise_rate: per-poll probability of erroneously suspecting one
+            random non-trusted process before ``accuracy_time``.
+    """
+
+    def __init__(
+        self,
+        status: StatusSource,
+        trusted: int | None = None,
+        poll_interval: float = 1.0,
+        accuracy_time: float = 0.0,
+        noise_rate: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self._status = status
+        self._trusted = trusted
+        self._poll_interval = poll_interval
+        self._accuracy_time = accuracy_time
+        self._noise_rate = noise_rate
+
+    def start(self) -> None:
+        self._poll()
+
+    def _poll(self) -> None:
+        if self.env.crashed or self._stopped:
+            return
+        rng = self.env.rng
+        for pid in range(self.env.n):
+            if pid == self.env.pid:
+                continue
+            if self._status(pid):
+                self._suspect(pid)
+            elif pid not in self._erroneous():
+                self._unsuspect(pid)
+        if self.env.now < self._accuracy_time and self._noise_rate > 0.0:
+            if rng.chance(self._noise_rate):
+                victim = self._pick_noise_victim()
+                if victim is not None:
+                    self._suspect(victim)
+        self.env.scheduler.schedule_after(
+            self._poll_interval, "fd-poll", self._poll
+        )
+
+    def _erroneous(self) -> set[int]:
+        """Currently-suspected processes that are not genuinely faulty."""
+        if self.env.now < self._accuracy_time:
+            # Pre-horizon erroneous suspicions persist until the next poll
+            # clears them (they were added this poll or will be cleared).
+            return {pid for pid in self._suspected if not self._status(pid)}
+        return set()
+
+    def _pick_noise_victim(self) -> int | None:
+        candidates = [
+            pid
+            for pid in range(self.env.n)
+            if pid != self.env.pid and pid != self._trusted and not self._status(pid)
+        ]
+        if not candidates:
+            return None
+        return self.env.rng.choice(candidates)
+
+
+class ScriptedDetector(FailureDetector):
+    """A detector whose suspicions follow a fixed timetable.
+
+    Used by adversarial experiments (E14) that need exact control over
+    *when* each process suspects whom. ``script`` is a list of
+    ``(target, from_time, to_time)`` windows; the ``suspected`` set is
+    computed from the current virtual time on every read, so no polling
+    events are needed (and runs stay quiescent).
+    """
+
+    def __init__(self, script: list[tuple[int, float, float]]) -> None:
+        super().__init__()
+        self._script = list(script)
+
+    @property
+    def suspected(self) -> frozenset[int]:
+        if self._env is None:
+            return frozenset()
+        now = self.env.now
+        return frozenset(
+            target
+            for target, start, end in self._script
+            if start <= now <= end
+        )
+
+    def is_suspected(self, pid: int) -> bool:
+        return pid in self.suspected
+
+
+class PerfectOracle(OracleDetector):
+    """A perfect detector (class P): no noise, immediate completeness.
+
+    Not used by the protocols (the paper's model is asynchronous) but
+    invaluable in tests to isolate protocol logic from detector noise.
+    """
+
+    def __init__(self, status: StatusSource, poll_interval: float = 1.0) -> None:
+        super().__init__(
+            status=status,
+            trusted=None,
+            poll_interval=poll_interval,
+            accuracy_time=0.0,
+            noise_rate=0.0,
+        )

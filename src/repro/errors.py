@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class ClockError(SimulationError):
+    """Virtual time was asked to move backwards."""
+
+
+class SchedulerError(SimulationError):
+    """The scheduler was misused (e.g. run after exhaustion)."""
+
+
+class NetworkError(SimulationError):
+    """A message was sent to an unknown process or over a closed channel."""
+
+
+class ProcessError(SimulationError):
+    """A process violated the simulator's process contract."""
+
+
+class CryptoError(ReproError):
+    """Base class for failures of the simulated cryptography substrate."""
+
+
+class UnknownKeyError(CryptoError):
+    """A signature operation referenced a process with no registered key."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed verification."""
+
+
+class EncodingError(CryptoError):
+    """A value could not be canonically encoded for signing."""
+
+
+class ProtocolError(ReproError):
+    """A protocol module was driven outside its specification."""
+
+
+class CertificateError(ProtocolError):
+    """A certificate is malformed or not well-formed w.r.t. its value."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or system was configured with inconsistent parameters."""

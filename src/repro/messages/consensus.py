@@ -1,0 +1,93 @@
+"""Message bodies of the two consensus protocols.
+
+Crash model (paper Figure 2): ``Current``, ``Next``, ``Decide`` carrying a
+scalar estimate.
+
+Transformed / arbitrary-fault model (paper Figure 3): ``Init`` plus vector
+variants ``VCurrent``, ``VNext``, ``VDecide`` whose estimates are *vectors*
+of proposed values (Vector Consensus). The ``NULL`` sentinel marks a
+vector entry whose proposer's value was not collected in the INIT phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.messages.base import Message
+
+#: Sentinel for an absent vector entry (the paper's ``null``). A string is
+#: used (rather than ``None``) so it is unmistakable in traces and cannot
+#: be confused with "no message".
+NULL = "<null>"
+
+Vector = tuple[Any, ...]
+
+
+# -- crash-model bodies (Figure 2) -------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Current(Message):
+    """``CURRENT(p_k, r, est_k)`` — a vote to decide in this round."""
+
+    round: int
+    est: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Next(Message):
+    """``NEXT(p_k, r)`` — a vote to move to the next round."""
+
+    round: int
+
+
+@dataclass(frozen=True, slots=True)
+class Decide(Message):
+    """``DECIDE(p_k, est)`` — reliable propagation of the decision."""
+
+    est: Any
+
+
+# -- transformed-model bodies (Figure 3) --------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Init(Message):
+    """``INIT(p_i, v_i)`` — the preliminary phase proposal broadcast."""
+
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class VCurrent(Message):
+    """``CURRENT(p_k, r, est_vect_k)`` of the transformed protocol."""
+
+    round: int
+    est_vect: Vector
+
+
+@dataclass(frozen=True, slots=True)
+class VNext(Message):
+    """``NEXT(p_k, r)`` of the transformed protocol."""
+
+    round: int
+
+
+@dataclass(frozen=True, slots=True)
+class VDecide(Message):
+    """``DECIDE(p_k, est_vect_k)`` of the transformed protocol."""
+
+    est_vect: Vector
+
+
+def empty_vector(n: int) -> Vector:
+    """An all-``NULL`` estimate vector for an ``n``-process system."""
+    return tuple([NULL] * n)
+
+
+def vector_with(base: Vector, index: int, value: Any) -> Vector:
+    """A copy of ``base`` with position ``index`` set to ``value``."""
+    updated = list(base)
+    updated[index] = value
+    return tuple(updated)

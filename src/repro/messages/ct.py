@@ -1,0 +1,62 @@
+"""Message bodies of the transformed Chandra–Toueg protocol (second case
+study of the methodology — see :mod:`repro.consensus.transformed_ct`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.base import Message
+from repro.messages.consensus import Vector
+
+
+@dataclass(frozen=True, slots=True)
+class CtEstimate(Message):
+    """Phase 1: a timestamped certified estimate, broadcast to all.
+
+    ``ts`` is the round in which ``est_vect`` was last adopted (0 for the
+    process's own certified initial vector); the attached certificate
+    witnesses the (vector, ts) pair.
+    """
+
+    round: int
+    est_vect: Vector
+    ts: int
+
+
+@dataclass(frozen=True, slots=True)
+class CtPropose(Message):
+    """Phase 2: the coordinator's proposal, justified by an estimate quorum.
+
+    The certificate carries the ``n - F`` signed estimates the coordinator
+    gathered; receivers re-run the deterministic selection rule (highest
+    ``ts``, ties to the smallest sender pid) and reject proposals whose
+    vector is not the rule's pick — a verifiable version of CT's phase 2.
+    """
+
+    round: int
+    est_vect: Vector
+
+
+@dataclass(frozen=True, slots=True)
+class CtAck(Message):
+    """Phase 3 (positive): certified by the proposal being acknowledged."""
+
+    round: int
+
+
+@dataclass(frozen=True, slots=True)
+class CtNack(Message):
+    """Phase 3 (negative): sent upon suspecting the coordinator.
+
+    Suspicion is local and unverifiable (exactly as the NEXT of Figure 3),
+    so the certificate is empty.
+    """
+
+    round: int
+
+
+@dataclass(frozen=True, slots=True)
+class CtDecide(Message):
+    """Decision announcement, certified by the proposal plus an ack quorum."""
+
+    est_vect: Vector

@@ -1,0 +1,67 @@
+"""A replicated key-value store: the canonical state machine on the log.
+
+Commands are deterministic (``set`` / ``del``); because every correct
+replica commits the same command sequence (the replicated-log guarantee),
+every correct replica materialises the same store — byzantine replicas
+included in the membership notwithstanding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    """One deterministic store operation."""
+
+    op: str  # "set" | "del"
+    key: str
+    value: Any = None
+
+    def canonical(self) -> Any:
+        return (self.op, self.key, self.value)
+
+
+class KeyValueStore:
+    """Deterministic state machine over :class:`Command` sequences."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+        self.applied = 0
+
+    def apply(self, command: Any) -> None:
+        """Apply one command; unknown shapes are ignored deterministically.
+
+        Byzantine replicas can propose garbage commands; determinism (and
+        hence replica convergence) only requires every correct replica to
+        handle the garbage identically — ignoring it is the simplest
+        uniform rule.
+        """
+        self.applied += 1
+        if not isinstance(command, Command):
+            return
+        if command.op == "set":
+            self._data[command.key] = command.value
+        elif command.op == "del":
+            self._data.pop(command.key, None)
+
+    def apply_all(self, commands: Iterable[Any]) -> "KeyValueStore":
+        for command in commands:
+            self.apply(command)
+        return self
+
+    def snapshot(self) -> dict[str, Any]:
+        return dict(self._data)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def materialise(command_log: Iterable[Any]) -> dict[str, Any]:
+    """The store a replica reaches after applying ``command_log``."""
+    return KeyValueStore().apply_all(command_log).snapshot()

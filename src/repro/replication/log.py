@@ -1,0 +1,253 @@
+"""Byzantine fault-tolerant state-machine replication over Vector Consensus.
+
+The paper motivates consensus as "a fundamental paradigm for
+fault-tolerant distributed systems"; this module closes the loop by
+building the standard application on top of the transformed protocol: a
+**replicated log**. Each log *slot* is decided by one independent
+instance of the Figure 3 protocol; the decided vector's non-null entries
+are appended in proposer order, giving every correct replica the same
+totally-ordered command sequence (vector consensus is a batching atomic
+broadcast: up to n commands commit per slot).
+
+Multiplexing. All instances share the underlying network: every protocol
+message is wrapped in a :class:`SlotEnvelope` and routed to the slot's
+own consensus engine, which runs against a *virtual environment* that
+tags its traffic and namespaces its timers. Cross-slot replay of signed
+messages is impossible because each slot derives its own key authority
+(domain separation by slot).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.consensus.transformed import TransformedConsensusProcess
+from repro.core.certificates import CertificationAuthority
+from repro.core.modules import ModuleConfig
+from repro.core.specs import SystemParameters
+from repro.crypto.keys import KeyAuthority
+from repro.crypto.signatures import SignatureScheme
+from repro.detectors.base import FailureDetector
+from repro.detectors.diamond_m import MutenessDetector
+from repro.messages.consensus import NULL
+from repro.sim.process import Process, ProcessEnv
+
+#: Placeholder proposed when a replica has no pending command for a slot.
+NOOP = "<noop>"
+
+
+@dataclass(frozen=True, slots=True)
+class SlotEnvelope:
+    """Wire wrapper tagging a consensus message with its log slot."""
+
+    slot: int
+    inner: Any
+
+
+class _SlotEnv:
+    """A virtual :class:`ProcessEnv` for one slot's consensus engine.
+
+    Delegates to the replica's real environment, wrapping sends in
+    :class:`SlotEnvelope` and namespacing timer names so concurrent slots
+    cannot collide.
+    """
+
+    def __init__(self, parent: ProcessEnv, slot: int) -> None:
+        self._parent = parent
+        self._slot = slot
+
+    @property
+    def pid(self) -> int:
+        return self._parent.pid
+
+    @property
+    def n(self) -> int:
+        return self._parent.n
+
+    @property
+    def now(self) -> float:
+        return self._parent.now
+
+    @property
+    def crashed(self) -> bool:
+        return self._parent.crashed
+
+    @property
+    def scheduler(self):
+        return self._parent.scheduler
+
+    @property
+    def trace(self):
+        return self._parent.trace
+
+    @property
+    def rng(self):
+        return self._parent.rng
+
+    def send(self, dst: int, payload: Any) -> None:
+        self._parent.send(dst, SlotEnvelope(slot=self._slot, inner=payload))
+
+    def set_timer(self, owner, name: str, delay: float) -> None:
+        # Namespace the timer under the real environment but strip the
+        # prefix again when it fires, so the engine sees its own name.
+        self._parent.set_timer(
+            _TimerProxy(owner), f"slot{self._slot}:{name}", delay
+        )
+
+    def cancel_timer(self, name: str) -> None:
+        self._parent.cancel_timer(f"slot{self._slot}:{name}")
+
+
+class _TimerProxy:
+    """Strips the slot prefix off firing timers before reaching the engine."""
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner) -> None:
+        self._owner = owner
+
+    def on_timer(self, name: str) -> None:
+        self._owner.on_timer(name.partition(":")[2])
+
+
+#: Factory producing the consensus engine for one slot. Signature matches
+#: the transformed-system protocol factory, letting attacks be injected
+#: per replica.
+EngineFactory = Callable[
+    [int, Any, SystemParameters, CertificationAuthority, FailureDetector,
+     ModuleConfig],
+    TransformedConsensusProcess,
+]
+
+
+def _default_engine(pid, proposal, params, authority, detector, config):
+    return TransformedConsensusProcess(
+        proposal=proposal,
+        params=params,
+        authority=authority,
+        detector=detector,
+        config=config,
+    )
+
+
+class ReplicatedLogProcess(Process):
+    """One replica: a command queue, a growing log, and per-slot engines.
+
+    Args:
+        commands: this replica's client commands, proposed one per slot
+            (``NOOP`` once exhausted).
+        params: system parameters shared by every slot's instance.
+        seed: domain-separation seed for the per-slot key authorities
+            (must be equal across replicas).
+        target_slots: how many slots to decide before going idle.
+        engine_factory: consensus-engine constructor — Byzantine replicas
+            substitute an attack class here.
+    """
+
+    def __init__(
+        self,
+        commands: list[Any],
+        params: SystemParameters,
+        seed: int = 0,
+        target_slots: int = 1,
+        engine_factory: EngineFactory = _default_engine,
+        config: ModuleConfig | None = None,
+    ) -> None:
+        super().__init__()
+        self.commands = list(commands)
+        self.params = params
+        self.seed = seed
+        self.target_slots = target_slots
+        self.engine_factory = engine_factory
+        self.config = config if config is not None else ModuleConfig.full()
+        self.log: list[tuple[int, int, Any]] = []  # (slot, proposer, command)
+        self.engines: dict[int, TransformedConsensusProcess] = {}
+        self._applied: set[int] = set()
+        self._queue: deque[Any] = deque(commands)
+        self._proposed: dict[int, Any] = {}
+        self.faulty_union: set[int] = set()
+
+    # -- log surface ----------------------------------------------------------
+
+    @property
+    def committed_slots(self) -> int:
+        return len(self._applied)
+
+    @property
+    def finished(self) -> bool:
+        return self.committed_slots >= self.target_slots
+
+    def command_log(self) -> list[Any]:
+        """The totally-ordered committed commands (noops filtered)."""
+        return [command for (_s, _p, command) in self.log if command != NOOP]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._ensure_engine(0)
+
+    def _proposal_for(self, slot: int) -> Any:
+        """Pop the next pending command (at-least-once: commands that lose
+        the INIT race of their slot are re-queued by :meth:`_harvest`)."""
+        command = self._queue.popleft() if self._queue else NOOP
+        self._proposed[slot] = command
+        return command
+
+    def _ensure_engine(self, slot: int) -> TransformedConsensusProcess | None:
+        if slot in self.engines or slot >= self.target_slots:
+            return self.engines.get(slot)
+        # Domain separation: every slot derives its own key authority, so
+        # a signed message from slot k verifies in no other slot. The
+        # derivation is a fixed affine map (not ``hash``) for determinism.
+        keys = KeyAuthority(self.n, seed=self.seed * 1_000_003 + slot)
+        authority = CertificationAuthority(
+            SignatureScheme(keys), keys.signer_for(self.pid)
+        )
+        detector = MutenessDetector(initial_timeout=10.0)
+        engine = self.engine_factory(
+            self.pid,
+            self._proposal_for(slot),
+            self.params,
+            authority,
+            detector,
+            self.config,
+        )
+        engine.bind(_SlotEnv(self.env, slot))  # type: ignore[arg-type]
+        self.engines[slot] = engine
+        engine.on_start()
+        return engine
+
+    # -- message routing ---------------------------------------------------------------
+
+    def on_message(self, src: int, payload: Any) -> None:
+        if not isinstance(payload, SlotEnvelope):
+            return  # replicas only speak slot-wrapped consensus traffic
+        if payload.slot >= self.target_slots or payload.slot < 0:
+            return
+        engine = self._ensure_engine(payload.slot)
+        if engine is None:
+            return
+        engine.on_message(src, payload.inner)
+        self.faulty_union |= engine.faulty
+        self._harvest(payload.slot)
+
+    # -- commit path ---------------------------------------------------------------------
+
+    def _harvest(self, slot: int) -> None:
+        engine = self.engines.get(slot)
+        if engine is None or not engine.decided or slot in self._applied:
+            return
+        self._applied.add(slot)
+        vector = engine.decision
+        for proposer, command in enumerate(vector):
+            if command != NULL:
+                self.log.append((slot, proposer, command))
+        # At-least-once: our command missed this slot's vector (it lost
+        # the race into the n - F INIT quorum) — propose it again.
+        mine = self._proposed.get(slot, NOOP)
+        if mine != NOOP and vector[self.pid] == NULL:
+            self._queue.appendleft(mine)
+        self.record("commit", slot=slot, vector=vector)
+        self._ensure_engine(slot + 1)

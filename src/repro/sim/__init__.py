@@ -1,0 +1,45 @@
+"""Discrete-event simulation substrate: an asynchronous message-passing
+system with reliable FIFO channels, virtual time and deterministic seeds.
+
+This package implements the system model of Section 2 of the paper —
+``n`` processes, every pair connected by a reliable FIFO channel, no
+assumption on relative speeds or transfer delays — as a reproducible
+simulator.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import CancellationToken, Event, EventQueue
+from repro.sim.network import (
+    DelayModel,
+    ExponentialDelay,
+    FixedDelay,
+    Network,
+    TargetedSlowdown,
+    UniformDelay,
+)
+from repro.sim.process import Process, ProcessEnv
+from repro.sim.rng import SeededRng
+from repro.sim.scheduler import RunResult, Scheduler
+from repro.sim.trace import Trace, TraceEvent
+from repro.sim.world import World
+
+__all__ = [
+    "CancellationToken",
+    "DelayModel",
+    "Event",
+    "EventQueue",
+    "ExponentialDelay",
+    "FixedDelay",
+    "Network",
+    "Process",
+    "ProcessEnv",
+    "RunResult",
+    "Scheduler",
+    "SeededRng",
+    "TargetedSlowdown",
+    "Trace",
+    "TraceEvent",
+    "UniformDelay",
+    "VirtualClock",
+    "World",
+]

@@ -1,0 +1,47 @@
+"""Virtual time for the discrete-event simulator.
+
+The simulator has no relation to wall-clock time: the paper's system model
+is asynchronous (no bound on process speed or message delay), so all the
+clock provides is a total order on events. Time is a non-negative float
+that only the scheduler may advance, and never backwards.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock.
+
+    The scheduler advances the clock to the timestamp of each event it
+    dispatches. Components read ``clock.now`` but must never set it.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises :class:`~repro.errors.ClockError` if ``timestamp`` lies in
+        the past; equal timestamps are permitted (simultaneous events are
+        ordered by their insertion sequence, see ``EventQueue``).
+        """
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move virtual time backwards: {self._now} -> {timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now})"

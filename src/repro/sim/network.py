@@ -1,0 +1,231 @@
+"""Reliable FIFO point-to-point network.
+
+This implements exactly the channel assumptions of the paper's model
+(Section 2): every pair of processes is connected by a *reliable* channel
+(no loss, no duplication, no corruption in transit) that is *FIFO*, with
+no bound on transfer delays. Delay distributions are pluggable so the
+adversary can delay messages arbitrarily (but finitely) — the standard way
+to model asynchrony in a discrete-event simulator.
+
+Corruption, duplication and omission are *process* faults in this paper,
+not channel faults, so they live in :mod:`repro.byzantine`, never here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+from repro.errors import NetworkError
+from repro.sim.rng import SeededRng
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Trace
+
+DeliverCallback = Callable[[int, Any], None]
+
+# Minimal spacing inserted between two deliveries on the same channel so
+# FIFO order is preserved even when a sampled delay would reorder them.
+_FIFO_EPSILON = 1e-9
+
+
+class DelayModel(Protocol):
+    """Strategy drawing the transfer delay of one message."""
+
+    def sample(self, rng: SeededRng, src: int, dst: int) -> float:
+        """Return a finite, non-negative delay for a ``src -> dst`` message."""
+        ...
+
+
+class FixedDelay:
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise NetworkError(f"negative delay {delay!r}")
+        self.delay = delay
+
+    def sample(self, rng: SeededRng, src: int, dst: int) -> float:
+        return self.delay
+
+
+class UniformDelay:
+    """Delays drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
+        if not 0 <= low <= high:
+            raise NetworkError(f"invalid delay range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: SeededRng, src: int, dst: int) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class ExponentialDelay:
+    """Heavy-ish tailed delays: ``base + Exp(mean)`` capped at ``cap``.
+
+    The cap keeps every delay finite, as the asynchronous model requires
+    (messages are eventually delivered).
+    """
+
+    def __init__(self, mean: float = 1.0, base: float = 0.1, cap: float = 50.0) -> None:
+        if mean <= 0 or base < 0 or cap <= base:
+            raise NetworkError("invalid exponential delay parameters")
+        self.mean = mean
+        self.base = base
+        self.cap = cap
+
+    def sample(self, rng: SeededRng, src: int, dst: int) -> float:
+        return min(self.base + rng.expovariate(1.0 / self.mean), self.cap)
+
+
+class ScriptedDelay:
+    """Payload-aware delays: the adversarial scheduler of experiment E14.
+
+    Rules are ``(matcher, delay)`` pairs evaluated in order; the first
+    matcher returning True fixes the message's delay, otherwise the
+    default applies. Matchers receive ``(src, dst, payload)``, so the
+    adversary can, e.g., rush a NEXT past the CURRENT that preceded it on
+    the same channel — which is only deliverable on a non-FIFO network.
+    """
+
+    def __init__(
+        self,
+        rules: list[tuple["ScriptMatcher", float]],
+        default: float = 1.0,
+    ) -> None:
+        self.rules = list(rules)
+        self.default = default
+
+    def sample(self, rng: SeededRng, src: int, dst: int) -> float:
+        return self.default
+
+    def sample_for(
+        self, rng: SeededRng, src: int, dst: int, payload: Any
+    ) -> float:
+        for matcher, delay in self.rules:
+            if matcher(src, dst, payload):
+                return delay
+        return self.default
+
+
+ScriptMatcher = Callable[[int, int, Any], bool]
+
+
+class TargetedSlowdown:
+    """Adversarial asynchrony: traffic touching ``slow`` processes is dilated.
+
+    Used by experiments to provoke wrongful suspicions of correct
+    processes (the failure-detector mistakes the paper allows).
+    """
+
+    def __init__(
+        self,
+        inner: DelayModel,
+        slow: frozenset[int] | set[int],
+        factor: float = 10.0,
+    ) -> None:
+        if factor < 1.0:
+            raise NetworkError(f"slowdown factor must be >= 1, got {factor!r}")
+        self.inner = inner
+        self.slow = frozenset(slow)
+        self.factor = factor
+
+    def sample(self, rng: SeededRng, src: int, dst: int) -> float:
+        delay = self.inner.sample(rng, src, dst)
+        if src in self.slow or dst in self.slow:
+            return delay * self.factor
+        return delay
+
+
+class Network:
+    """Reliable FIFO network over a :class:`~repro.sim.scheduler.Scheduler`.
+
+    Processes are registered with a delivery callback; :meth:`send`
+    schedules a delivery event whose timestamp respects per-channel FIFO
+    order regardless of the sampled delays.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        trace: Trace,
+        delay_model: DelayModel | None = None,
+        fifo: bool = True,
+    ) -> None:
+        self._scheduler = scheduler
+        self._trace = trace
+        self._delay_model: DelayModel = delay_model or UniformDelay()
+        self._rng = scheduler.rng.fork("network")
+        self._inboxes: dict[int, DeliverCallback] = {}
+        self._last_delivery: dict[tuple[int, int], float] = {}
+        self._messages_sent = 0
+        self._messages_delivered = 0
+        # FIFO is the paper's channel assumption; ``fifo=False`` exists
+        # only so experiment E14 can demonstrate the assumption is
+        # load-bearing (agreement breaks without it).
+        self._fifo = fifo
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered
+
+    @property
+    def process_ids(self) -> list[int]:
+        return sorted(self._inboxes)
+
+    def register(self, process_id: int, deliver: DeliverCallback) -> None:
+        """Attach a process's delivery callback to the network."""
+        if process_id in self._inboxes:
+            raise NetworkError(f"process {process_id} registered twice")
+        self._inboxes[process_id] = deliver
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Transmit ``payload`` from ``src`` to ``dst`` (may be ``src`` itself).
+
+        The message is delivered after a finite delay drawn from the delay
+        model, never before any earlier message on the same channel.
+        """
+        if dst not in self._inboxes:
+            raise NetworkError(f"send to unknown process {dst}")
+        if src not in self._inboxes:
+            raise NetworkError(f"send from unknown process {src}")
+        now = self._scheduler.now
+        sample_for = getattr(self._delay_model, "sample_for", None)
+        if sample_for is not None:
+            delay = sample_for(self._rng, src, dst, payload)
+        else:
+            delay = self._delay_model.sample(self._rng, src, dst)
+        if delay < 0:
+            raise NetworkError(f"delay model produced negative delay {delay!r}")
+        channel = (src, dst)
+        if self._fifo:
+            earliest = self._last_delivery.get(channel, 0.0) + _FIFO_EPSILON
+            deliver_at = max(now + delay, earliest)
+            self._last_delivery[channel] = deliver_at
+        else:
+            deliver_at = now + delay
+        self._messages_sent += 1
+        self._trace.record(
+            now,
+            "send",
+            process=src,
+            dst=dst,
+            payload=payload,
+            deliver_at=deliver_at,
+        )
+        self._scheduler.schedule_at(
+            deliver_at,
+            "deliver",
+            lambda: self._deliver(src, dst, payload),
+        )
+
+    def _deliver(self, src: int, dst: int, payload: Any) -> None:
+        self._messages_delivered += 1
+        self._trace.record(
+            self._scheduler.now, "deliver", process=dst, src=src, payload=payload
+        )
+        self._inboxes[dst](src, payload)

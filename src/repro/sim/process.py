@@ -1,0 +1,168 @@
+"""Process abstraction for the simulator.
+
+A :class:`Process` is a deterministic reactive object driven entirely by
+three callbacks — :meth:`Process.on_start`, :meth:`Process.on_message` and
+:meth:`Process.on_timer` — exactly the shape of a round-based protocol in
+the paper: local steps happen only in reaction to message receipts and
+timer expirations.
+
+The paper's broadcast ``send m to Π`` includes the sender itself; our
+:meth:`Process.broadcast` does the same (a process has a FIFO channel to
+itself like to anyone else).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ProcessError
+from repro.sim.events import CancellationToken
+from repro.sim.network import Network
+from repro.sim.rng import SeededRng
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Trace
+
+
+class ProcessEnv:
+    """Everything a process may touch: its window onto the simulated world.
+
+    The environment also implements the *crash* fault at the substrate
+    level: once :meth:`mark_crashed` is called, the process neither sends
+    nor receives anything, matching the halt semantics of the crash model.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        scheduler: Scheduler,
+        network: Network,
+        trace: Trace,
+        rng: SeededRng,
+    ) -> None:
+        self.pid = pid
+        self.n = n
+        self.scheduler = scheduler
+        self.network = network
+        self.trace = trace
+        self.rng = rng
+        self.crashed = False
+        self.crash_time: float | None = None
+        self._timers: dict[str, CancellationToken] = {}
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def mark_crashed(self) -> None:
+        """Halt the process permanently (crash-model fault)."""
+        if not self.crashed:
+            self.crashed = True
+            self.crash_time = self.now
+            self.trace.record(self.now, "crash", process=self.pid)
+
+    def send(self, dst: int, payload: Any) -> None:
+        if self.crashed:
+            return
+        self.network.send(self.pid, dst, payload)
+
+    def set_timer(self, owner: "Process", name: str, delay: float) -> None:
+        """(Re)arm the named timer; a previous pending instance is cancelled."""
+        self.cancel_timer(name)
+        token = self.scheduler.schedule_after(
+            delay, "timer", lambda: self._fire_timer(owner, name)
+        )
+        self._timers[name] = token
+
+    def cancel_timer(self, name: str) -> None:
+        token = self._timers.pop(name, None)
+        if token is not None:
+            token.cancel()
+
+    def _fire_timer(self, owner: "Process", name: str) -> None:
+        self._timers.pop(name, None)
+        if self.crashed:
+            return
+        owner.on_timer(name)
+
+
+class Process:
+    """Base class for all simulated processes.
+
+    Subclasses implement the protocol logic in the three ``on_*`` hooks and
+    use the ``send``/``broadcast``/``set_timer`` helpers. A process must be
+    bound to an environment (by :class:`~repro.sim.world.World`) before it
+    runs.
+    """
+
+    def __init__(self) -> None:
+        self._env: ProcessEnv | None = None
+
+    # -- wiring ---------------------------------------------------------
+
+    def bind(self, env: ProcessEnv) -> None:
+        if self._env is not None:
+            raise ProcessError(f"process {env.pid} bound twice")
+        self._env = env
+
+    @property
+    def env(self) -> ProcessEnv:
+        if self._env is None:
+            raise ProcessError("process used before bind()")
+        return self._env
+
+    @property
+    def pid(self) -> int:
+        return self.env.pid
+
+    @property
+    def n(self) -> int:
+        return self.env.n
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    @property
+    def crashed(self) -> bool:
+        return self._env is not None and self._env.crashed
+
+    # -- actions ----------------------------------------------------------
+
+    def send(self, dst: int, payload: Any) -> None:
+        """Send ``payload`` to process ``dst`` over the FIFO network."""
+        self.env.send(dst, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` to every process, the sender included."""
+        for dst in range(self.n):
+            self.send(dst, payload)
+
+    def set_timer(self, name: str, delay: float) -> None:
+        """(Re)arm a named local timer firing after virtual ``delay``."""
+        self.env.set_timer(self, name, delay)
+
+    def cancel_timer(self, name: str) -> None:
+        self.env.cancel_timer(name)
+
+    def record(self, kind: str, **detail: Any) -> None:
+        """Append a process-attributed event to the run trace."""
+        self.env.trace.record(self.now, kind, process=self.pid, **detail)
+
+    # -- hooks (overridden by protocols) ------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the world starts, before any delivery."""
+
+    def on_message(self, src: int, payload: Any) -> None:
+        """Called for every message delivered to this process."""
+
+    def on_timer(self, name: str) -> None:
+        """Called when a timer armed with :meth:`set_timer` fires."""
+
+    # -- delivery dispatch (called by the world) -----------------------------
+
+    def deliver(self, src: int, payload: Any) -> None:
+        if self.crashed:
+            return
+        self.on_message(src, payload)

@@ -1,0 +1,114 @@
+"""The discrete-event scheduler.
+
+The scheduler is the single authority over virtual time: it pops the
+earliest event, advances the clock to its timestamp, and runs its callback.
+Runs end in one of four ways, reported by :class:`RunResult`:
+
+* ``quiescent`` — no pending events remain (the system reached a fixpoint),
+* ``max_events`` — the event budget was exhausted (used as a liveness
+  watchdog in experiments: a correct run should quiesce well before it),
+* ``max_time`` — virtual time passed the configured horizon,
+* ``stopped`` — a callback requested early termination via :meth:`Scheduler.stop`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import CancellationToken, EventCallback, EventQueue
+from repro.sim.rng import SeededRng
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Outcome of a :meth:`Scheduler.run` call."""
+
+    reason: str
+    events_dispatched: int
+    end_time: float
+
+    def quiescent(self) -> bool:
+        return self.reason == "quiescent"
+
+
+class Scheduler:
+    """Owns the clock, the event queue and the master random stream."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.clock = VirtualClock()
+        self.rng = SeededRng(seed)
+        self._queue = EventQueue()
+        self._stopped = False
+        self._dispatched = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def events_dispatched(self) -> int:
+        return self._dispatched
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule_at(
+        self, time: float, kind: str, callback: EventCallback
+    ) -> CancellationToken:
+        """Schedule ``callback`` at absolute virtual ``time`` (>= now)."""
+        if time < self.clock.now:
+            raise SchedulerError(
+                f"cannot schedule event in the past: now={self.clock.now}, at={time}"
+            )
+        return self._queue.push(time, kind, callback)
+
+    def schedule_after(
+        self, delay: float, kind: str, callback: EventCallback
+    ) -> CancellationToken:
+        """Schedule ``callback`` after a non-negative virtual ``delay``."""
+        if delay < 0.0:
+            raise SchedulerError(f"negative delay {delay!r}")
+        return self._queue.push(self.clock.now + delay, kind, callback)
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` loop stop after this event."""
+        self._stopped = True
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        max_events: int | None = None,
+        max_time: float | None = None,
+    ) -> RunResult:
+        """Dispatch events until quiescence, a budget, or :meth:`stop`."""
+        self._stopped = False
+        dispatched_this_run = 0
+        while True:
+            if self._stopped:
+                return self._result("stopped", dispatched_this_run)
+            if max_events is not None and dispatched_this_run >= max_events:
+                return self._result("max_events", dispatched_this_run)
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                return self._result("quiescent", dispatched_this_run)
+            if max_time is not None and next_time > max_time:
+                self.clock.advance_to(max_time)
+                return self._result("max_time", dispatched_this_run)
+            event = self._queue.pop()
+            self.clock.advance_to(event.time)
+            event.callback()
+            self._dispatched += 1
+            dispatched_this_run += 1
+
+    def _result(self, reason: str, dispatched: int) -> RunResult:
+        return RunResult(
+            reason=reason,
+            events_dispatched=dispatched,
+            end_time=self.clock.now,
+        )

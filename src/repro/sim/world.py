@@ -1,0 +1,105 @@
+"""World: composition root of a simulated asynchronous system.
+
+A :class:`World` wires a set of :class:`~repro.sim.process.Process`
+instances to one scheduler, one network and one trace, starts them, and
+runs the event loop. It also owns substrate-level fault scheduling for the
+*crash* model (arbitrary-fault behaviour is implemented by Byzantine
+process subclasses in :mod:`repro.byzantine`, not by the world).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.network import DelayModel, Network
+from repro.sim.process import Process, ProcessEnv
+from repro.sim.scheduler import RunResult, Scheduler
+from repro.sim.trace import Trace
+
+
+class World:
+    """A closed system of ``n`` processes over a reliable FIFO network."""
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        seed: int = 0,
+        delay_model: DelayModel | None = None,
+        fifo: bool = True,
+    ) -> None:
+        if not processes:
+            raise ConfigurationError("a world needs at least one process")
+        self.scheduler = Scheduler(seed=seed)
+        self.trace = Trace()
+        self.network = Network(
+            self.scheduler, self.trace, delay_model=delay_model, fifo=fifo
+        )
+        self.processes: list[Process] = list(processes)
+        self._envs: list[ProcessEnv] = []
+        n = len(self.processes)
+        for pid, process in enumerate(self.processes):
+            env = ProcessEnv(
+                pid=pid,
+                n=n,
+                scheduler=self.scheduler,
+                network=self.network,
+                trace=self.trace,
+                rng=self.scheduler.rng.fork(f"process-{pid}"),
+            )
+            process.bind(env)
+            self._envs.append(env)
+            self.network.register(pid, process.deliver)
+        self._started = False
+
+    @property
+    def n(self) -> int:
+        return len(self.processes)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    # -- crash-model faults --------------------------------------------------
+
+    def crash_at(self, pid: int, time: float) -> None:
+        """Schedule a crash (permanent halt) of ``pid`` at virtual ``time``."""
+        self._check_pid(pid)
+        self.scheduler.schedule_at(
+            time, "crash", lambda: self._envs[pid].mark_crashed()
+        )
+
+    def crash_now(self, pid: int) -> None:
+        """Crash ``pid`` immediately."""
+        self._check_pid(pid)
+        self._envs[pid].mark_crashed()
+
+    def is_crashed(self, pid: int) -> bool:
+        self._check_pid(pid)
+        return self._envs[pid].crashed
+
+    # -- execution ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke every process's ``on_start`` hook (at time 0)."""
+        if self._started:
+            raise ConfigurationError("world started twice")
+        self._started = True
+        for process in self.processes:
+            self.scheduler.schedule_at(
+                self.scheduler.now, "start", process.on_start
+            )
+
+    def run(
+        self,
+        max_events: int | None = 1_000_000,
+        max_time: float | None = None,
+    ) -> RunResult:
+        """Start (if needed) and run the system to quiescence or a budget."""
+        if not self._started:
+            self.start()
+        return self.scheduler.run(max_events=max_events, max_time=max_time)
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"unknown process id {pid}")

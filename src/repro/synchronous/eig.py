@@ -1,0 +1,183 @@
+"""Interactive Consistency via Exponential Information Gathering (EIG).
+
+Pease, Shostak & Lamport's problem (paper reference [11]) solved by the
+classic EIG algorithm in the synchronous model with *oral* messages:
+``f + 1`` rounds, ``n > 3f``. Every correct process ends with the same
+vector of values, and the entry of every correct process is that
+process's actual input — strictly stronger Vector Validity than the
+asynchronous transformed protocol can offer (which is why the paper's
+Vector Consensus weakens it to "at least n - 2F correct entries").
+
+Algorithm sketch. Each process grows a tree of *reports*: the node with
+label ``α = q1 q2 ... qk`` holds "``qk`` said that ``q(k-1)`` said that
+... ``q1``'s input was v". Round 1 broadcasts the inputs; round ``r + 1``
+re-broadcasts every level-``r`` report whose label does not already
+contain the reporter. After round ``f + 1`` each subtree is *resolved*
+bottom-up by recursive majority (a default value stands in where no
+majority exists), and the decision vector's ``j``-th entry is the
+resolution of the subtree rooted at ``j``.
+
+Message cost is exponential in ``f`` (level ``r`` has n(n-1)...(n-r+1)
+labels), which is exactly why experiment E12 contrasts it with the
+certificate-based asynchronous protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.synchronous.rounds import Inbox, Outbox, SyncProcess
+
+#: Default value adopted where no majority exists ("sender faulty").
+DEFAULT = "<default>"
+
+Label = tuple[int, ...]
+
+
+def eig_rounds(f: int) -> int:
+    """EIG needs exactly ``f + 1`` rounds."""
+    return f + 1
+
+
+class EigProcess(SyncProcess):
+    """One correct participant in the EIG Interactive Consistency protocol."""
+
+    def __init__(self, value: Any, f: int) -> None:
+        super().__init__()
+        self.value = value
+        self.f = f
+        self.tree: dict[Label, Any] = {}
+        self.vector: tuple[Any, ...] | None = None
+        self.messages_sent = 0
+
+    def setup(self, pid: int, n: int, rng) -> None:
+        super().setup(pid, n, rng)
+        if n <= 3 * self.f:
+            raise ConfigurationError(f"EIG needs n > 3f, got n={n}, f={self.f}")
+
+    # -- rounds -----------------------------------------------------------------
+
+    def on_round(self, round_number: int, inbox: Inbox) -> Outbox:
+        self._absorb(round_number, inbox)
+        if round_number > eig_rounds(self.f):
+            return {}
+        payload = self._reports_for_round(round_number)
+        self.messages_sent += self.n
+        return {dst: payload for dst in range(self.n)}
+
+    def _reports_for_round(self, round_number: int) -> dict[Label, Any]:
+        if round_number == 1:
+            return {(): self.value}  # the root report: my own input
+        level = round_number - 2  # labels of the previous level
+        return {
+            label: value
+            for label, value in self.tree.items()
+            if len(label) == level + 1 and self.pid not in label
+        }
+
+    def _absorb(self, round_number: int, inbox: Inbox) -> None:
+        if round_number < 2:
+            return
+        expected_level = round_number - 1
+        for reporter, payload in inbox.items():
+            if not isinstance(payload, dict):
+                continue  # garbage from a Byzantine reporter
+            for label, value in payload.items():
+                if not self._label_ok(label, reporter, expected_level):
+                    continue
+                extended = tuple(label) + (reporter,)
+                self.tree.setdefault(extended, value)
+
+    def _label_ok(self, label: Any, reporter: int, expected_level: int) -> bool:
+        if not isinstance(label, tuple) or len(label) != expected_level - 1:
+            return False
+        if any(not isinstance(pid, int) or not 0 <= pid < self.n for pid in label):
+            return False
+        if len(set(label)) != len(label) or reporter in label:
+            return False
+        return True
+
+    # -- resolution ----------------------------------------------------------------
+
+    def finish(self) -> tuple[Any, ...]:
+        """Resolve the tree into the Interactive Consistency vector."""
+        self.vector = tuple(self._resolve((j,)) for j in range(self.n))
+        return self.vector
+
+    def _resolve(self, label: Label) -> Any:
+        own = self.tree.get(label, DEFAULT)
+        if len(label) >= eig_rounds(self.f):
+            return own  # leaf level
+        children = [
+            self._resolve(label + (q,))
+            for q in range(self.n)
+            if q not in label
+        ]
+        counts: dict[Any, int] = {}
+        for value in children:
+            counts[value] = counts.get(value, 0) + 1
+        best, best_count = None, 0
+        for value, count in counts.items():
+            if count > best_count:
+                best, best_count = value, count
+        if best_count * 2 > len(children):
+            return best
+        return DEFAULT
+
+
+class EigLiar(EigProcess):
+    """A Byzantine participant: reports independently random values.
+
+    Sends each destination a *different* corruption of every report —
+    the strongest oral-message misbehaviour (two-faced at every level).
+    """
+
+    def on_round(self, round_number: int, inbox: Inbox) -> Outbox:
+        self._absorb(round_number, inbox)
+        if round_number > eig_rounds(self.f):
+            return {}
+        honest = self._reports_for_round(round_number)
+        outbox: Outbox = {}
+        for dst in range(self.n):
+            assert self.rng is not None
+            outbox[dst] = {
+                label: f"<lie-{self.rng.randint(0, 9)}>" for label in honest
+            }
+        self.messages_sent += self.n
+        return outbox
+
+
+class EigSilent(EigProcess):
+    """A Byzantine participant that never speaks (crash-from-start)."""
+
+    def on_round(self, round_number: int, inbox: Inbox) -> Outbox:
+        self._absorb(round_number, inbox)
+        return {}
+
+
+def run_interactive_consistency(
+    values: list[Any],
+    f: int | None = None,
+    byzantine: dict[int, type] | None = None,
+    crash_schedule: dict[int, tuple[int, int]] | None = None,
+    seed: int = 0,
+) -> list[EigProcess]:
+    """Convenience driver: build, run f+1 rounds, resolve, return processes."""
+    from repro.synchronous.rounds import SynchronousEngine
+
+    n = len(values)
+    fault_count = f if f is not None else (n - 1) // 3
+    byzantine = dict(byzantine or {})
+    processes: list[EigProcess] = []
+    for pid, value in enumerate(values):
+        cls = byzantine.get(pid, EigProcess)
+        processes.append(cls(value, fault_count))
+    engine = SynchronousEngine(
+        processes, seed=seed, crash_schedule=crash_schedule
+    )
+    engine.run(eig_rounds(fault_count) + 1)  # +1 to deliver the last level
+    for pid, process in enumerate(processes):
+        if pid not in byzantine:
+            process.finish()
+    return processes

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import SignedWorkbench
+
+
+@pytest.fixture
+def bench4() -> SignedWorkbench:
+    """Four processes, F = 1 (the smallest Byzantine-capable system)."""
+    return SignedWorkbench(4)
+
+
+@pytest.fixture
+def bench7() -> SignedWorkbench:
+    """Seven processes, F = 2."""
+    return SignedWorkbench(7)

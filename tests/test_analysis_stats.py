@@ -1,0 +1,86 @@
+"""Unit and property tests: the statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    min_trials_for_zero_failures,
+    rate_with_ci,
+    wilson_interval,
+)
+from repro.errors import ConfigurationError
+
+
+class TestWilsonInterval:
+    def test_half_and_half_is_centred(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert abs((0.5 - low) - (high - 0.5)) < 1e-9
+
+    def test_zero_successes_has_positive_width(self):
+        low, high = wilson_interval(0, 25)
+        assert low == 0.0
+        assert high > 0.0
+
+    def test_all_successes_excludes_low_rates(self):
+        low, high = wilson_interval(25, 25)
+        assert high == 1.0
+        assert low > 0.85
+
+    def test_more_trials_narrow_the_interval(self):
+        low_small, high_small = wilson_interval(9, 10)
+        low_large, high_large = wilson_interval(900, 1000)
+        assert (high_large - low_large) < (high_small - low_small)
+
+    def test_higher_confidence_widens(self):
+        narrow = wilson_interval(20, 25, confidence=0.90)
+        wide = wilson_interval(20, 25, confidence=0.99)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 3)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 2, confidence=0.80)
+
+    @given(
+        trials=st.integers(min_value=1, max_value=10_000),
+        data=st.data(),
+    )
+    def test_interval_always_brackets_the_point_estimate(self, trials, data):
+        successes = data.draw(st.integers(min_value=0, max_value=trials))
+        low, high = wilson_interval(successes, trials)
+        p = successes / trials
+        assert 0.0 <= low <= p <= high <= 1.0
+
+
+class TestFormatting:
+    def test_rate_with_ci(self):
+        text = rate_with_ci(25, 25)
+        assert text.startswith("100% [")
+        assert text.endswith("100%]")
+
+    def test_rate_with_ci_midrange(self):
+        assert rate_with_ci(5, 10).startswith("50% [")
+
+
+class TestBatchSizing:
+    def test_known_threshold(self):
+        # 0 failures in n trials certifies >= 90% at 95% confidence for a
+        # batch in the tens — and the returned n is exactly sufficient.
+        n = min_trials_for_zero_failures(0.90)
+        low_at_n, _ = wilson_interval(n, n)
+        assert low_at_n >= 0.90
+        low_before, _ = wilson_interval(n - 1, n - 1)
+        assert low_before < 0.90
+
+    def test_stricter_targets_need_more_trials(self):
+        assert min_trials_for_zero_failures(0.99) > min_trials_for_zero_failures(0.90)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            min_trials_for_zero_failures(1.0)

@@ -1,0 +1,155 @@
+"""Unit tests: the CLI and the trace formatting/export tools."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.tracefmt import (
+    describe_payload,
+    render_sequence,
+    trace_to_json,
+    trace_to_records,
+)
+from repro.cli import main
+from repro.messages.consensus import Current, Decide
+from repro.systems import build_crash_system, build_transformed_system
+from tests.helpers import SignedWorkbench
+
+
+class TestDescribePayload:
+    def test_plain_body(self):
+        text = describe_payload(Current(sender=0, round=2, est="x"))
+        assert text == "CURRENT(round=2, est='x')"
+
+    def test_signed_message_shows_cert_shape(self):
+        bench = SignedWorkbench(4)
+        message = bench.coordinator_current()
+        text = describe_payload(message)
+        assert "VCURRENT" in text
+        assert "cert[3]" in text
+        assert "signed:0" in text
+
+    def test_pruned_cert_labelled(self):
+        bench = SignedWorkbench(4)
+        light = bench.coordinator_current().light()
+        assert "cert[pruned]" in describe_payload(light)
+
+    def test_long_values_truncated(self):
+        text = describe_payload(Decide(sender=0, est="x" * 100))
+        assert len(text) < 80
+
+    def test_foreign_payloads_repr(self):
+        assert describe_payload({"a": 1}) == "{'a': 1}"
+
+
+class TestTraceExport:
+    @pytest.fixture
+    def finished_system(self):
+        system = build_crash_system(["a", "b", "c"], seed=1)
+        system.run()
+        return system
+
+    def test_records_are_json_ready(self, finished_system):
+        records = trace_to_records(finished_system.world.trace)
+        blob = json.dumps(records)
+        assert blob
+        assert all("time" in r and "kind" in r for r in records)
+
+    def test_kind_filter(self, finished_system):
+        records = trace_to_records(
+            finished_system.world.trace, kinds={"decide"}
+        )
+        assert records
+        assert all(r["kind"] == "decide" for r in records)
+
+    def test_json_roundtrip(self, finished_system):
+        parsed = json.loads(trace_to_json(finished_system.world.trace))
+        assert isinstance(parsed, list)
+
+    def test_sequence_chart_mentions_everything(self, finished_system):
+        chart = render_sequence(finished_system.world.trace, 3)
+        assert "p0" in chart and "p2" in chart
+        assert "CURRENT" in chart
+        assert "DECIDE" in chart
+        assert "-> *" in chart
+
+    def test_sequence_chart_truncation(self, finished_system):
+        chart = render_sequence(finished_system.world.trace, 3, max_events=2)
+        assert "truncated" in chart
+
+
+class TestCli:
+    def test_params(self, capsys):
+        assert main(["params", "--n", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "arbitrary-fault bound F    = 2" in out
+
+    def test_run_transformed_with_attack(self, capsys):
+        code = main(
+            ["run", "--n", "4", "--attack", "3:corrupt-vector", "--seed", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agreement=True" in out
+        assert "detections: {3: 3}" in out
+
+    def test_run_crash_protocol_violation_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "run",
+                "--protocol",
+                "hurfin-raynal",
+                "--n",
+                "5",
+                "--attack",
+                "4:spurious-decide",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "violation" in out
+
+    def test_run_with_crash_and_chart(self, capsys):
+        code = main(
+            ["run", "--protocol", "chandra-toueg", "--n", "4",
+             "--crash", "0:0.5", "--chart"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "time" in out and "| p0" not in out.splitlines()[0]
+
+    def test_run_echo_init_variant(self, capsys):
+        assert main(["run", "--n", "4", "--variant", "echo-init"]) == 0
+
+    def test_json_export(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        code = main(["run", "--n", "4", "--json", str(target)])
+        assert code == 0
+        parsed = json.loads(target.read_text())
+        assert parsed
+
+    def test_attacks_listing(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt-vector" in out
+        assert "spurious-decide" in out
+
+    def test_gallery(self, capsys):
+        assert main(["gallery", "--n", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "attack gallery" in out
+        assert "mute" in out
+
+    def test_bad_pair_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--crash", "zzz"])
+
+    def test_repro_error_becomes_exit_2(self, capsys):
+        # 2 attackers with n=4 exceeds F=1 -> ConfigurationError -> exit 2.
+        code = main(
+            ["run", "--n", "4", "--attack", "2:mute", "--attack", "3:mute"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,170 @@
+"""Tests: coordinated adversaries and hypothesis-generated schedules."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.properties import (
+    check_crash_consensus,
+    check_detection,
+    check_vector_consensus,
+)
+from repro.byzantine.collusion import SharedBrain, make_colluding_equivocators
+from repro.consensus.hurfin_raynal import HurfinRaynalProcess
+from repro.detectors.oracles import ScriptedDetector
+from repro.sim.network import ScriptedDelay, UniformDelay
+from repro.sim.world import World
+from repro.systems import ConsensusSystem, build_transformed_system
+
+
+def proposals(n):
+    return [f"v{i}" for i in range(n)]
+
+
+class TestColludingEquivocators:
+    def test_safety_holds_under_collusion(self):
+        system = build_transformed_system(
+            proposals(7),
+            byzantine=make_colluding_equivocators(7),
+            seed=1,
+            delay_model=UniformDelay(0.1, 2.0),
+        )
+        system.run(max_time=2_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+
+    def test_both_colluders_convicted_by_everyone(self):
+        system = build_transformed_system(
+            proposals(7),
+            byzantine=make_colluding_equivocators(7),
+            seed=2,
+        )
+        system.run(max_time=2_000)
+        detection = check_detection(system)
+        assert detection.detected_by_all
+        assert detection.clean
+
+    def test_at_most_one_branch_decided(self):
+        # The decision quorum arithmetic: only one vector can gather
+        # n - F same-vector relays, so the decided vector is unique even
+        # though two well-formed branches circulated.
+        for seed in range(10):
+            system = build_transformed_system(
+                proposals(7),
+                byzantine=make_colluding_equivocators(7),
+                seed=seed,
+                delay_model=UniformDelay(0.1, 2.0),
+            )
+            system.run(max_time=2_000)
+            decided = {v for v in system.decisions().values()}
+            assert len(decided) == 1
+
+    def test_shared_brain_carries_both_branches(self):
+        system = build_transformed_system(
+            proposals(7),
+            byzantine=make_colluding_equivocators(7),
+            seed=3,
+        )
+        leader = system.processes[0]
+        system.run(max_time=2_000)
+        assert isinstance(leader.brain, SharedBrain)
+        assert leader.brain.ready
+        vectors = {b.body.est_vect for b in leader.brain.branches}
+        assert len(vectors) == 2
+
+
+# -- schedule fuzzing ----------------------------------------------------------
+
+#: One channel-delay rule: (src, dst, multiplier-tenths).
+channel_rules = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=1, max_value=120),
+    ),
+    max_size=8,
+)
+
+#: Suspicion windows per process: (suspect-target, start-tenths, length-tenths).
+suspicion_scripts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=60),
+    ),
+    max_size=4,
+)
+
+
+def build_fuzzed_crash_system(rules, scripts_per_pid, seed) -> ConsensusSystem:
+    delay_rules = [
+        (
+            lambda s, d, p, rs=rs, rd=rd: s == rs and d == rd,
+            rm / 10.0,
+        )
+        for rs, rd, rm in rules
+    ]
+    processes = []
+    for pid in range(5):
+        script = [
+            (target, start / 10.0, (start + length) / 10.0)
+            for target, start, length in scripts_per_pid[pid]
+            if target != pid
+        ]
+        processes.append(
+            HurfinRaynalProcess(
+                proposal=f"v{pid}",
+                detector=ScriptedDetector(script),
+                suspicion_poll=0.2,
+            )
+        )
+    world = World(
+        processes,
+        seed=seed,
+        delay_model=ScriptedDelay(delay_rules, default=1.0),
+        fifo=True,
+    )
+    return ConsensusSystem(world=world, processes=processes)
+
+
+class TestScheduleFuzzing:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rules=channel_rules,
+        scripts=st.lists(suspicion_scripts, min_size=5, max_size=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_hr_safety_under_arbitrary_fifo_schedules(self, rules, scripts, seed):
+        """The FIFO safety argument (DESIGN.md §5), fuzzed: arbitrary
+        per-channel delays plus arbitrary wrongful-suspicion windows can
+        delay the crash protocol but never split or corrupt it."""
+        system = build_fuzzed_crash_system(rules, scripts, seed)
+        system.run(max_events=200_000, max_time=500.0)
+        report = check_crash_consensus(system)
+        # Termination may legitimately exceed the horizon when suspicion
+        # windows churn rounds forever; safety must be unconditional.
+        assert report.agreement, report.violations
+        assert report.validity, report.violations
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rules=channel_rules,
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_transformed_safety_under_fuzzed_delays(self, rules, seed):
+        delay_rules = [
+            (
+                lambda s, d, p, rs=rs, rd=rd: s == rs % 4 and d == rd % 4,
+                rm / 10.0,
+            )
+            for rs, rd, rm in rules
+        ]
+        system = build_transformed_system(
+            proposals(4),
+            seed=seed,
+            delay_model=ScriptedDelay(delay_rules, default=1.0),
+        )
+        system.run(max_events=200_000, max_time=500.0)
+        report = check_vector_consensus(system)
+        assert report.agreement, report.violations
+        assert report.validity, report.violations

@@ -1,0 +1,288 @@
+"""Unit tests: the PF well-formedness predicates of Section 5.1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.certification import (
+    current_message_problems,
+    decide_message_problems,
+    est_cert_problems,
+    init_message_problems,
+    next_message_problems,
+    next_set_problems,
+)
+from repro.core.certificates import Certificate, EMPTY_CERTIFICATE
+from repro.messages.consensus import VCurrent, VDecide, VNext
+from tests.helpers import SignedWorkbench
+
+
+@pytest.fixture
+def bench():
+    return SignedWorkbench(4)
+
+
+class TestInitPredicate:
+    def test_empty_cert_accepted(self, bench):
+        message = bench.signed_init(0)
+        assert init_message_problems(message, bench.params, bench.verify) == []
+
+    def test_nonempty_cert_rejected(self, bench):
+        from repro.messages.consensus import Init
+
+        loaded = bench.authorities[0].make(
+            Init(sender=0, value="x"),
+            Certificate((bench.signed_init(1),)),
+        )
+        problems = init_message_problems(loaded, bench.params, bench.verify)
+        assert problems and "empty certificate" in problems[0]
+
+
+class TestEstCertPredicate:
+    def test_initial_form_accepted(self, bench):
+        senders = [0, 1, 2]
+        cert = Certificate(tuple(bench.init_quorum(senders)))
+        vector = bench.vector_for(senders)
+        assert est_cert_problems(cert, vector, bench.params, bench.verify) == []
+
+    def test_relay_form_accepted(self, bench):
+        coordinator_msg = bench.coordinator_current()
+        cert = Certificate((coordinator_msg,))
+        vector = coordinator_msg.body.est_vect
+        assert est_cert_problems(cert, vector, bench.params, bench.verify) == []
+
+    def test_relay_form_vector_mismatch_rejected(self, bench):
+        coordinator_msg = bench.coordinator_current()
+        cert = Certificate((coordinator_msg,))
+        other = bench.vector_for([1, 2, 3])
+        problems = est_cert_problems(cert, other, bench.params, bench.verify)
+        assert problems
+
+    def test_pruned_inner_cert_rejected(self, bench):
+        coordinator_msg = bench.coordinator_current().light()
+        cert = Certificate((coordinator_msg,))
+        vector = coordinator_msg.body.est_vect
+        problems = est_cert_problems(cert, vector, bench.params, bench.verify)
+        assert any("pruned" in p for p in problems)
+
+    def test_empty_cert_rejected(self, bench):
+        vector = bench.vector_for([0, 1, 2])
+        problems = est_cert_problems(
+            EMPTY_CERTIFICATE, vector, bench.params, bench.verify
+        )
+        assert problems
+
+
+class TestNextSetPredicate:
+    def test_round_one_needs_empty_set(self, bench):
+        assert next_set_problems([], 0, bench.params, bench.verify) == []
+        problems = next_set_problems(
+            bench.next_quorum(1), 0, bench.params, bench.verify
+        )
+        assert problems
+
+    def test_full_quorum_accepted(self, bench):
+        votes = bench.next_quorum(2)
+        assert next_set_problems(votes, 2, bench.params, bench.verify) == []
+
+    def test_short_quorum_rejected(self, bench):
+        votes = bench.next_quorum(2)[:1]
+        problems = next_set_problems(votes, 2, bench.params, bench.verify)
+        assert any("needs n-F" in p for p in problems)
+
+    def test_wrong_round_votes_rejected(self, bench):
+        votes = bench.next_quorum(2)
+        problems = next_set_problems(votes, 3, bench.params, bench.verify)
+        assert any("refers to round" in p for p in problems)
+
+    def test_light_votes_verify(self, bench):
+        """NEXT entries travel pruned; their signature must still check."""
+        votes = bench.next_quorum(5)
+        assert all(not v.has_full_cert for v in votes)
+        assert next_set_problems(votes, 5, bench.params, bench.verify) == []
+
+
+class TestCurrentPredicate:
+    def test_round1_coordinator_accepted(self, bench):
+        message = bench.coordinator_current()
+        assert current_message_problems(message, bench.params, bench.verify) == []
+
+    def test_round2_coordinator_needs_next_quorum(self, bench):
+        message = bench.coordinator_current(
+            round_number=2, next_votes=bench.next_quorum(1)
+        )
+        assert current_message_problems(message, bench.params, bench.verify) == []
+
+    def test_round2_without_next_votes_rejected(self, bench):
+        message = bench.coordinator_current(round_number=2)
+        problems = current_message_problems(message, bench.params, bench.verify)
+        assert any("next_cert" in p for p in problems)
+
+    def test_corrupted_vector_rejected(self, bench):
+        honest = bench.coordinator_current()
+        corrupted_body = honest.body.replace(
+            est_vect=tuple("poison" for _ in range(bench.n))
+        )
+        coordinator = honest.body.sender
+        message = bench.authorities[coordinator].make(
+            corrupted_body, honest.full_cert()
+        )
+        problems = current_message_problems(message, bench.params, bench.verify)
+        assert problems
+
+    def test_relay_accepted(self, bench):
+        inner = bench.coordinator_current()
+        relay = bench.relay_current(2, inner)
+        assert current_message_problems(relay, bench.params, bench.verify) == []
+
+    def test_relay_of_relay_accepted(self, bench):
+        inner = bench.coordinator_current()
+        relay = bench.relay_current(2, inner)
+        deep = bench.relay_current(3, relay)
+        assert current_message_problems(deep, bench.params, bench.verify) == []
+
+    def test_relay_with_corrupted_vector_rejected(self, bench):
+        inner = bench.coordinator_current()
+        body = VCurrent(
+            sender=2, round=1, est_vect=tuple("poison" for _ in range(bench.n))
+        )
+        relay = bench.authorities[2].make(body, Certificate((inner,)))
+        problems = current_message_problems(relay, bench.params, bench.verify)
+        assert any("corrupted est_vect" in p for p in problems)
+
+    def test_relay_with_empty_cert_rejected(self, bench):
+        body = VCurrent(sender=2, round=1, est_vect=bench.vector_for([0, 1, 2]))
+        relay = bench.authorities[2].make(body, EMPTY_CERTIFICATE)
+        problems = current_message_problems(relay, bench.params, bench.verify)
+        assert any("exactly one signed CURRENT" in p for p in problems)
+
+    def test_self_certified_relay_rejected(self, bench):
+        inner = bench.coordinator_current()
+        assert inner.body.sender == 0
+        body = VCurrent(sender=0, round=1, est_vect=inner.body.est_vect)
+        # A message certified by its own sender's CURRENT: only reachable
+        # by a faulty process (the coordinator re-relaying itself).
+        self_relay = bench.authorities[0].make(body, Certificate((inner,)))
+        # sender == coordinator, so this parses as (a broken) coordinator form
+        problems = current_message_problems(self_relay, bench.params, bench.verify)
+        assert problems
+
+    def test_future_evidence_rejected(self, bench):
+        # Coordinator CURRENT for round 2 embedding NEXT votes of round 2
+        # (the round it is starting — impossible honestly).
+        message = bench.coordinator_current(
+            round_number=2, next_votes=bench.next_quorum(2)
+        )
+        problems = current_message_problems(message, bench.params, bench.verify)
+        assert any("future" in p for p in problems)
+
+    def test_wrong_round_zero_rejected(self, bench):
+        body = VCurrent(sender=0, round=0, est_vect=bench.vector_for([0, 1, 2]))
+        message = bench.authorities[0].make(
+            body, Certificate(tuple(bench.init_quorum([0, 1, 2])))
+        )
+        problems = current_message_problems(message, bench.params, bench.verify)
+        assert any("invalid round" in p for p in problems)
+
+    def test_short_vector_rejected(self, bench):
+        body = VCurrent(sender=0, round=1, est_vect=("a",))
+        message = bench.authorities[0].make(
+            body, Certificate(tuple(bench.init_quorum([0, 1, 2])))
+        )
+        problems = current_message_problems(message, bench.params, bench.verify)
+        assert any("length" in p for p in problems)
+
+
+class TestNextPredicate:
+    def _next(self, bench, sender, round_number, cert):
+        return bench.authorities[sender].make(
+            VNext(sender=sender, round=round_number), cert
+        )
+
+    def test_suspicion_shape_accepted(self, bench):
+        # q0 -> q2: est_cert (INITs) + no CURRENTs.
+        cert = Certificate(tuple(bench.init_quorum([0, 1, 2])))
+        message = self._next(bench, 3, 1, cert)
+        assert next_message_problems(message, bench.params, bench.verify) == []
+
+    def test_change_mind_shape_accepted(self, bench):
+        current = bench.coordinator_current()
+        nexts = bench.next_quorum(1)[1:3]  # two NEXT votes
+        cert = Certificate((current, *nexts))
+        message = self._next(bench, 3, 1, cert)
+        assert next_message_problems(message, bench.params, bench.verify) == []
+
+    def test_round_end_shape_accepted(self, bench):
+        cert = Certificate(tuple(bench.next_quorum(2)))
+        message = self._next(bench, 3, 2, cert)
+        assert next_message_problems(message, bench.params, bench.verify) == []
+
+    def test_change_mind_without_quorum_rejected(self, bench):
+        current = bench.coordinator_current()
+        cert = Certificate((current,))  # one vote, quorum is 3
+        message = self._next(bench, 3, 1, cert)
+        problems = next_message_problems(message, bench.params, bench.verify)
+        assert any("misevaluated" in p for p in problems)
+
+    def test_future_evidence_rejected(self, bench):
+        cert = Certificate(tuple(bench.next_quorum(5)))
+        message = self._next(bench, 3, 2, cert)
+        problems = next_message_problems(message, bench.params, bench.verify)
+        assert any("future" in p for p in problems)
+
+    def test_residue_of_earlier_round_tolerated(self, bench):
+        # est_cert residue: INITs plus NEXTs of an earlier round, unioned
+        # into the q0->q2 certificate — must not trip the analyser.
+        cert = Certificate(
+            tuple(bench.init_quorum([0, 1, 2])) + tuple(bench.next_quorum(1))
+        )
+        message = self._next(bench, 3, 2, cert)
+        assert next_message_problems(message, bench.params, bench.verify) == []
+
+
+class TestDecidePredicate:
+    def _decide_cert(self, bench):
+        coordinator_msg = bench.coordinator_current()
+        relays = [bench.relay_current(pid, coordinator_msg) for pid in (1, 2)]
+        return coordinator_msg, Certificate((coordinator_msg, *relays))
+
+    def test_full_quorum_accepted(self, bench):
+        coordinator_msg, cert = self._decide_cert(bench)
+        message = bench.authorities[1].make(
+            VDecide(sender=1, est_vect=coordinator_msg.body.est_vect), cert
+        )
+        assert decide_message_problems(message, bench.params, bench.verify) == []
+
+    def test_sub_quorum_rejected(self, bench):
+        coordinator_msg = bench.coordinator_current()
+        cert = Certificate((coordinator_msg,))
+        message = bench.authorities[1].make(
+            VDecide(sender=1, est_vect=coordinator_msg.body.est_vect), cert
+        )
+        problems = decide_message_problems(message, bench.params, bench.verify)
+        assert any("misevaluated its decision" in p for p in problems)
+
+    def test_vector_mismatch_rejected(self, bench):
+        _coordinator_msg, cert = self._decide_cert(bench)
+        message = bench.authorities[1].make(
+            VDecide(sender=1, est_vect=bench.vector_for([1, 2, 3])), cert
+        )
+        problems = decide_message_problems(message, bench.params, bench.verify)
+        assert problems
+
+    def test_empty_cert_rejected(self, bench):
+        message = bench.authorities[1].make(
+            VDecide(sender=1, est_vect=bench.vector_for([0, 1, 2])),
+            EMPTY_CERTIFICATE,
+        )
+        problems = decide_message_problems(message, bench.params, bench.verify)
+        assert problems
+
+    def test_relayed_decide_keeps_validity(self, bench):
+        """A DECIDE relayed with the original certificate verifies for the
+        relayer too (the predicate is sender-independent)."""
+        coordinator_msg, cert = self._decide_cert(bench)
+        relayed = bench.authorities[3].make(
+            VDecide(sender=3, est_vect=coordinator_msg.body.est_vect), cert
+        )
+        assert decide_message_problems(relayed, bench.params, bench.verify) == []

@@ -1,0 +1,149 @@
+"""Integration tests: the crash-model protocols (Figure 2 and CT)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.properties import check_crash_consensus
+from repro.consensus.hurfin_raynal import coordinator_of
+from repro.sim.network import ExponentialDelay, UniformDelay
+from repro.systems import build_crash_system
+
+PROTOCOLS = ["hurfin-raynal", "chandra-toueg"]
+
+
+def proposals(n):
+    return [f"v{i}" for i in range(n)]
+
+
+class TestCoordinatorRotation:
+    def test_round_one_led_by_process_zero(self):
+        assert coordinator_of(1, 5) == 0
+
+    def test_rotation_wraps(self):
+        assert [coordinator_of(r, 3) for r in range(1, 7)] == [0, 1, 2, 0, 1, 2]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestFailureFreeRuns:
+    def test_all_decide_same_proposed_value(self, protocol):
+        system = build_crash_system(proposals(5), protocol=protocol, seed=1)
+        result = system.run()
+        assert result.quiescent()
+        report = check_crash_consensus(system)
+        assert report.all_hold, report.violations
+
+    def test_decided_value_is_a_proposal(self, protocol):
+        system = build_crash_system(proposals(5), protocol=protocol, seed=3)
+        system.run()
+        decided = {p.decision for p in system.processes}
+        assert len(decided) == 1
+        assert decided <= set(proposals(5))
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestCrashTolerance:
+    def test_tolerates_non_coordinator_crash(self, protocol):
+        system = build_crash_system(
+            proposals(5), crash_at={3: 0.01}, protocol=protocol, seed=4
+        )
+        system.run()
+        report = check_crash_consensus(system)
+        assert report.all_hold, report.violations
+
+    def test_tolerates_initial_coordinator_crash(self, protocol):
+        system = build_crash_system(
+            proposals(5), crash_at={0: 0.0}, protocol=protocol, seed=5
+        )
+        system.run(max_time=2_000)
+        report = check_crash_consensus(system)
+        assert report.all_hold, report.violations
+        # The decision must have taken more than one round (the first
+        # coordinator was dead before proposing).
+        deciders = [p for p in system.processes if p.decided]
+        assert all(p.decision_round >= 2 for p in deciders)
+
+    def test_tolerates_maximum_crashes(self, protocol):
+        n = 5
+        system = build_crash_system(
+            proposals(n), crash_at={0: 0.0, 1: 0.0}, protocol=protocol, seed=6
+        )
+        system.run(max_time=2_000)
+        report = check_crash_consensus(system)
+        assert report.all_hold, report.violations
+
+    def test_mid_round_crash(self, protocol):
+        system = build_crash_system(
+            proposals(7), crash_at={0: 1.2, 5: 2.5}, protocol=protocol, seed=7
+        )
+        system.run(max_time=2_000)
+        report = check_crash_consensus(system)
+        assert report.all_hold, report.violations
+
+
+class TestHurfinRaynalSpecifics:
+    def test_failure_free_decides_coordinator_value_in_round_one(self):
+        """Figure 2's happy path: the first coordinator imposes its value
+        and everyone decides it within round 1."""
+        system = build_crash_system(proposals(5), seed=2)
+        system.run()
+        assert all(p.decision == "v0" for p in system.processes)
+        assert all(p.decision_round == 1 for p in system.processes)
+
+    def test_decide_relay_reaches_latecomers(self):
+        # Heavy-tailed delays: some process likely decides via the DECIDE
+        # relay task rather than its own vote count.
+        system = build_crash_system(
+            proposals(5),
+            seed=8,
+            delay_model=ExponentialDelay(mean=2.0, base=0.1, cap=30.0),
+        )
+        system.run(max_time=2_000)
+        report = check_crash_consensus(system)
+        assert report.all_hold, report.violations
+
+    def test_false_suspicions_delay_but_do_not_break(self):
+        system = build_crash_system(
+            proposals(5),
+            seed=9,
+            fd_noise_rate=0.6,
+            fd_accuracy_time=15.0,
+        )
+        system.run(max_time=3_000)
+        report = check_crash_consensus(system)
+        assert report.all_hold, report.violations
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_safety_across_random_schedules(self, seed):
+        """Agreement + Validity hold for every schedule (FIFO adoption
+        argument, DESIGN.md §5), even with pre-horizon detector noise."""
+        system = build_crash_system(
+            proposals(5),
+            crash_at={1: 2.0},
+            seed=seed,
+            fd_noise_rate=0.3,
+            fd_accuracy_time=10.0,
+            delay_model=UniformDelay(0.1, 3.0),
+        )
+        system.run(max_time=3_000)
+        report = check_crash_consensus(system)
+        assert report.agreement and report.validity, report.violations
+
+
+class TestChandraTouegSpecifics:
+    def test_estimate_locking_carries_highest_timestamp(self):
+        # After a first-round decision every process's ts is 1 or 0; this
+        # is a smoke test of the phase machinery via a multi-round run.
+        system = build_crash_system(
+            proposals(4),
+            crash_at={0: 0.0},
+            protocol="chandra-toueg",
+            seed=10,
+        )
+        system.run(max_time=2_000)
+        report = check_crash_consensus(system)
+        assert report.all_hold, report.violations
+        deciders = [p for p in system.processes if p.decided and p.pid != 0]
+        assert deciders

@@ -1,0 +1,181 @@
+"""Integration tests: the transformed protocol (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.properties import check_detection, check_vector_consensus
+from repro.core.modules import ModuleConfig
+from repro.messages.consensus import NULL
+from repro.sim.network import ExponentialDelay, UniformDelay
+from repro.systems import build_transformed_system
+
+
+def proposals(n):
+    return [f"v{i}" for i in range(n)]
+
+
+class TestFailureFreeRuns:
+    def test_all_decide_one_vector(self):
+        system = build_transformed_system(proposals(4), seed=1)
+        result = system.run()
+        assert result.quiescent()
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+
+    def test_decided_vector_has_quorum_entries(self):
+        system = build_transformed_system(proposals(7), seed=2)
+        system.run()
+        vector = system.processes[0].decision
+        present = [v for v in vector if v != NULL]
+        assert len(present) == system.params.quorum
+
+    def test_entries_match_proposals(self):
+        system = build_transformed_system(proposals(4), seed=3)
+        system.run()
+        vector = system.processes[0].decision
+        for pid, entry in enumerate(vector):
+            assert entry in (f"v{pid}", NULL)
+
+    def test_no_false_fault_declarations(self):
+        system = build_transformed_system(proposals(7), seed=4)
+        system.run()
+        for process in system.processes:
+            assert process.faulty == frozenset()
+
+    def test_round_one_decision_when_nobody_is_suspected(self):
+        system = build_transformed_system(proposals(4), seed=5)
+        system.run()
+        assert all(p.decision_round == 1 for p in system.processes)
+
+    @pytest.mark.parametrize("n", [4, 5, 7, 10])
+    def test_various_system_sizes(self, n):
+        system = build_transformed_system(proposals(n), seed=6)
+        system.run()
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+
+
+class TestCrashTolerance:
+    def test_crashed_coordinator(self):
+        system = build_transformed_system(
+            proposals(4), crash_at={0: 0.0}, seed=7
+        )
+        system.run(max_time=3_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+        deciders = [p for p in system.processes if p.pid != 0 and p.decided]
+        assert all(p.decision_round >= 2 for p in deciders)
+
+    def test_crash_mid_protocol(self):
+        system = build_transformed_system(
+            proposals(7), crash_at={2: 1.5, 5: 3.0}, seed=8
+        )
+        system.run(max_time=3_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+
+    def test_timeout_muteness_detector_path(self):
+        system = build_transformed_system(
+            proposals(4), crash_at={0: 0.2}, muteness="timeout", seed=9
+        )
+        system.run(max_time=3_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+        detection = check_detection(system)
+        assert 0 in detection.suspected_by_any
+
+
+class TestAdverseSchedules:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_properties_hold_across_random_schedules(self, seed):
+        system = build_transformed_system(
+            proposals(4),
+            seed=seed,
+            delay_model=UniformDelay(0.1, 3.0),
+        )
+        system.run(max_time=3_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+
+    def test_heavy_tailed_delays(self):
+        system = build_transformed_system(
+            proposals(5),
+            f=1,
+            seed=10,
+            delay_model=ExponentialDelay(mean=2.0, base=0.1, cap=40.0),
+        )
+        system.run(max_time=5_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+
+    def test_multi_round_runs_terminate(self):
+        # Timeout muteness detector with a short fuse provokes wrongful
+        # suspicions and extra rounds; the protocol must still converge.
+        system = build_transformed_system(
+            proposals(4),
+            muteness="timeout",
+            muteness_timeout=2.0,
+            seed=11,
+            delay_model=UniformDelay(0.5, 2.5),
+        )
+        system.run(max_time=5_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+        assert not check_detection(system).false_positives
+
+
+class TestProtocolInternals:
+    def test_certificates_accumulate_and_reset(self):
+        system = build_transformed_system(proposals(4), seed=12)
+        system.run()
+        process = system.processes[1]
+        # After deciding in round 1, current_cert holds the quorum.
+        assert len(process.current_cert.senders()) >= system.params.quorum - 1
+
+    def test_est_cert_well_formed_at_decision(self):
+        from repro.consensus.certification import est_cert_problems
+
+        system = build_transformed_system(proposals(4), seed=13)
+        system.run()
+        for process in system.processes:
+            problems = est_cert_problems(
+                process.est_cert,
+                process.decision,
+                system.params,
+                process.authority.signature_valid,
+            )
+            assert problems == [], problems
+
+    def test_vector_built_trace_event(self):
+        system = build_transformed_system(proposals(4), seed=14)
+        system.run()
+        assert system.world.trace.count("vector-built") == 4
+
+    def test_decide_relay_quiesces(self):
+        # The DECIDE relay must not echo forever.
+        system = build_transformed_system(proposals(4), seed=15)
+        result = system.run(max_events=100_000)
+        assert result.quiescent()
+
+
+class TestAblationConfig:
+    def test_ablated_signature_module_admits_unsigned_envelopes(self):
+        config = ModuleConfig.full().without("signature")
+        system = build_transformed_system(proposals(4), config=config, seed=16)
+        system.run()
+        # Correct-only run: disabling checks loses nothing here.
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+
+    def test_each_ablation_still_works_without_faults(self):
+        from repro.core.modules import ABLATABLE_MODULES
+
+        for module in ABLATABLE_MODULES:
+            config = ModuleConfig.full().without(module)
+            system = build_transformed_system(proposals(4), config=config, seed=17)
+            system.run(max_time=3_000)
+            report = check_vector_consensus(system)
+            assert report.all_hold, (module, report.violations)

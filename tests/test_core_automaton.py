@@ -1,0 +1,100 @@
+"""Unit tests: the generic behaviour state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automaton import FAULTY, BehaviorViolation, StateMachine
+from repro.core.certificates import EMPTY_CERTIFICATE, SignedMessage
+from repro.crypto.signatures import Signature
+from repro.errors import ProtocolError
+from repro.messages.consensus import Current, Decide, Next
+
+
+def wrap(body) -> SignedMessage:
+    """Unverified envelope — these tests exercise the machine, not crypto."""
+    return SignedMessage(
+        body=body, cert=EMPTY_CERTIFICATE, signature=Signature(signer=-1, mac=b"")
+    )
+
+
+def machine_abc() -> StateMachine:
+    """a --Current--> b --Next--> c; Decide allowed in b with a guard."""
+    machine = StateMachine(initial="a")
+    machine.add_rule("a", Current, lambda m: "b")
+
+    def guarded(message):
+        if message.body.est == "bad":
+            raise BehaviorViolation("bad estimate")
+        return "c"
+
+    machine.add_rule("b", Decide, guarded)
+    machine.add_rule("b", Next, lambda m: "c")
+    return machine
+
+
+class TestStateMachine:
+    def test_initial_state(self):
+        assert machine_abc().state == "a"
+
+    def test_accepting_transition(self):
+        machine = machine_abc()
+        step = machine.feed(wrap(Current(sender=0, round=1, est="x")))
+        assert step.accepted
+        assert machine.state == "b"
+
+    def test_out_of_order_faults(self):
+        machine = machine_abc()
+        step = machine.feed(wrap(Next(sender=0, round=1)))  # Next not enabled in a
+        assert not step.accepted
+        assert machine.faulty
+        assert "out-of-order" in (step.reason or "")
+
+    def test_violation_faults_with_reason(self):
+        machine = machine_abc()
+        machine.feed(wrap(Current(sender=0, round=1, est="x")))
+        step = machine.feed(wrap(Decide(sender=0, est="bad")))
+        assert not step.accepted
+        assert machine.fault_reason == "bad estimate"
+
+    def test_faulty_is_absorbing(self):
+        machine = machine_abc()
+        machine.feed(wrap(Next(sender=0, round=1)))
+        assert machine.faulty
+        step = machine.feed(wrap(Current(sender=0, round=1, est="x")))
+        assert not step.accepted
+        assert machine.state == FAULTY
+
+    def test_guard_acceptance(self):
+        machine = machine_abc()
+        machine.feed(wrap(Current(sender=0, round=1, est="x")))
+        step = machine.feed(wrap(Decide(sender=0, est="good")))
+        assert step.accepted
+        assert machine.state == "c"
+
+    def test_enabled_types(self):
+        machine = machine_abc()
+        assert machine.enabled_types() == frozenset({"Current"})
+        assert machine.enabled_types("b") == frozenset({"Decide", "Next"})
+        assert machine.enabled_types("c") == frozenset()
+
+    def test_force_state(self):
+        machine = machine_abc()
+        machine.force_state("b")
+        assert machine.state == "b"
+
+    def test_force_state_cannot_leave_faulty(self):
+        machine = machine_abc()
+        machine.feed(wrap(Next(sender=0, round=1)))
+        machine.force_state("a")
+        assert machine.state == FAULTY
+
+    def test_duplicate_rule_rejected(self):
+        machine = machine_abc()
+        with pytest.raises(ProtocolError):
+            machine.add_rule("a", Current, lambda m: "z")
+
+    def test_out_of_order_reason_lists_enabled(self):
+        machine = machine_abc()
+        step = machine.feed(wrap(Decide(sender=0, est="x")))
+        assert "Current" in (step.reason or "")

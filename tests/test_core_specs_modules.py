@@ -1,0 +1,111 @@
+"""Unit and property tests: resilience arithmetic and module config."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.modules import ABLATABLE_MODULES, ModuleConfig
+from repro.core.specs import (
+    SystemParameters,
+    certification_resilience,
+    crash_resilience,
+    max_arbitrary_faults,
+    quorum,
+    vector_validity_floor,
+)
+from repro.errors import ConfigurationError
+
+
+class TestResilienceArithmetic:
+    @pytest.mark.parametrize(
+        "n, expected", [(2, 0), (3, 1), (4, 1), (5, 2), (7, 3), (10, 4)]
+    )
+    def test_crash_resilience(self, n, expected):
+        assert crash_resilience(n) == expected
+
+    @pytest.mark.parametrize(
+        "n, expected", [(2, 0), (3, 0), (4, 1), (7, 2), (10, 3), (13, 4)]
+    )
+    def test_certification_resilience(self, n, expected):
+        assert certification_resilience(n) == expected
+
+    @given(st.integers(min_value=2, max_value=500))
+    def test_arbitrary_bound_is_min_of_both(self, n):
+        f = max_arbitrary_faults(n)
+        assert f == min((n - 1) // 2, (n - 1) // 3)
+
+    @given(st.integers(min_value=4, max_value=500))
+    def test_quorum_majority_intersection(self, n):
+        """Two (n-F) quorums intersect in more than F processes: the
+        counting fact the transformed protocol's agreement rests on."""
+        f = max_arbitrary_faults(n)
+        q = quorum(n, f)
+        assert 2 * q - n >= f + 1
+
+    @given(st.integers(min_value=4, max_value=500))
+    def test_vector_validity_floor_positive_at_bound(self, n):
+        f = max_arbitrary_faults(n)
+        assert vector_validity_floor(n, f) >= 1
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            crash_resilience(1)
+
+
+class TestSystemParameters:
+    def test_for_n_defaults_to_bound(self):
+        params = SystemParameters.for_n(7)
+        assert params.n == 7
+        assert params.f == 2
+        assert params.quorum == 5
+        assert params.alpha == 3
+
+    def test_explicit_f_within_bound(self):
+        params = SystemParameters.for_n(7, f=1)
+        assert params.f == 1
+        assert params.quorum == 6
+
+    def test_f_beyond_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters.for_n(4, f=2)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(n=4, f=-1, certification_c=1)
+
+    def test_custom_certification_c_caps_f(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(n=9, f=3, certification_c=2)
+
+    @given(st.integers(min_value=4, max_value=200))
+    def test_alpha_at_least_one(self, n):
+        params = SystemParameters.for_n(n)
+        assert params.alpha >= 1
+
+
+class TestModuleConfig:
+    def test_full_has_everything_active(self):
+        config = ModuleConfig.full()
+        assert set(config.active_modules()) == set(ABLATABLE_MODULES)
+
+    @pytest.mark.parametrize("module", ABLATABLE_MODULES)
+    def test_without_disables_named_module(self, module):
+        config = ModuleConfig.full().without(module)
+        assert module not in config.active_modules()
+
+    def test_without_monitor_disables_dependents(self):
+        config = ModuleConfig.full().without("monitor")
+        active = config.active_modules()
+        assert "monitor" not in active
+        assert "certification" not in active
+        assert "ledger" not in active
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModuleConfig.full().without("flux-capacitor")
+
+    def test_config_is_immutable(self):
+        config = ModuleConfig.full()
+        with pytest.raises(AttributeError):
+            config.verify_signatures = False  # type: ignore[misc]

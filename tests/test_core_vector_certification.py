@@ -1,0 +1,188 @@
+"""Unit and property tests: vector certification (paper Propositions 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.specs import SystemParameters
+from repro.core.vector_certification import (
+    CertifiedVectorBuilder,
+    certified_vector_problems,
+    vectors_compatible,
+)
+from repro.errors import CertificateError
+from repro.messages.consensus import NULL
+from tests.helpers import SignedWorkbench
+
+
+@pytest.fixture
+def bench():
+    return SignedWorkbench(4)
+
+
+class TestCertifiedVectorBuilder:
+    def test_not_ready_until_quorum(self, bench):
+        builder = CertifiedVectorBuilder(bench.params)
+        builder.add(bench.signed_init(0))
+        builder.add(bench.signed_init(1))
+        assert not builder.ready
+        builder.add(bench.signed_init(2))
+        assert builder.ready
+
+    def test_build_before_ready_rejected(self, bench):
+        builder = CertifiedVectorBuilder(bench.params)
+        with pytest.raises(CertificateError):
+            builder.build()
+
+    def test_build_produces_witnessed_vector(self, bench):
+        builder = CertifiedVectorBuilder(bench.params)
+        for pid in (0, 1, 3):
+            builder.add(bench.signed_init(pid))
+        vector, cert = builder.build()
+        assert vector == ("v0", "v1", NULL, "v3")
+        assert cert.senders() == frozenset({0, 1, 3})
+        assert certified_vector_problems(
+            list(cert), vector, bench.params, bench.verify
+        ) == []
+
+    def test_duplicate_sender_ignored(self, bench):
+        builder = CertifiedVectorBuilder(bench.params)
+        assert builder.add(bench.signed_init(0))
+        assert not builder.add(bench.signed_init(0, "other"))
+        assert builder.collected_count == 1
+
+    def test_extra_inits_after_ready_ignored(self, bench):
+        builder = CertifiedVectorBuilder(bench.params)
+        for pid in range(3):
+            builder.add(bench.signed_init(pid))
+        assert not builder.add(bench.signed_init(3))
+        vector, _cert = builder.build()
+        assert vector[3] == NULL
+
+    def test_non_init_rejected(self, bench):
+        builder = CertifiedVectorBuilder(bench.params)
+        with pytest.raises(CertificateError):
+            builder.add(bench.coordinator_current())
+
+
+class TestCertifiedVectorProblems:
+    def test_well_formed_passes(self, bench):
+        inits = bench.init_quorum([0, 1, 2])
+        vector = bench.vector_for([0, 1, 2])
+        assert certified_vector_problems(inits, vector, bench.params, bench.verify) == []
+
+    def test_falsified_entry_detected(self, bench):
+        """Proposition-2 machinery: falsifying an entry is detectable."""
+        inits = bench.init_quorum([0, 1, 2])
+        vector = list(bench.vector_for([0, 1, 2]))
+        vector[1] = "falsified"
+        problems = certified_vector_problems(
+            inits, tuple(vector), bench.params, bench.verify
+        )
+        assert any("entry 1" in p for p in problems)
+
+    def test_unwitnessed_entry_detected(self, bench):
+        inits = bench.init_quorum([0, 1, 2])
+        vector = list(bench.vector_for([0, 1, 2]))
+        vector[3] = "injected"  # no INIT witnesses slot 3
+        problems = certified_vector_problems(
+            inits, tuple(vector), bench.params, bench.verify
+        )
+        assert any("no witnessing INIT" in p for p in problems)
+
+    def test_short_quorum_detected(self, bench):
+        inits = bench.init_quorum([0, 1])
+        vector = bench.vector_for([0, 1])
+        problems = certified_vector_problems(inits, vector, bench.params, bench.verify)
+        assert any("distinct valid senders" in p for p in problems)
+
+    def test_bad_signature_detected(self, bench):
+        from repro.core.certificates import EMPTY_CERTIFICATE, SignedMessage
+        from repro.messages.consensus import Init
+
+        good = bench.init_quorum([0, 1])
+        bad = SignedMessage(
+            body=Init(sender=2, value="v2"),
+            cert=EMPTY_CERTIFICATE,
+            signature=bench.scheme.forge(2, "nope"),
+        )
+        vector = bench.vector_for([0, 1, 2])
+        problems = certified_vector_problems(
+            good + [bad], vector, bench.params, bench.verify
+        )
+        assert any("bad signature" in p for p in problems)
+
+    def test_duplicate_sender_detected(self, bench):
+        inits = bench.init_quorum([0, 1, 2]) + [bench.signed_init(0, "again")]
+        vector = bench.vector_for([0, 1, 2])
+        problems = certified_vector_problems(inits, vector, bench.params, bench.verify)
+        assert any("two INIT entries" in p for p in problems)
+
+    def test_wrong_length_vector_detected(self, bench):
+        inits = bench.init_quorum([0, 1, 2])
+        problems = certified_vector_problems(
+            inits, ("v0",), bench.params, bench.verify
+        )
+        assert problems and "length" in problems[0]
+
+    def test_foreign_entry_detected(self, bench):
+        inits = bench.init_quorum([0, 1, 2]) + [bench.coordinator_current()]
+        vector = bench.vector_for([0, 1, 2])
+        problems = certified_vector_problems(inits, vector, bench.params, bench.verify)
+        assert any("non-INIT entry" in p for p in problems)
+
+
+class TestProposition1And2Properties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=10),
+        subset_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_prop1_every_quorum_subset_builds_well_formed_vector(
+        self, n, subset_seed
+    ):
+        """Proposition 1: every correct process can build a vector whose
+        certificate is well-formed w.r.t. it."""
+        import random
+
+        bench = SignedWorkbench(n)
+        rng = random.Random(subset_seed)
+        senders = rng.sample(range(n), bench.params.quorum)
+        builder = CertifiedVectorBuilder(bench.params)
+        for pid in senders:
+            builder.add(bench.signed_init(pid))
+        vector, cert = builder.build()
+        assert certified_vector_problems(
+            list(cert), vector, bench.params, bench.verify
+        ) == []
+        for pid in senders:
+            assert vector[pid] == f"v{pid}"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=10),
+        seed_a=st.integers(min_value=0, max_value=10_000),
+        seed_b=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_prop2_two_certified_vectors_never_conflict(self, n, seed_a, seed_b):
+        """The checkable core of Proposition 2: two well-formed certified
+        vectors built from honest INITs agree on every shared entry."""
+        import random
+
+        bench = SignedWorkbench(n)
+
+        def build(seed):
+            rng = random.Random(seed)
+            senders = rng.sample(range(n), bench.params.quorum)
+            builder = CertifiedVectorBuilder(bench.params)
+            for pid in senders:
+                builder.add(bench.signed_init(pid))
+            return builder.build()[0]
+
+        assert vectors_compatible(build(seed_a), build(seed_b))
+
+    def test_incompatible_vectors_detected(self):
+        assert not vectors_compatible(("a", NULL), ("b", NULL))
+        assert vectors_compatible(("a", NULL), (NULL, "b"))
+        assert vectors_compatible(("a", "b"), ("a", "b"))

@@ -1,0 +1,138 @@
+"""Unit and property tests: canonical encoding, keys, signatures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.encoding import canonical_bytes
+from repro.crypto.keys import KeyAuthority
+from repro.crypto.signatures import SignatureScheme
+from repro.errors import EncodingError, UnknownKeyError
+from repro.messages.consensus import Init
+
+
+# Values drawn from the encodable vocabulary.
+encodable = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4).map(tuple)
+    | st.dictionaries(st.text(max_size=5), children, max_size=4),
+    max_leaves=15,
+)
+
+
+class TestCanonicalEncoding:
+    @given(encodable)
+    def test_deterministic(self, value):
+        assert canonical_bytes(value) == canonical_bytes(value)
+
+    def test_type_distinctions(self):
+        # Values that compare equal or look alike must encode differently
+        # when their types differ — otherwise signatures could be replayed
+        # across types.
+        assert canonical_bytes(True) != canonical_bytes(1)
+        assert canonical_bytes(False) != canonical_bytes(0)
+        assert canonical_bytes("1") != canonical_bytes(1)
+        assert canonical_bytes(b"x") != canonical_bytes("x")
+        assert canonical_bytes(()) != canonical_bytes("")
+
+    def test_dict_order_independent(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    def test_set_order_independent(self):
+        assert canonical_bytes({3, 1, 2}) == canonical_bytes({1, 2, 3})
+
+    def test_tuple_order_dependent(self):
+        assert canonical_bytes((1, 2)) != canonical_bytes((2, 1))
+
+    def test_nesting_is_unambiguous(self):
+        assert canonical_bytes(((1,), 2)) != canonical_bytes((1, (2,)))
+        assert canonical_bytes((("ab",), "c")) != canonical_bytes(("a", ("bc",)))
+
+    def test_message_bodies_encode_via_canonical(self):
+        a = canonical_bytes(Init(sender=0, value="x"))
+        b = canonical_bytes(Init(sender=0, value="x"))
+        c = canonical_bytes(Init(sender=1, value="x"))
+        assert a == b != c
+
+    def test_distinct_message_types_distinct_encoding(self):
+        from repro.messages.consensus import Next, VNext
+
+        assert canonical_bytes(Next(sender=0, round=1)) != canonical_bytes(
+            VNext(sender=0, round=1)
+        )
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_bytes(object())
+
+
+class TestKeyAuthority:
+    def test_signer_signs_as_itself(self):
+        authority = KeyAuthority(3)
+        signer = authority.signer_for(1)
+        assert signer.pid == 1
+        mac = signer.sign(b"data")
+        assert authority.verify(1, b"data", mac)
+
+    def test_cross_process_verification_fails(self):
+        authority = KeyAuthority(3)
+        mac = authority.signer_for(1).sign(b"data")
+        assert not authority.verify(2, b"data", mac)
+
+    def test_tampered_data_fails(self):
+        authority = KeyAuthority(3)
+        mac = authority.signer_for(0).sign(b"data")
+        assert not authority.verify(0, b"datX", mac)
+
+    def test_unknown_pid_rejected(self):
+        with pytest.raises(UnknownKeyError):
+            KeyAuthority(3).signer_for(5)
+
+    def test_unknown_pid_verification_false(self):
+        assert not KeyAuthority(3).verify(9, b"x", b"y")
+
+    def test_keys_differ_across_seeds(self):
+        mac_a = KeyAuthority(2, seed=1).signer_for(0).sign(b"m")
+        mac_b = KeyAuthority(2, seed=2).signer_for(0).sign(b"m")
+        assert mac_a != mac_b
+
+
+class TestSignatureScheme:
+    def _scheme(self, n=3):
+        authority = KeyAuthority(n)
+        return authority, SignatureScheme(authority)
+
+    @given(encodable)
+    def test_sign_verify_roundtrip(self, value):
+        authority, scheme = self._scheme()
+        signature = scheme.sign(authority.signer_for(0), value)
+        assert scheme.verify(value, signature)
+
+    @given(encodable)
+    def test_forged_signature_rejected(self, value):
+        _authority, scheme = self._scheme()
+        forged = scheme.forge(0, value)
+        assert not scheme.verify(value, forged)
+
+    def test_signature_binds_signer(self):
+        authority, scheme = self._scheme()
+        signature = scheme.sign(authority.signer_for(0), "v")
+        from dataclasses import replace
+
+        stolen = replace(signature, signer=1)
+        assert not scheme.verify("v", stolen)
+
+    def test_signature_binds_value(self):
+        authority, scheme = self._scheme()
+        signature = scheme.sign(authority.signer_for(0), "v")
+        assert not scheme.verify("w", signature)
+
+    def test_forgeries_with_different_nonces_differ(self):
+        _authority, scheme = self._scheme()
+        assert scheme.forge(0, "v", nonce=0) != scheme.forge(0, "v", nonce=1)

@@ -1,0 +1,267 @@
+"""Unit tests: failure detectors (oracle ◇S, heartbeat, ◇M muteness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors.base import FailureDetector
+from repro.detectors.diamond_m import MutenessDetector, RoundAwareMutenessDetector
+from repro.detectors.diamond_s import (
+    heartbeat_diamond_s_suite,
+    oracle_diamond_s_suite,
+)
+from repro.detectors.heartbeat import Heartbeat, HeartbeatDetector
+from repro.detectors.oracles import OracleDetector, PerfectOracle
+from repro.errors import ProtocolError
+from repro.sim.network import FixedDelay, TargetedSlowdown, UniformDelay
+from repro.sim.process import Process
+from repro.sim.world import World
+
+
+class Host(Process):
+    """Minimal process hosting a detector and forwarding its traffic."""
+
+    def __init__(self, detector: FailureDetector):
+        super().__init__()
+        self.detector = detector
+
+    def bind(self, env):
+        super().bind(env)
+        self.detector.attach(env)
+
+    def on_start(self):
+        self.detector.start()
+
+    def on_message(self, src, payload):
+        if self.detector.filter_message(src, payload):
+            return
+        self.detector.on_protocol_message(src)
+
+
+def build_hosts(detectors, seed=0, delay_model=None):
+    hosts = [Host(d) for d in detectors]
+    world = World(hosts, seed=seed, delay_model=delay_model or FixedDelay(0.2))
+    return world, hosts
+
+
+class TestFailureDetectorBase:
+    def test_use_before_attach_rejected(self):
+        detector = MutenessDetector()
+        with pytest.raises(ProtocolError):
+            _ = detector.env
+
+    def test_double_attach_rejected(self):
+        world, hosts = build_hosts([MutenessDetector(), MutenessDetector()])
+        with pytest.raises(ProtocolError):
+            hosts[0].detector.attach(hosts[0].env)
+
+    def test_stop_flag(self):
+        detector = MutenessDetector()
+        assert not detector.stopped
+        detector.stop()
+        assert detector.stopped
+
+
+class TestOracleDetector:
+    def test_suspects_exactly_the_faulty(self):
+        faulty = {1}
+        detectors = [
+            OracleDetector(status=lambda pid: pid in faulty) for _ in range(3)
+        ]
+        world, hosts = build_hosts(detectors)
+        world.run(max_time=5.0)
+        assert hosts[0].detector.suspected == frozenset({1})
+        assert hosts[2].detector.suspected == frozenset({1})
+
+    def test_never_suspects_self(self):
+        detectors = [OracleDetector(status=lambda pid: True) for _ in range(2)]
+        world, hosts = build_hosts(detectors)
+        world.run(max_time=5.0)
+        assert 0 not in hosts[0].detector.suspected
+        assert 1 in hosts[0].detector.suspected
+
+    def test_unsuspects_recovered(self):
+        # The status source flips off after a while; the next poll clears it.
+        state = {"faulty": True}
+        detector = OracleDetector(status=lambda pid: state["faulty"] and pid == 1)
+        world, hosts = build_hosts([detector, OracleDetector(lambda pid: False)])
+        world.run(max_time=3.0)
+        assert 1 in hosts[0].detector.suspected
+        state["faulty"] = False
+        world.run(max_time=6.0)
+        assert 1 not in hosts[0].detector.suspected
+
+    def test_noise_respects_trusted_and_horizon(self):
+        detector = OracleDetector(
+            status=lambda pid: False,
+            trusted=1,
+            accuracy_time=50.0,
+            noise_rate=1.0,
+        )
+        peer = OracleDetector(status=lambda pid: False)
+        filler = OracleDetector(status=lambda pid: False)
+        world, hosts = build_hosts([detector, peer, filler])
+        world.run(max_time=20.0)
+        # With noise_rate 1.0 some erroneous suspicion happened, but never
+        # of the trusted process.
+        trace_targets = {
+            e.detail["target"]
+            for e in world.trace.of_kind("suspect")
+            if e.process == 0
+        }
+        assert trace_targets, "noise should have produced suspicions"
+        assert 1 not in trace_targets
+        # After the horizon all erroneous suspicions die out.
+        world.run(max_time=60.0)
+        assert hosts[0].detector.suspected == frozenset()
+
+    def test_perfect_oracle_has_no_noise(self):
+        detectors = [PerfectOracle(status=lambda pid: False) for _ in range(2)]
+        world, hosts = build_hosts(detectors)
+        world.run(max_time=10.0)
+        assert world.trace.count("suspect") == 0
+
+    def test_suite_builder_shares_trusted(self):
+        world_processes = [
+            Host(MutenessDetector()) for _ in range(3)
+        ]  # placeholder hosts; we only exercise the builder
+        world = World(world_processes)
+        suite = oracle_diamond_s_suite(world, trusted=2, noise_rate=0.5)
+        assert len(suite) == 3
+        assert all(d._trusted == 2 for d in suite)
+
+
+class TestHeartbeatDetector:
+    def test_no_suspicion_among_correct(self):
+        detectors = heartbeat_diamond_s_suite(3, period=1.0, initial_timeout=5.0)
+        world, hosts = build_hosts(detectors, delay_model=FixedDelay(0.2))
+        world.run(max_time=40.0)
+        for host in hosts:
+            assert host.detector.suspected == frozenset()
+
+    def test_crashed_process_gets_suspected_forever(self):
+        detectors = heartbeat_diamond_s_suite(3, period=1.0, initial_timeout=4.0)
+        world, hosts = build_hosts(detectors, delay_model=FixedDelay(0.2))
+        world.crash_at(2, 5.0)
+        world.run(max_time=60.0)
+        assert 2 in hosts[0].detector.suspected
+        assert 2 in hosts[1].detector.suspected
+
+    def test_heartbeats_are_filtered(self):
+        detector = HeartbeatDetector()
+        assert isinstance(Heartbeat(sender=0), Heartbeat)
+        # filter_message consumes heartbeats, passes through the rest
+        world, hosts = build_hosts([HeartbeatDetector(), HeartbeatDetector()])
+        world.run(max_time=3.0)
+        assert hosts[0].detector.filter_message(1, "protocol-payload") is False
+
+    def test_slow_process_recovers_with_backoff(self):
+        # Slow p2's channels 8x: it gets wrongly suspected, then timeouts
+        # back off and the suspicion is withdrawn.
+        detectors = heartbeat_diamond_s_suite(3, period=1.0, initial_timeout=2.0)
+        world, hosts = build_hosts(
+            detectors,
+            delay_model=TargetedSlowdown(UniformDelay(0.2, 0.6), slow={2}, factor=8.0),
+        )
+        world.run(max_time=200.0)
+        assert hosts[0].detector.wrongful_suspicions > 0
+        assert hosts[0].detector.timeout_of(2) > 2.0
+        assert 2 not in hosts[0].detector.suspected
+
+
+class TestMutenessDetector:
+    def test_silent_peer_suspected(self):
+        world, hosts = build_hosts(
+            [MutenessDetector(initial_timeout=3.0), MutenessDetector(initial_timeout=3.0)]
+        )
+        world.run(max_time=10.0)
+        # Nobody sends protocol messages here, so each suspects the other.
+        assert 1 in hosts[0].detector.suspected
+        assert 0 in hosts[1].detector.suspected
+
+    def test_protocol_message_rearms_timeout(self):
+        class Chatty(Host):
+            def on_start(self):
+                super().on_start()
+                self._chat()
+
+            def _chat(self):
+                if not self.crashed:
+                    self.send(1, "protocol")
+                    self.env.scheduler.schedule_after(1.0, "chat", self._chat)
+
+        detector_a = MutenessDetector(initial_timeout=3.0)
+        detector_b = MutenessDetector(initial_timeout=3.0)
+        chatty = Chatty(detector_a)
+        listener = Host(detector_b)
+        world = World([chatty, listener], delay_model=FixedDelay(0.1))
+        world.run(max_time=20.0)
+        assert 0 not in listener.detector.suspected  # chatty is not mute
+        assert 1 in chatty.detector.suspected  # listener never speaks
+
+    def test_round_aware_timeout_scales_with_round(self):
+        detector = RoundAwareMutenessDetector(
+            initial_timeout=4.0, round_growth=1.5
+        )
+        assert detector.timeout_of(0) == 4.0
+        detector.notify_round(3)
+        assert detector.current_round == 3
+        assert detector.timeout_of(0) == 4.0 * 1.5**2
+
+    def test_round_aware_never_regresses(self):
+        detector = RoundAwareMutenessDetector(initial_timeout=4.0)
+        detector.notify_round(5)
+        detector.notify_round(2)  # stale notification
+        assert detector.current_round == 5
+
+    def test_round_aware_composes_with_backoff(self):
+        class LateTalker(Host):
+            def on_start(self):
+                super().on_start()
+                self.set_timer("talk", 5.0)
+
+            def on_timer(self, name):
+                self.send(1, "protocol")
+
+        listener = Host(RoundAwareMutenessDetector(initial_timeout=3.0))
+        talker = LateTalker(RoundAwareMutenessDetector(initial_timeout=3.0))
+        world = World([talker, listener], delay_model=FixedDelay(0.1))
+        world.run(max_time=7.0)
+        # Wrongful suspicion doubled the per-peer base; round scaling
+        # multiplies on top.
+        assert listener.detector.timeout_of(0) == 6.0
+        listener.detector.notify_round(2)
+        assert listener.detector.timeout_of(0) == 9.0
+
+    def test_end_to_end_round_aware_system(self):
+        from repro.analysis.properties import check_vector_consensus
+        from repro.systems import build_transformed_system
+
+        system = build_transformed_system(
+            [f"v{i}" for i in range(4)],
+            crash_at={0: 0.0},
+            muteness="round-aware",
+            muteness_timeout=4.0,
+            seed=3,
+        )
+        system.run(max_time=3_000)
+        assert check_vector_consensus(system).all_hold
+        survivors = [p for p in system.processes if p.pid != 0]
+        assert all(p.detector.current_round >= 2 for p in survivors)
+
+    def test_backoff_doubles_timeout_after_wrongful_suspicion(self):
+        class LateTalker(Host):
+            def on_start(self):
+                super().on_start()
+                self.set_timer("talk", 6.0)  # past the 3.0 initial timeout
+
+            def on_timer(self, name):
+                self.send(1, "protocol")
+
+        talker = LateTalker(MutenessDetector(initial_timeout=3.0))
+        listener = Host(MutenessDetector(initial_timeout=3.0))
+        world = World([talker, listener], delay_model=FixedDelay(0.1))
+        world.run(max_time=7.0)
+        assert listener.detector.wrongful_suspicions == 1
+        assert listener.detector.timeout_of(0) == 6.0
+        assert 0 not in listener.detector.suspected

@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs clean and says what it promised."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["decisions of the correct processes", "faulty = [3]"],
+    "crash_vs_byzantine.py": [
+        "Act 1", "Act 2", "Act 3",
+        "replicas activated a configuration NOBODY proposed",
+        "the liar is in every faulty set",
+    ],
+    "attack_gallery.py": ["Every attack absorbed"],
+    "modular_transformation.py": [
+        "hand-assembled system decided",
+        "certification ablated",
+        "all properties hold: False",
+    ],
+    "replicated_kv_store.py": [
+        "identical on every correct replica",
+        "convicted by every correct replica",
+    ],
+    "second_case_study.py": [
+        "[hurfin-raynal]",
+        "[chandra-toueg]",
+        "corrupted",
+    ],
+    "fifo_anomaly.py": [
+        "agreement : False",
+        "agreement : True",
+        "Identical schedule, opposite outcomes",
+    ],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs_and_reports(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in CASES[script]:
+        assert marker in result.stdout, (script, marker)
+
+
+def test_every_example_has_a_smoke_case():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), "update CASES when adding examples"

@@ -1,0 +1,77 @@
+"""Unit tests: message bodies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.messages.base import Message
+from repro.messages.consensus import (
+    NULL,
+    Current,
+    Decide,
+    Init,
+    Next,
+    VCurrent,
+    VDecide,
+    VNext,
+    empty_vector,
+    vector_with,
+)
+
+
+class TestMessageBase:
+    def test_type_name(self):
+        assert Current(sender=0, round=1, est="x").type_name == "CURRENT"
+        assert VNext(sender=0, round=1).type_name == "VNEXT"
+
+    def test_canonical_lists_fields_in_order(self):
+        body = Current(sender=2, round=3, est="v")
+        assert body.canonical() == (("sender", 2), ("round", 3), ("est", "v"))
+
+    def test_replace_produces_modified_copy(self):
+        body = Next(sender=1, round=4)
+        other = body.replace(round=5)
+        assert other.round == 5
+        assert body.round == 4
+
+    def test_replace_invalid_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            Next(sender=1, round=4).replace(nonsense=1)
+
+    def test_bodies_are_frozen(self):
+        body = Init(sender=0, value="x")
+        with pytest.raises(AttributeError):
+            body.value = "y"  # type: ignore[misc]
+
+    def test_bodies_are_hashable_and_equal_by_value(self):
+        assert Decide(sender=0, est="v") == Decide(sender=0, est="v")
+        assert len({Decide(sender=0, est="v"), Decide(sender=0, est="v")}) == 1
+
+    def test_all_bodies_carry_sender(self):
+        for body in (
+            Current(sender=3, round=1, est="x"),
+            Next(sender=3, round=1),
+            Decide(sender=3, est="x"),
+            Init(sender=3, value="x"),
+            VCurrent(sender=3, round=1, est_vect=("x",)),
+            VNext(sender=3, round=1),
+            VDecide(sender=3, est_vect=("x",)),
+        ):
+            assert isinstance(body, Message)
+            assert body.sender == 3
+
+
+class TestVectorHelpers:
+    def test_empty_vector(self):
+        assert empty_vector(3) == (NULL, NULL, NULL)
+
+    def test_vector_with(self):
+        base = empty_vector(3)
+        updated = vector_with(base, 1, "v")
+        assert updated == (NULL, "v", NULL)
+        assert base == (NULL, NULL, NULL)
+
+    def test_null_is_distinguishable_from_none(self):
+        assert NULL is not None
+        assert NULL != ""

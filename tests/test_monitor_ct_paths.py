@@ -1,0 +1,188 @@
+"""Unit tests: the CT behaviour automaton's paths (monitor_ct)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.certification_ct import build_justification, select_proposal
+from repro.consensus.monitor_ct import (
+    EST,
+    FINAL,
+    PROPOSED,
+    REPLIED,
+    START,
+    WAIT,
+    CtPeerMonitor,
+)
+from repro.core.certificates import Certificate, EMPTY_CERTIFICATE
+from repro.messages.ct import CtAck, CtDecide, CtEstimate, CtNack, CtPropose
+from tests.helpers import SignedWorkbench
+
+
+@pytest.fixture
+def bench():
+    return SignedWorkbench(4)
+
+
+def monitor_for(bench, peer):
+    return CtPeerMonitor(peer, bench.params, bench.verify)
+
+
+def estimate(bench, pid, round_number=1, ts=0):
+    senders = [0, 1, 2]
+    cert = Certificate(tuple(bench.init_quorum(senders)))
+    return bench.authorities[pid].make(
+        CtEstimate(
+            sender=pid,
+            round=round_number,
+            est_vect=bench.vector_for(senders),
+            ts=ts,
+        ),
+        cert,
+    )
+
+
+def propose(bench, round_number=1):
+    coordinator = (round_number - 1) % bench.n
+    estimates = [estimate(bench, pid, round_number) for pid in range(3)]
+    picked = select_proposal(estimates)
+    return bench.authorities[coordinator].make(
+        CtPropose(
+            sender=coordinator, round=round_number, est_vect=picked.body.est_vect
+        ),
+        build_justification(estimates),
+    )
+
+
+def ack(bench, pid, round_number=1):
+    return bench.authorities[pid].make(
+        CtAck(sender=pid, round=round_number),
+        Certificate((propose(bench, round_number),)),
+    )
+
+
+def nack(bench, pid, round_number=1):
+    return bench.authorities[pid].make(
+        CtNack(sender=pid, round=round_number), EMPTY_CERTIFICATE
+    )
+
+
+def decide(bench, pid):
+    proposal = propose(bench, 1)
+    acks = [
+        bench.authorities[k]
+        .make(CtAck(sender=k, round=1), Certificate((proposal,)))
+        .light()
+        for k in range(3)
+    ]
+    return bench.authorities[pid].make(
+        CtDecide(sender=pid, est_vect=proposal.body.est_vect),
+        Certificate((proposal, *acks)),
+    )
+
+
+class TestLegalPaths:
+    def test_coordinator_full_round(self, bench):
+        monitor = monitor_for(bench, 0)
+        assert monitor.state == START
+        assert monitor.feed(bench.signed_init(0)).accepted
+        assert monitor.state == WAIT
+        assert monitor.feed(estimate(bench, 0)).accepted
+        assert monitor.state == EST
+        assert monitor.feed(propose(bench, 1)).accepted
+        assert monitor.state == PROPOSED
+        assert monitor.feed(ack(bench, 0)).accepted
+        assert monitor.state == REPLIED
+
+    def test_follower_ack_path(self, bench):
+        monitor = monitor_for(bench, 2)
+        monitor.feed(bench.signed_init(2))
+        monitor.feed(estimate(bench, 2))
+        assert monitor.feed(ack(bench, 2)).accepted
+        assert monitor.state == REPLIED
+
+    def test_follower_nack_path_and_round_rollover(self, bench):
+        monitor = monitor_for(bench, 2)
+        monitor.feed(bench.signed_init(2))
+        monitor.feed(estimate(bench, 2))
+        assert monitor.feed(nack(bench, 2)).accepted
+        step = monitor.feed(estimate(bench, 2, round_number=2))
+        assert step.accepted
+        assert monitor.round == 2 and monitor.state == EST
+
+    def test_silent_round_skip_via_estimates(self, bench):
+        # A peer may advance without replying (quorum reached elsewhere).
+        monitor = monitor_for(bench, 2)
+        monitor.feed(bench.signed_init(2))
+        monitor.feed(estimate(bench, 2, 1))
+        assert monitor.feed(estimate(bench, 2, 2)).accepted
+
+    def test_decide_terminal(self, bench):
+        monitor = monitor_for(bench, 1)
+        monitor.feed(bench.signed_init(1))
+        monitor.feed(estimate(bench, 1))
+        assert monitor.feed(decide(bench, 1)).accepted
+        assert monitor.state == FINAL
+        assert not monitor.feed(estimate(bench, 1, 2)).accepted
+
+
+class TestViolations:
+    def test_propose_from_non_coordinator(self, bench):
+        monitor = monitor_for(bench, 1)  # round-1 coordinator is 0
+        monitor.feed(bench.signed_init(1))
+        monitor.feed(estimate(bench, 1))
+        # Forge-by-structure: p1 signs a proposal for round 1.
+        estimates = [estimate(bench, pid) for pid in range(3)]
+        rogue = bench.authorities[1].make(
+            CtPropose(
+                sender=1,
+                round=1,
+                est_vect=select_proposal(estimates).body.est_vect,
+            ),
+            build_justification(estimates),
+        )
+        step = monitor.feed(rogue)
+        assert not step.accepted
+        assert monitor.faulty
+
+    def test_double_reply_is_out_of_order(self, bench):
+        monitor = monitor_for(bench, 2)
+        monitor.feed(bench.signed_init(2))
+        monitor.feed(estimate(bench, 2))
+        monitor.feed(ack(bench, 2))
+        step = monitor.feed(nack(bench, 2))
+        assert not step.accepted
+
+    def test_coordinator_nacking_itself(self, bench):
+        monitor = monitor_for(bench, 0)
+        monitor.feed(bench.signed_init(0))
+        monitor.feed(estimate(bench, 0))
+        step = monitor.feed(nack(bench, 0))
+        assert not step.accepted
+        assert "nacked itself" in (step.reason or "")
+
+    def test_skipped_round_estimate(self, bench):
+        monitor = monitor_for(bench, 2)
+        monitor.feed(bench.signed_init(2))
+        monitor.feed(estimate(bench, 2, 1))
+        step = monitor.feed(estimate(bench, 2, 3))
+        assert not step.accepted
+
+    def test_vote_before_init(self, bench):
+        monitor = monitor_for(bench, 2)
+        step = monitor.feed(estimate(bench, 2))
+        assert not step.accepted
+
+    def test_identity_mismatch(self, bench):
+        monitor = monitor_for(bench, 2)
+        monitor.feed(bench.signed_init(2))
+        step = monitor.feed(estimate(bench, 1))  # claims sender 1 on channel 2
+        assert not step.accepted
+        assert "identity mismatch" in (step.reason or "")
+
+    def test_ack_round_mismatch(self, bench):
+        monitor = monitor_for(bench, 2)
+        monitor.feed(bench.signed_init(2))
+        monitor.feed(estimate(bench, 2))
+        step = monitor.feed(ack(bench, 2, round_number=2))
+        assert not step.accepted

@@ -1,0 +1,175 @@
+"""Integration tests: BFT state-machine replication over Vector Consensus."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.byzantine.transformed_attacks import (
+    TCorruptVectorAttacker,
+    TForgedDecideAttacker,
+)
+from repro.replication import (
+    Command,
+    KeyValueStore,
+    build_replicated_system,
+    materialise,
+)
+from repro.sim.network import UniformDelay
+
+
+def workloads(n, slots):
+    return [
+        [Command("set", f"key-{pid}-{slot}", slot) for slot in range(slots)]
+        for pid in range(n)
+    ]
+
+
+def corrupt_engine(pid, proposal, params, authority, detector, config):
+    return TCorruptVectorAttacker(
+        proposal=proposal,
+        params=params,
+        authority=authority,
+        detector=detector,
+        config=config,
+    )
+
+
+def forged_decide_engine(pid, proposal, params, authority, detector, config):
+    return TForgedDecideAttacker(
+        proposal=proposal,
+        params=params,
+        authority=authority,
+        detector=detector,
+        config=config,
+    )
+
+
+class TestKeyValueStore:
+    def test_set_and_get(self):
+        store = KeyValueStore()
+        store.apply(Command("set", "a", 1))
+        assert store.get("a") == 1
+        assert len(store) == 1
+
+    def test_del(self):
+        store = KeyValueStore()
+        store.apply(Command("set", "a", 1))
+        store.apply(Command("del", "a"))
+        assert store.get("a") is None
+
+    def test_garbage_commands_ignored_deterministically(self):
+        store = KeyValueStore()
+        store.apply("<poison>")
+        store.apply(42)
+        assert store.snapshot() == {}
+        assert store.applied == 2
+
+    def test_materialise(self):
+        log = [Command("set", "x", 1), Command("set", "x", 2)]
+        assert materialise(log) == {"x": 2}
+
+
+class TestReplicatedLog:
+    def test_single_slot_converges(self):
+        system = build_replicated_system(workloads(4, 1), target_slots=1, seed=1)
+        result = system.run()
+        assert result.quiescent()
+        assert system.converged()
+
+    def test_multi_slot_converges(self):
+        system = build_replicated_system(workloads(4, 4), target_slots=4, seed=2)
+        system.run()
+        assert system.converged()
+        assert all(r.committed_slots == 4 for r in system.replicas)
+
+    def test_logs_identical_across_replicas(self):
+        system = build_replicated_system(workloads(4, 3), target_slots=3, seed=3)
+        system.run()
+        logs = system.correct_logs()
+        assert all(log == logs[0] for log in logs)
+
+    def test_stores_identical_across_replicas(self):
+        system = build_replicated_system(workloads(4, 3), target_slots=3, seed=4)
+        system.run()
+        stores = [materialise(log) for log in system.correct_logs()]
+        assert all(store == stores[0] for store in stores)
+
+    def test_at_least_once_reproposal(self):
+        # With enough spare slots every command eventually commits even if
+        # it loses some INIT races.
+        n, commands_each = 4, 2
+        system = build_replicated_system(
+            workloads(n, commands_each),
+            target_slots=8,
+            seed=5,
+            delay_model=UniformDelay(0.1, 2.0),
+        )
+        system.run()
+        assert system.converged()
+        committed = set(system.correct_logs()[0])
+        for pid in range(n):
+            for slot in range(commands_each):
+                assert Command("set", f"key-{pid}-{slot}", slot) in committed
+
+    def test_slot_key_domain_separation(self):
+        # Engines of different slots must not share signature domains.
+        system = build_replicated_system(workloads(4, 2), target_slots=2, seed=6)
+        system.run()
+        replica = system.replicas[0]
+        slot0 = replica.engines[0]
+        slot1 = replica.engines[1]
+        init0 = next(iter(slot0.est_cert))
+        assert slot0.authority.signature_valid(init0)
+        assert not slot1.authority.signature_valid(init0)
+
+
+class TestReplicationUnderByzantineReplica:
+    def test_corrupting_replica_does_not_diverge_the_log(self):
+        system = build_replicated_system(
+            workloads(4, 3),
+            target_slots=3,
+            seed=7,
+            byzantine={3: corrupt_engine},
+        )
+        system.run()
+        assert system.converged()
+        stores = [materialise(log) for log in system.correct_logs()]
+        assert all(store == stores[0] for store in stores)
+
+    def test_forged_decides_do_not_commit(self):
+        system = build_replicated_system(
+            workloads(4, 2),
+            target_slots=2,
+            seed=8,
+            byzantine={2: forged_decide_engine},
+        )
+        system.run()
+        assert system.converged()
+        # The attacker's fabricated vectors never appear in the log.
+        for log in system.correct_logs():
+            assert all(isinstance(entry, Command) for entry in log)
+
+    def test_attacker_convicted_across_slots(self):
+        system = build_replicated_system(
+            workloads(4, 2),
+            target_slots=2,
+            seed=9,
+            byzantine={3: corrupt_engine},
+        )
+        system.run()
+        for pid in system.correct_pids:
+            assert 3 in system.replicas[pid].faulty_union
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=20_000))
+    def test_convergence_across_random_schedules(self, seed):
+        system = build_replicated_system(
+            workloads(4, 2),
+            target_slots=2,
+            seed=seed,
+            byzantine={3: corrupt_engine},
+            delay_model=UniformDelay(0.1, 2.0),
+        )
+        system.run(max_time=2_000)
+        assert system.converged()

@@ -1,0 +1,115 @@
+"""Unit tests: virtual clock and the event queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ClockError, SchedulerError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.5).now == 5.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ClockError):
+            VirtualClock(-1.0)
+
+    def test_advances_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_allows_equal_timestamp(self):
+        clock = VirtualClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_rejects_backwards_move(self):
+        clock = VirtualClock(4.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(3.9)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1))
+    def test_monotone_under_sorted_advances(self, times):
+        clock = VirtualClock()
+        for t in sorted(times):
+            clock.advance_to(t)
+        assert clock.now == max(times)
+
+
+class TestEventQueue:
+    def test_empty_queue_has_no_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        assert queue.is_empty()
+
+    def test_pop_on_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            EventQueue().pop()
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(SchedulerError):
+            EventQueue().push(-0.1, "x", lambda: None)
+
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, "b", lambda: order.append("b"))
+        queue.push(1.0, "a", lambda: order.append("a"))
+        queue.push(3.0, "c", lambda: order.append("c"))
+        while not queue.is_empty():
+            queue.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for label in "abcde":
+            queue.push(1.0, label, lambda l=label: order.append(l))
+        while not queue.is_empty():
+            queue.pop().callback()
+        assert order == list("abcde")
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        token = queue.push(1.0, "a", lambda: None)
+        queue.push(2.0, "b", lambda: None)
+        token.cancel()
+        assert queue.pop().kind == "b"
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        token = queue.push(1.0, "a", lambda: None)
+        queue.push(5.0, "b", lambda: None)
+        token.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_all_cancelled_is_empty(self):
+        queue = EventQueue()
+        tokens = [queue.push(float(i), "x", lambda: None) for i in range(3)]
+        for token in tokens:
+            token.cancel()
+        assert queue.is_empty()
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=50))
+    def test_pop_order_is_globally_sorted(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, "x", lambda: None)
+        popped = []
+        while not queue.is_empty():
+            popped.append(queue.pop().time)
+        assert popped == sorted(times)
+
+    def test_len_counts_pending(self):
+        queue = EventQueue()
+        queue.push(1.0, "a", lambda: None)
+        queue.push(2.0, "b", lambda: None)
+        assert len(queue) == 2

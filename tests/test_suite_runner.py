@@ -1,0 +1,61 @@
+"""Unit tests: the programmatic experiment-suite runner and its CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.suite import benchmarks_dir, discover, load_runner, run_experiments
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+
+class TestDiscovery:
+    def test_benchmarks_dir_found(self):
+        directory = benchmarks_dir()
+        assert (directory / "conftest.py").exists()
+
+    def test_discovers_every_experiment(self):
+        found = discover()
+        assert {"e1", "e3", "e13", "e17"} <= set(found)
+        assert len(found) >= 18
+
+    def test_ids_map_to_existing_files(self):
+        for key, path in discover().items():
+            assert path.exists()
+            assert key in path.name
+
+
+class TestRunning:
+    def test_run_single_fast_experiment(self):
+        results = run_experiments(only=["e13"])
+        assert set(results) == {"e13"}
+        rows = results["e13"]
+        assert len(rows) == 6  # rounds 1..6
+        assert rows[-1][3] > 100  # the pruning blow-up factor
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiments(only=["e999"])
+
+    def test_load_runner_requires_run_experiment(self, tmp_path):
+        empty = tmp_path / "test_e99_nothing.py"
+        empty.write_text("x = 1\n")
+        with pytest.raises(ConfigurationError):
+            load_runner(empty)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "test_e14_fifo_necessity.py" in out
+
+    def test_run_only_e13(self, capsys):
+        assert main(["experiments", "--only", "e13"]) == 0
+        out = capsys.readouterr().out
+        assert "E13" in out
+        assert "97552" in out  # the round-6 unpruned size
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["experiments", "--only", "e999"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,189 @@
+"""Unit and property tests: synchronous substrate + EIG Interactive Consistency."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.synchronous.eig import (
+    DEFAULT,
+    EigLiar,
+    EigProcess,
+    EigSilent,
+    eig_rounds,
+    run_interactive_consistency,
+)
+from repro.synchronous.rounds import SynchronousEngine, SyncProcess
+
+
+class Echoer(SyncProcess):
+    """Broadcasts its pid each round; records inboxes."""
+
+    def __init__(self):
+        super().__init__()
+        self.history: list[dict] = []
+
+    def on_round(self, round_number, inbox):
+        self.history.append(dict(inbox))
+        return {dst: ("hello", self.pid, round_number) for dst in range(self.n)}
+
+
+class TestSynchronousEngine:
+    def test_round_one_has_empty_inbox(self):
+        engine = SynchronousEngine([Echoer(), Echoer()])
+        engine.run(1)
+        assert all(p.history[0] == {} for p in engine.processes)
+
+    def test_messages_arrive_next_round(self):
+        engine = SynchronousEngine([Echoer(), Echoer()])
+        engine.run(2)
+        second = engine.processes[0].history[1]
+        assert second == {0: ("hello", 0, 1), 1: ("hello", 1, 1)}
+
+    def test_crash_prefix_semantics(self):
+        # p1 crashes in round 1 delivering only to the first destination.
+        engine = SynchronousEngine(
+            [Echoer(), Echoer(), Echoer()], crash_schedule={1: (1, 1)}
+        )
+        engine.run(2)
+        assert 1 in engine.processes[0].history[1]  # dst 0 got the send
+        assert 1 not in engine.processes[2].history[1]  # dst 2 did not
+
+    def test_crashed_process_stays_silent(self):
+        engine = SynchronousEngine(
+            [Echoer(), Echoer()], crash_schedule={1: (1, 2)}
+        )
+        engine.run(3)
+        assert 1 in engine.crashed
+        assert 1 not in engine.processes[0].history[2]
+
+    def test_empty_process_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SynchronousEngine([])
+
+
+class TestEigArithmetic:
+    def test_rounds(self):
+        assert eig_rounds(1) == 2
+        assert eig_rounds(2) == 3
+
+    def test_n_gt_3f_required(self):
+        with pytest.raises(ConfigurationError):
+            run_interactive_consistency(["a", "b", "c"], f=1)
+
+
+class TestEigCorrectRuns:
+    def test_failure_free_exact_vector(self):
+        procs = run_interactive_consistency(["a", "b", "c", "d"])
+        assert all(p.vector == ("a", "b", "c", "d") for p in procs)
+
+    def test_agreement_and_validity_with_liar(self):
+        procs = run_interactive_consistency(
+            ["a", "b", "c", "d"], byzantine={3: EigLiar}, seed=4
+        )
+        vectors = {p.vector for i, p in enumerate(procs) if i != 3}
+        assert len(vectors) == 1
+        vector = vectors.pop()
+        assert vector[:3] == ("a", "b", "c")
+
+    def test_silent_byzantine_resolves_to_default(self):
+        procs = run_interactive_consistency(
+            ["a", "b", "c", "d"], byzantine={2: EigSilent}
+        )
+        vectors = {p.vector for i, p in enumerate(procs) if i != 2}
+        assert len(vectors) == 1
+        assert vectors.pop()[2] == DEFAULT
+
+    def test_two_faults_at_n7(self):
+        procs = run_interactive_consistency(
+            [f"v{i}" for i in range(7)],
+            byzantine={5: EigLiar, 6: EigLiar},
+            seed=5,
+        )
+        vectors = {p.vector for i, p in enumerate(procs) if i < 5}
+        assert len(vectors) == 1
+        vector = vectors.pop()
+        assert vector[:5] == tuple(f"v{i}" for i in range(5))
+
+    def test_crash_mid_round_still_agrees(self):
+        procs = run_interactive_consistency(
+            ["a", "b", "c", "d"], crash_schedule={1: (1, 2)}, seed=6
+        )
+        vectors = {p.vector for i, p in enumerate(procs) if i != 1}
+        assert len(vectors) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50_000),
+        liar=st.integers(min_value=0, max_value=3),
+    )
+    def test_ic_properties_across_random_liars(self, seed, liar):
+        """Agreement + Validity for every seat the liar takes."""
+        values = ["a", "b", "c", "d"]
+        procs = run_interactive_consistency(
+            values, byzantine={liar: EigLiar}, seed=seed
+        )
+        vectors = {p.vector for i, p in enumerate(procs) if i != liar}
+        assert len(vectors) == 1
+        vector = vectors.pop()
+        for pid in range(4):
+            if pid != liar:
+                assert vector[pid] == values[pid]
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    def test_n7_liar_and_silent_mix(self, seed):
+        procs = run_interactive_consistency(
+            [f"v{i}" for i in range(7)],
+            byzantine={3: EigLiar, 6: EigSilent},
+            seed=seed,
+        )
+        vectors = {p.vector for i, p in enumerate(procs) if i not in (3, 6)}
+        assert len(vectors) == 1
+        vector = vectors.pop()
+        assert vector[6] == DEFAULT
+        for pid in (0, 1, 2, 4, 5):
+            assert vector[pid] == f"v{pid}"
+
+
+class TestEigInternals:
+    def test_tree_levels_grow_correctly(self):
+        procs = run_interactive_consistency(["a", "b", "c", "d"])
+        tree = procs[0].tree
+        level1 = [label for label in tree if len(label) == 1]
+        level2 = [label for label in tree if len(label) == 2]
+        assert len(level1) == 4
+        assert len(level2) == 4 * 3  # labels of distinct pids
+
+    def test_garbage_reports_ignored(self):
+        class Garbage(EigProcess):
+            def on_round(self, round_number, inbox):
+                self._absorb(round_number, inbox)
+                return {dst: "not-a-dict" for dst in range(self.n)}
+
+        procs = run_interactive_consistency(
+            ["a", "b", "c", "d"], byzantine={3: Garbage}
+        )
+        vectors = {p.vector for i, p in enumerate(procs) if i != 3}
+        assert len(vectors) == 1
+        assert vectors.pop()[3] == DEFAULT
+
+    def test_malformed_labels_ignored(self):
+        class BadLabels(EigProcess):
+            def on_round(self, round_number, inbox):
+                self._absorb(round_number, inbox)
+                return {
+                    dst: {("x", "y"): "junk", (0, 0): "dup", (99,): "range"}
+                    for dst in range(self.n)
+                }
+
+        procs = run_interactive_consistency(
+            ["a", "b", "c", "d"], byzantine={3: BadLabels}
+        )
+        for i, p in enumerate(procs):
+            if i != 3:
+                assert all(
+                    isinstance(label, tuple) and all(0 <= q < 4 for q in label)
+                    for label in p.tree
+                )

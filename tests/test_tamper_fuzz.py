@@ -1,0 +1,150 @@
+"""Security property fuzzing: *any* tampering is caught somewhere.
+
+The pipeline's soundness claim is compositional: a message either passes
+signature verification unchanged, or some layer (signature module,
+certificate analyser, automaton) rejects it. These hypothesis tests
+apply randomized tampering to well-formed signed messages and assert the
+claim holds for every mutation the strategy can produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus.certification import (
+    current_message_problems,
+    decide_message_problems,
+)
+from repro.core.certificates import Certificate, SignedMessage
+from repro.messages.consensus import VCurrent, VDecide
+from tests.helpers import SignedWorkbench
+
+BENCH = SignedWorkbench(4)
+COORDINATOR_CURRENT = BENCH.coordinator_current()
+RELAYS = [BENCH.relay_current(pid, COORDINATOR_CURRENT) for pid in (1, 2)]
+DECIDE = BENCH.authorities[1].make(
+    VDecide(sender=1, est_vect=COORDINATOR_CURRENT.body.est_vect),
+    Certificate((COORDINATOR_CURRENT, *RELAYS)),
+)
+
+
+def tamper_body(message: SignedMessage, field: str, value) -> SignedMessage:
+    return SignedMessage(
+        body=message.body.replace(**{field: value}),
+        cert=message.cert,
+        signature=message.signature,
+    )
+
+
+def tamper_signature_byte(message: SignedMessage, index: int) -> SignedMessage:
+    mac = bytearray(message.signature.mac)
+    mac[index % len(mac)] ^= 0x01
+    return SignedMessage(
+        body=message.body,
+        cert=message.cert,
+        signature=replace(message.signature, mac=bytes(mac)),
+    )
+
+
+def is_caught(message: SignedMessage) -> bool:
+    """True when some pipeline layer rejects the message."""
+    if not BENCH.verify(message):
+        return True  # signature module
+    if isinstance(message.body, VCurrent):
+        return bool(current_message_problems(message, BENCH.params, BENCH.verify))
+    if isinstance(message.body, VDecide):
+        return bool(decide_message_problems(message, BENCH.params, BENCH.verify))
+    return False
+
+
+class TestCurrentTampering:
+    @given(index=st.integers(min_value=0, max_value=31))
+    def test_any_signature_bitflip_is_caught(self, index):
+        assert is_caught(tamper_signature_byte(COORDINATOR_CURRENT, index))
+
+    @given(round_number=st.integers(min_value=-3, max_value=50))
+    def test_any_round_rewrite_is_caught(self, round_number):
+        tampered = tamper_body(COORDINATOR_CURRENT, "round", round_number)
+        if round_number == COORDINATOR_CURRENT.body.round:
+            assert not is_caught(tampered)  # identity rewrite: still valid
+        else:
+            assert is_caught(tampered)
+
+    @given(
+        slot=st.integers(min_value=0, max_value=3),
+        value=st.text(min_size=0, max_size=8),
+    )
+    def test_any_vector_entry_rewrite_is_caught(self, slot, value):
+        vector = list(COORDINATOR_CURRENT.body.est_vect)
+        original = vector[slot]
+        vector[slot] = value
+        tampered = tamper_body(
+            COORDINATOR_CURRENT, "est_vect", tuple(vector)
+        )
+        if value == original:
+            assert not is_caught(tampered)
+        else:
+            assert is_caught(tampered)
+
+    @given(sender=st.integers(min_value=0, max_value=3))
+    def test_any_sender_rewrite_is_caught(self, sender):
+        tampered = tamper_body(COORDINATOR_CURRENT, "sender", sender)
+        if sender == COORDINATOR_CURRENT.body.sender:
+            assert not is_caught(tampered)
+        else:
+            assert is_caught(tampered)
+
+    @given(drop=st.integers(min_value=0, max_value=2))
+    def test_any_certificate_entry_drop_is_caught(self, drop):
+        entries = list(COORDINATOR_CURRENT.full_cert().entries)
+        del entries[drop]
+        tampered = SignedMessage(
+            body=COORDINATOR_CURRENT.body,
+            cert=Certificate(tuple(entries)),
+            signature=COORDINATOR_CURRENT.signature,
+        )
+        assert is_caught(tampered)
+
+    @given(extra_value=st.text(min_size=1, max_size=6))
+    def test_any_certificate_injection_is_caught(self, extra_value):
+        injected = BENCH.signed_init(3, extra_value)
+        tampered = SignedMessage(
+            body=COORDINATOR_CURRENT.body,
+            cert=COORDINATOR_CURRENT.full_cert().add(injected),
+            signature=COORDINATOR_CURRENT.signature,
+        )
+        assert is_caught(tampered)
+
+
+class TestDecideTampering:
+    def test_baseline_is_clean(self):
+        assert not is_caught(DECIDE)
+
+    @given(index=st.integers(min_value=0, max_value=31))
+    def test_signature_bitflips_caught(self, index):
+        assert is_caught(tamper_signature_byte(DECIDE, index))
+
+    @settings(max_examples=30)
+    @given(
+        slot=st.integers(min_value=0, max_value=3),
+        value=st.text(min_size=1, max_size=8),
+    )
+    def test_decided_vector_rewrites_caught(self, slot, value):
+        vector = list(DECIDE.body.est_vect)
+        if vector[slot] == value:
+            return
+        vector[slot] = value
+        tampered = tamper_body(DECIDE, "est_vect", tuple(vector))
+        assert is_caught(tampered)
+
+    @given(keep=st.integers(min_value=1, max_value=2))
+    def test_quorum_thinning_caught(self, keep):
+        currents = DECIDE.full_cert().of_type(VCurrent)[:keep]
+        tampered = SignedMessage(
+            body=DECIDE.body,
+            cert=Certificate(tuple(currents)),
+            signature=DECIDE.signature,
+        )
+        assert is_caught(tampered)

@@ -1,0 +1,177 @@
+"""Security property fuzzing for the CT certificates (mirror of
+``test_tamper_fuzz`` for the second case study)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, strategies as st
+
+from repro.consensus.certification_ct import (
+    build_justification,
+    decide_problems,
+    estimate_problems,
+    propose_problems,
+    select_proposal,
+)
+from repro.core.certificates import Certificate, SignedMessage
+from repro.messages.ct import CtAck, CtDecide, CtEstimate, CtPropose
+from tests.helpers import SignedWorkbench
+
+BENCH = SignedWorkbench(4)
+
+
+def _estimate(pid: int) -> SignedMessage:
+    senders = [0, 1, 2]
+    return BENCH.authorities[pid].make(
+        CtEstimate(
+            sender=pid, round=1, est_vect=BENCH.vector_for(senders), ts=0
+        ),
+        Certificate(tuple(BENCH.init_quorum(senders))),
+    )
+
+
+ESTIMATES = [_estimate(pid) for pid in range(3)]
+PROPOSAL = BENCH.authorities[0].make(
+    CtPropose(
+        sender=0, round=1, est_vect=select_proposal(ESTIMATES).body.est_vect
+    ),
+    build_justification(ESTIMATES),
+)
+ACKS = [
+    BENCH.authorities[pid]
+    .make(CtAck(sender=pid, round=1), Certificate((PROPOSAL,)))
+    .light()
+    for pid in range(3)
+]
+DECIDE = BENCH.authorities[1].make(
+    CtDecide(sender=1, est_vect=PROPOSAL.body.est_vect),
+    Certificate((PROPOSAL, *ACKS)),
+)
+
+
+def caught(message: SignedMessage) -> bool:
+    if not BENCH.verify(message):
+        return True
+    body = message.body
+    if isinstance(body, CtEstimate):
+        return bool(estimate_problems(message, BENCH.params, BENCH.verify))
+    if isinstance(body, CtPropose):
+        return bool(propose_problems(message, BENCH.params, BENCH.verify))
+    if isinstance(body, CtDecide):
+        return bool(decide_problems(message, BENCH.params, BENCH.verify))
+    return False
+
+
+def bitflip(message: SignedMessage, index: int) -> SignedMessage:
+    mac = bytearray(message.signature.mac)
+    mac[index % len(mac)] ^= 0x01
+    return SignedMessage(
+        body=message.body,
+        cert=message.cert,
+        signature=replace(message.signature, mac=bytes(mac)),
+    )
+
+
+class TestBaselines:
+    def test_fixtures_are_clean(self):
+        assert not caught(ESTIMATES[0])
+        assert not caught(PROPOSAL)
+        assert not caught(DECIDE)
+
+
+class TestEstimateTampering:
+    @given(index=st.integers(min_value=0, max_value=31))
+    def test_signature_bitflips(self, index):
+        assert caught(bitflip(ESTIMATES[1], index))
+
+    @given(ts=st.integers(min_value=-2, max_value=9))
+    def test_timestamp_rewrites(self, ts):
+        tampered = SignedMessage(
+            body=ESTIMATES[1].body.replace(ts=ts),
+            cert=ESTIMATES[1].cert,
+            signature=ESTIMATES[1].signature,
+        )
+        if ts == 0:
+            assert not caught(tampered)
+        else:
+            assert caught(tampered)
+
+    @given(
+        slot=st.integers(min_value=0, max_value=3),
+        value=st.text(min_size=1, max_size=6),
+    )
+    def test_vector_rewrites(self, slot, value):
+        vector = list(ESTIMATES[1].body.est_vect)
+        if vector[slot] == value:
+            return
+        vector[slot] = value
+        tampered = SignedMessage(
+            body=ESTIMATES[1].body.replace(est_vect=tuple(vector)),
+            cert=ESTIMATES[1].cert,
+            signature=ESTIMATES[1].signature,
+        )
+        assert caught(tampered)
+
+
+class TestProposeTampering:
+    @given(index=st.integers(min_value=0, max_value=31))
+    def test_signature_bitflips(self, index):
+        assert caught(bitflip(PROPOSAL, index))
+
+    @given(
+        slot=st.integers(min_value=0, max_value=3),
+        value=st.text(min_size=1, max_size=6),
+    )
+    def test_selection_rewrites(self, slot, value):
+        vector = list(PROPOSAL.body.est_vect)
+        if vector[slot] == value:
+            return
+        vector[slot] = value
+        tampered = SignedMessage(
+            body=PROPOSAL.body.replace(est_vect=tuple(vector)),
+            cert=PROPOSAL.cert,
+            signature=PROPOSAL.signature,
+        )
+        assert caught(tampered)
+
+    @given(keep=st.integers(min_value=0, max_value=2))
+    def test_justification_thinning(self, keep):
+        entries = PROPOSAL.full_cert().entries[:keep]
+        tampered = SignedMessage(
+            body=PROPOSAL.body,
+            cert=Certificate(entries),
+            signature=PROPOSAL.signature,
+        )
+        assert caught(tampered)
+
+
+class TestDecideTampering:
+    @given(index=st.integers(min_value=0, max_value=31))
+    def test_signature_bitflips(self, index):
+        assert caught(bitflip(DECIDE, index))
+
+    @given(keep=st.integers(min_value=0, max_value=2))
+    def test_ack_quorum_thinning(self, keep):
+        tampered = SignedMessage(
+            body=DECIDE.body,
+            cert=Certificate((PROPOSAL, *ACKS[:keep])),
+            signature=DECIDE.signature,
+        )
+        assert caught(tampered)
+
+    @given(
+        slot=st.integers(min_value=0, max_value=3),
+        value=st.text(min_size=1, max_size=6),
+    )
+    def test_decided_vector_rewrites(self, slot, value):
+        vector = list(DECIDE.body.est_vect)
+        if vector[slot] == value:
+            return
+        vector[slot] = value
+        tampered = SignedMessage(
+            body=DECIDE.body.replace(est_vect=tuple(vector)),
+            cert=DECIDE.cert,
+            signature=DECIDE.signature,
+        )
+        assert caught(tampered)

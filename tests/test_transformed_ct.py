@@ -1,0 +1,319 @@
+"""Tests: the second case study — transformed Chandra–Toueg."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.properties import check_detection, check_vector_consensus
+from repro.byzantine.ct_attacks import CT_ATTACKS, ct_attack
+from repro.consensus.certification_ct import (
+    ack_problems,
+    build_justification,
+    decide_problems,
+    estimate_problems,
+    propose_problems,
+    select_proposal,
+)
+from repro.core.certificates import Certificate, EMPTY_CERTIFICATE
+from repro.errors import ConfigurationError
+from repro.messages.ct import CtAck, CtDecide, CtEstimate, CtPropose
+from repro.sim.network import UniformDelay
+from repro.systems import build_transformed_system
+from tests.helpers import SignedWorkbench
+
+
+def proposals(n):
+    return [f"v{i}" for i in range(n)]
+
+
+@pytest.fixture
+def bench():
+    return SignedWorkbench(4)
+
+
+def make_estimate(bench, pid, round_number=1, ts=0, senders=None):
+    chosen = senders if senders is not None else [0, 1, 2]
+    vector = bench.vector_for(chosen)
+    cert = Certificate(tuple(bench.init_quorum(chosen)))
+    return bench.authorities[pid].make(
+        CtEstimate(sender=pid, round=round_number, est_vect=vector, ts=ts),
+        cert,
+    )
+
+
+def make_propose(bench, round_number=1):
+    coordinator = (round_number - 1) % bench.n
+    estimates = [make_estimate(bench, pid, round_number) for pid in range(3)]
+    picked = select_proposal(estimates)
+    return bench.authorities[coordinator].make(
+        CtPropose(
+            sender=coordinator,
+            round=round_number,
+            est_vect=picked.body.est_vect,
+        ),
+        build_justification(estimates),
+    ), estimates
+
+
+class TestSelectionRule:
+    def test_highest_ts_wins(self, bench):
+        low = make_estimate(bench, 0, ts=0)
+        # Fake a ts=0-vs-ts-like comparison through bodies directly.
+        assert select_proposal([low]) is low
+
+    def test_tie_breaks_to_lowest_pid(self, bench):
+        a = make_estimate(bench, 2)
+        b = make_estimate(bench, 1)
+        assert select_proposal([a, b]) is b
+
+
+class TestCtPredicates:
+    def test_ts0_estimate_well_formed(self, bench):
+        estimate = make_estimate(bench, 1)
+        assert estimate_problems(estimate, bench.params, bench.verify) == []
+
+    def test_estimate_vector_corruption_detected(self, bench):
+        honest = make_estimate(bench, 1)
+        corrupted = bench.authorities[1].make(
+            honest.body.replace(est_vect=tuple("x" for _ in range(4))),
+            honest.full_cert(),
+        )
+        assert estimate_problems(corrupted, bench.params, bench.verify)
+
+    def test_estimate_impossible_ts_detected(self, bench):
+        estimate = bench.authorities[1].make(
+            CtEstimate(
+                sender=1, round=1, est_vect=bench.vector_for([0, 1, 2]), ts=5
+            ),
+            EMPTY_CERTIFICATE,
+        )
+        problems = estimate_problems(estimate, bench.params, bench.verify)
+        assert any("impossible" in p for p in problems)
+
+    def test_fake_ts_without_propose_detected(self, bench):
+        estimate = bench.authorities[1].make(
+            CtEstimate(
+                sender=1, round=2, est_vect=bench.vector_for([0, 1, 2]), ts=1
+            ),
+            Certificate(tuple(bench.init_quorum([0, 1, 2]))),
+        )
+        problems = estimate_problems(estimate, bench.params, bench.verify)
+        assert any("PROPOSE" in p for p in problems)
+
+    def test_adopted_estimate_well_formed(self, bench):
+        proposal, _ = make_propose(bench, 1)
+        adopted = bench.authorities[2].make(
+            CtEstimate(
+                sender=2, round=2, est_vect=proposal.body.est_vect, ts=1
+            ),
+            Certificate((proposal,)),
+        )
+        assert estimate_problems(adopted, bench.params, bench.verify) == []
+
+    def test_propose_well_formed(self, bench):
+        proposal, _ = make_propose(bench, 1)
+        assert propose_problems(proposal, bench.params, bench.verify) == []
+
+    def test_propose_from_non_coordinator_detected(self, bench):
+        _, estimates = make_propose(bench, 1)
+        picked = select_proposal(estimates)
+        rogue = bench.authorities[2].make(
+            CtPropose(sender=2, round=1, est_vect=picked.body.est_vect),
+            build_justification(estimates),
+        )
+        problems = propose_problems(rogue, bench.params, bench.verify)
+        assert any("coordinator" in p for p in problems)
+
+    def test_corrupted_selection_detected(self, bench):
+        _, estimates = make_propose(bench, 1)
+        wrong = bench.authorities[0].make(
+            CtPropose(sender=0, round=1, est_vect=tuple("x" for _ in range(4))),
+            build_justification(estimates),
+        )
+        problems = propose_problems(wrong, bench.params, bench.verify)
+        assert problems
+
+    def test_propose_subquorum_detected(self, bench):
+        estimates = [make_estimate(bench, pid) for pid in range(2)]
+        picked = select_proposal(estimates)
+        thin = bench.authorities[0].make(
+            CtPropose(sender=0, round=1, est_vect=picked.body.est_vect),
+            build_justification(estimates),
+        )
+        problems = propose_problems(thin, bench.params, bench.verify)
+        assert any("misevaluated phase 2" in p for p in problems)
+
+    def test_ack_well_formed(self, bench):
+        proposal, _ = make_propose(bench, 1)
+        ack = bench.authorities[2].make(
+            CtAck(sender=2, round=1), Certificate((proposal,))
+        )
+        assert ack_problems(ack, bench.params, bench.verify) == []
+
+    def test_ack_without_propose_detected(self, bench):
+        ack = bench.authorities[2].make(CtAck(sender=2, round=1), EMPTY_CERTIFICATE)
+        assert ack_problems(ack, bench.params, bench.verify)
+
+    def test_decide_well_formed(self, bench):
+        proposal, _ = make_propose(bench, 1)
+        acks = [
+            bench.authorities[pid]
+            .make(CtAck(sender=pid, round=1), Certificate((proposal,)))
+            .light()
+            for pid in range(3)
+        ]
+        decide = bench.authorities[1].make(
+            CtDecide(sender=1, est_vect=proposal.body.est_vect),
+            Certificate((proposal, *acks)),
+        )
+        assert decide_problems(decide, bench.params, bench.verify) == []
+
+    def test_decide_subquorum_detected(self, bench):
+        proposal, _ = make_propose(bench, 1)
+        one_ack = (
+            bench.authorities[2]
+            .make(CtAck(sender=2, round=1), Certificate((proposal,)))
+            .light()
+        )
+        decide = bench.authorities[2].make(
+            CtDecide(sender=2, est_vect=proposal.body.est_vect),
+            Certificate((proposal, one_ack)),
+        )
+        problems = decide_problems(decide, bench.params, bench.verify)
+        assert any("misevaluated its decision" in p for p in problems)
+
+
+class TestTransformedCtRuns:
+    def test_failure_free(self):
+        system = build_transformed_system(proposals(4), base="chandra-toueg", seed=1)
+        assert system.run().quiescent()
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+
+    def test_crashed_coordinator(self):
+        system = build_transformed_system(
+            proposals(4), base="chandra-toueg", crash_at={0: 0.0}, seed=2
+        )
+        system.run(max_time=3_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+        deciders = [p for p in system.processes if p.pid != 0 and p.decided]
+        assert all(p.decision_round >= 2 for p in deciders)
+
+    @pytest.mark.parametrize("n", [4, 7])
+    def test_sizes(self, n):
+        system = build_transformed_system(proposals(n), base="chandra-toueg", seed=3)
+        system.run(max_time=3_000)
+        assert check_vector_consensus(system).all_hold
+
+    def test_variant_with_ct_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_transformed_system(
+                proposals(4), base="chandra-toueg", variant="echo-init"
+            )
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_transformed_system(proposals(4), base="paxos")
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_random_schedules(self, seed):
+        system = build_transformed_system(
+            proposals(4),
+            base="chandra-toueg",
+            seed=seed,
+            delay_model=UniformDelay(0.1, 2.5),
+        )
+        system.run(max_time=3_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+
+
+class TestCtAttackGallery:
+    SEATS = {"ct-corrupt-selection": 0, "ct-partial-propose": 0}
+
+    @pytest.mark.parametrize("name", sorted(CT_ATTACKS))
+    def test_properties_survive(self, name):
+        seat = self.SEATS.get(name, 3)
+        system = build_transformed_system(
+            proposals(4),
+            base="chandra-toueg",
+            byzantine=ct_attack(seat, name),
+            seed=4,
+        )
+        system.run(max_time=3_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, (name, report.violations)
+        assert check_detection(system).clean
+
+    @pytest.mark.parametrize(
+        "name", ["ct-corrupt-estimate", "ct-premature-decide", "ct-spurious-propose"]
+    )
+    def test_message_visible_attacks_detected(self, name):
+        system = build_transformed_system(
+            proposals(4),
+            base="chandra-toueg",
+            byzantine=ct_attack(3, name),
+            seed=5,
+        )
+        system.run(max_time=3_000)
+        assert check_detection(system).detected_by_any, name
+
+    def test_corrupt_selection_detected_at_coordinator_seat(self):
+        system = build_transformed_system(
+            proposals(4),
+            base="chandra-toueg",
+            byzantine=ct_attack(0, "ct-corrupt-selection"),
+            seed=6,
+        )
+        system.run(max_time=3_000)
+        assert check_detection(system).detected_by_any
+
+    def test_fake_timestamp_detected_in_round_two(self):
+        # Crash p0 so the run reaches round 2, where the attacker (seat 6)
+        # claims an unwitnessed ts=1.
+        system = build_transformed_system(
+            proposals(7),
+            base="chandra-toueg",
+            crash_at={0: 0.0},
+            byzantine=ct_attack(6, "ct-fake-timestamp"),
+            seed=7,
+        )
+        system.run(max_time=3_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+        assert check_detection(system).detected_by_any
+
+    def test_partial_propose_is_healed_by_extraction(self):
+        # The timeout ◇M gives the withheld proposal time to travel via
+        # the ack certificates (the oracle detector would nack the round
+        # away before the proposal is even sent).
+        system = build_transformed_system(
+            proposals(4),
+            base="chandra-toueg",
+            byzantine=ct_attack(0, "ct-partial-propose"),
+            muteness="timeout",
+            seed=8,
+        )
+        system.run(max_time=3_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+        # The starved processes still decided in round 1: extraction from
+        # the ack certificates healed the withheld proposal.
+        deciders = [p for p in system.processes if p.pid != 0 and p.decided]
+        assert any(p.decision_round == 1 for p in deciders)
+
+    def test_mute_coordinator_costs_a_round(self):
+        system = build_transformed_system(
+            proposals(4),
+            base="chandra-toueg",
+            byzantine=ct_attack(0, "ct-mute"),
+            seed=9,
+        )
+        system.run(max_time=3_000)
+        report = check_vector_consensus(system)
+        assert report.all_hold, report.violations
+        deciders = [p for p in system.processes if p.pid != 0 and p.decided]
+        assert all(p.decision_round >= 2 for p in deciders)
