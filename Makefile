@@ -1,0 +1,21 @@
+# Convenience targets; everything assumes the stdlib-only library with
+# pytest available for the test/benchmark suites.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test docs-check benchmarks experiments
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Execute every ```python snippet in README.md and docs/*.md
+# (tests/test_docs_snippets.py); keeps the documented examples honest.
+docs-check:
+	$(PYTHON) -m pytest tests/test_docs_snippets.py -q
+
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	$(PYTHON) -m repro experiments --list

@@ -8,6 +8,9 @@ harness runtime; assertions pin the *shape* the paper claims.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 SEEDS = range(25)  # per-cell trials: deterministic, cheap, statistically steady
 
 
@@ -18,3 +21,32 @@ def proposals(n: int) -> list[str]:
 def run_once(benchmark, experiment):
     """Run ``experiment`` exactly once under the benchmark timer."""
     return benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+
+def metrics_dir() -> Path | None:
+    """The JSONL artifact drop directory, or None when exporting is off."""
+    directory = os.environ.get("REPRO_METRICS_DIR")
+    return Path(directory) if directory else None
+
+
+def export_artifact(system, name: str, **meta) -> Path | None:
+    """Dump a run's observability artifact if ``REPRO_METRICS_DIR`` is set.
+
+    Benchmarks call this after a representative run so experiments can
+    leave comparable JSONL artifacts (schema in docs/OBSERVABILITY.md)
+    next to their printed tables::
+
+        REPRO_METRICS_DIR=out pytest benchmarks/test_e3_transformed_protocol.py
+
+    Without the environment variable this is a no-op, keeping default
+    benchmark runs artifact-free.
+    """
+    target_dir = metrics_dir()
+    if target_dir is None:
+        return None
+    from repro.observability.export import write_run_jsonl
+
+    target_dir.mkdir(parents=True, exist_ok=True)
+    target = target_dir / f"{name}.jsonl"
+    write_run_jsonl(target, system.world.trace, system.world.metrics, meta=meta)
+    return target

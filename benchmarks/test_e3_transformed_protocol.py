@@ -14,7 +14,7 @@ from repro.byzantine import TRANSFORMED_ATTACKS, transformed_attack
 from repro.sim.network import UniformDelay
 from repro.systems import build_transformed_system
 
-from conftest import SEEDS, proposals, run_once
+from conftest import SEEDS, export_artifact, metrics_dir, proposals, run_once
 
 N = 4
 SEATS = {"equivocate-current": 0, "wrong-cert-current": 0}
@@ -45,6 +45,18 @@ def run_experiment():
                 summary.mean_messages,
             ]
         )
+        if metrics_dir() is not None:
+            # One representative seed per attack, as a comparable artifact.
+            witness = build_transformed_system(
+                proposals(N),
+                byzantine=transformed_attack(seat, name),
+                seed=0,
+                delay_model=UniformDelay(0.1, 2.5),
+            )
+            witness.run()
+            export_artifact(
+                witness, f"e3-{name}", experiment="e3", attack=name, n=N, seed=0
+            )
     return rows
 
 

@@ -17,7 +17,7 @@ from repro.analysis.properties import (
 from repro.analysis.reporting import print_table
 from repro.systems import build_crash_system, build_transformed_system
 
-from conftest import SEEDS, proposals, run_once
+from conftest import SEEDS, export_artifact, metrics_dir, proposals, run_once
 
 
 def summarise(name, summary, max_cert):
@@ -76,6 +76,24 @@ def run_experiment():
                     None,
                 ]
             )
+            if metrics_dir() is not None:
+                # Matching artifacts for both sides of the comparison.
+                slug = scenario.replace(" ", "-")
+                for label, builder in (
+                    ("crash", build_crash_system),
+                    ("transformed", build_transformed_system),
+                ):
+                    witness = builder(proposals(n), crash_at=crash, seed=0)
+                    witness.run()
+                    export_artifact(
+                        witness,
+                        f"e7-{label}-n{n}-{slug}",
+                        experiment="e7",
+                        protocol=label,
+                        scenario=scenario,
+                        n=n,
+                        seed=0,
+                    )
     return rows
 
 

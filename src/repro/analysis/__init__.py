@@ -10,6 +10,7 @@ from repro.analysis.properties import (
     check_vector_consensus,
 )
 from repro.analysis.reporting import percent, print_table, render_table
+from repro.analysis.run_report import RunReport
 from repro.analysis.stats import (
     min_trials_for_zero_failures,
     rate_with_ci,
@@ -26,6 +27,7 @@ __all__ = [
     "DetectionReport",
     "PropertyReport",
     "RunMetrics",
+    "RunReport",
     "Trial",
     "TrialSummary",
     "certificate_entries",

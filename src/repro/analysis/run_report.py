@@ -1,0 +1,159 @@
+"""RunReport: one run's observability data as per-module/round tables.
+
+The JSONL artifact (:mod:`repro.observability.export`) is an accounting
+log; this module turns it — or a freshly-run
+:class:`~repro.systems.ConsensusSystem` — into the aggregated view a
+human (or the ``python -m repro report`` command) wants:
+
+* **module totals** — every counter summed over pids and rounds, grouped
+  by the owning module, so the five Figure-1 modules can be compared at
+  a glance;
+* **per-round counters** — the round-labelled subset (rounds started,
+  certificates checked per round, ...) as one row per (round, module,
+  metric);
+* **event counts** — the trace compressed to one row per event type.
+
+The same report renders as aligned ASCII tables (:meth:`RunReport.render`)
+or as a JSON document (:meth:`RunReport.to_json`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.analysis.reporting import render_table
+from repro.observability.export import RunArtifact, event_record
+from repro.observability.registry import MetricsRegistry, PAPER_MODULES
+
+
+@dataclass(slots=True)
+class RunReport:
+    """Aggregated per-module / per-round view of one run."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    #: module -> metric name -> total over all pid/round labels.
+    module_totals: dict[str, dict[str, int | float]] = field(default_factory=dict)
+    #: round -> (module, metric name) -> total over pids.
+    round_counters: dict[int, dict[tuple[str, str], int | float]] = field(
+        default_factory=dict
+    )
+    #: trace event type -> occurrence count.
+    event_counts: dict[str, int] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_metrics(
+        cls,
+        metrics: MetricsRegistry,
+        events: list[dict[str, Any]] | None = None,
+        meta: Mapping[str, Any] | None = None,
+    ) -> "RunReport":
+        """Aggregate a registry (and optional event records) directly."""
+        counts: dict[str, int] = {}
+        for event in events or []:
+            counts[event["type"]] = counts.get(event["type"], 0) + 1
+        return cls(
+            meta=dict(meta or {}),
+            module_totals=metrics.totals_by_module(),
+            round_counters={
+                rnd: metrics.counters_for_round(rnd)
+                for rnd in metrics.rounds_observed()
+            },
+            event_counts=dict(sorted(counts.items())),
+        )
+
+    @classmethod
+    def from_artifact(cls, artifact: RunArtifact) -> "RunReport":
+        """Aggregate a parsed JSONL artifact."""
+        return cls.from_metrics(
+            artifact.metrics, events=artifact.events, meta=artifact.meta
+        )
+
+    @classmethod
+    def from_system(cls, system: Any, meta: Mapping[str, Any] | None = None) -> "RunReport":
+        """Aggregate a just-run :class:`~repro.systems.ConsensusSystem`."""
+        return cls.from_metrics(
+            system.world.metrics,
+            events=[event_record(e) for e in system.world.trace],
+            meta=meta,
+        )
+
+    # -- views ---------------------------------------------------------------
+
+    def paper_module_activity(self) -> dict[str, int | float]:
+        """Total counter activity of each Figure-1 module (0 if silent).
+
+        The acceptance check for the attack gallery: under an attack,
+        every one of the five modules should have something to report.
+        """
+        return {
+            module: sum(self.module_totals.get(module, {}).values())
+            for module in PAPER_MODULES
+        }
+
+    def total(self, module: str, name: str) -> int | float:
+        return self.module_totals.get(module, {}).get(name, 0)
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        """The report as aligned ASCII tables (one string, no trailing \\n)."""
+        sections = []
+        if self.meta:
+            meta_text = ", ".join(
+                f"{key}={self.meta[key]!r}" for key in sorted(self.meta)
+            )
+            sections.append(f"run: {meta_text}")
+        sections.append(
+            render_table(
+                "module totals",
+                ["module", "metric", "total"],
+                [
+                    [module, name, value]
+                    for module, names in self.module_totals.items()
+                    for name, value in names.items()
+                ],
+            )
+        )
+        if self.round_counters:
+            sections.append(
+                render_table(
+                    "per-round counters",
+                    ["round", "module", "metric", "total"],
+                    [
+                        [rnd, module, name, value]
+                        for rnd, pairs in sorted(self.round_counters.items())
+                        for (module, name), value in sorted(pairs.items())
+                    ],
+                )
+            )
+        if self.event_counts:
+            sections.append(
+                render_table(
+                    "trace events",
+                    ["type", "count"],
+                    [[kind, count] for kind, count in self.event_counts.items()],
+                )
+            )
+        return "\n\n".join(sections)
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready document (tuple keys flattened to objects)."""
+        return {
+            "meta": self.meta,
+            "module_totals": self.module_totals,
+            "round_counters": [
+                {
+                    "round": rnd,
+                    "module": module,
+                    "name": name,
+                    "total": value,
+                }
+                for rnd, pairs in sorted(self.round_counters.items())
+                for (module, name), value in sorted(pairs.items())
+            ],
+            "event_counts": self.event_counts,
+            "paper_module_activity": self.paper_module_activity(),
+        }

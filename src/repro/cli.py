@@ -7,7 +7,9 @@ Usage (``python -m repro <command> ...``):
 * ``gallery`` — the full attack gallery against the transformed protocol
   as a table;
 * ``attacks`` — list the attack catalogues and their fault profiles;
-* ``params`` — the resilience arithmetic for a system size.
+* ``params`` — the resilience arithmetic for a system size;
+* ``report`` — aggregate a ``--metrics-out`` JSONL artifact into
+  per-module / per-round tables (or JSON).
 """
 
 from __future__ import annotations
@@ -22,7 +24,9 @@ from repro.analysis.properties import (
     check_vector_consensus,
 )
 from repro.analysis.reporting import print_table
+from repro.analysis.run_report import RunReport
 from repro.analysis.tracefmt import render_sequence, trace_to_json
+from repro.observability.export import read_run_jsonl, write_run_jsonl
 from repro.byzantine import (
     CRASH_ATTACKS,
     TRANSFORMED_ATTACKS,
@@ -88,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--json", metavar="FILE", help="export the trace as JSON to FILE"
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="export metrics + trace as a schema-versioned JSONL artifact "
+        "(read it back with `python -m repro report FILE`)",
+    )
+
+    report = sub.add_parser(
+        "report", help="aggregate a JSONL run artifact into tables"
+    )
+    report.add_argument("artifact", help="a .jsonl file written by --metrics-out")
+    report.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
     )
 
     gallery = sub.add_parser(
@@ -190,7 +208,34 @@ def cmd_run(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(trace_to_json(system.world.trace))
         print(f"trace exported to {args.json}")
+    if args.metrics_out:
+        write_run_jsonl(
+            args.metrics_out,
+            system.world.trace,
+            system.world.metrics,
+            meta={
+                "n": args.n,
+                "seed": args.seed,
+                "protocol": args.protocol,
+                "variant": args.variant,
+                "base": args.base,
+                "attacks": dict(sorted(attack_names.items())),
+                "crashes": {pid: crash_at[pid] for pid in sorted(crash_at)},
+            },
+        )
+        print(f"metrics artifact exported to {args.metrics_out}")
     return 0 if report.all_hold else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    run_report = RunReport.from_artifact(read_run_jsonl(args.artifact))
+    if args.json:
+        import json
+
+        print(json.dumps(run_report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(run_report.render())
+    return 0
 
 
 def cmd_gallery(args: argparse.Namespace) -> int:
@@ -298,6 +343,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "run": cmd_run,
+        "report": cmd_report,
         "gallery": cmd_gallery,
         "attacks": cmd_attacks,
         "params": cmd_params,
@@ -305,7 +351,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     }
     try:
         return handlers[args.command](args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.detectors.base import FailureDetector
+from repro.observability.registry import MODULE_PROTOCOL
 from repro.sim.process import Process, ProcessEnv
 
 #: Timer name used for the recurring suspicion-guard evaluation.
@@ -90,6 +91,12 @@ class ConsensusProcess(Process):
         self.decision = value
         self.decision_round = round_number
         self.decision_time = self.now
+        self.env.metrics.inc(
+            MODULE_PROTOCOL, "decisions", pid=self.pid, round=round_number
+        )
+        self.env.metrics.observe(
+            MODULE_PROTOCOL, "decision_latency", self.now, pid=self.pid
+        )
         self.cancel_timer(SUSPICION_POLL_TIMER)
         if self.detector is not None:
             self.detector.stop()

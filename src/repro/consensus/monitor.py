@@ -34,6 +34,12 @@ from repro.core.specs import SystemParameters
 from repro.consensus.certification import SignatureCheck
 from repro.consensus.hurfin_raynal import coordinator_of
 from repro.messages.consensus import Init, VCurrent, VDecide, VNext
+from repro.observability.registry import (
+    MODULE_CERTIFICATION,
+    MODULE_MONITOR,
+    MetricsRegistry,
+    NULL_METRICS,
+)
 
 START = "start"
 Q0 = "q0"
@@ -87,8 +93,15 @@ class PeerMonitor:
         # the INIT phase off-channel (echo-INIT over reliable broadcast)
         # start the stream directly in round 1 / q0.
         self.round = 0 if initial_state == START else 1
+        # Certification-module accounting; rebound by the owning bank
+        # once the hosting process joins a world.
+        self.cert_metrics = NULL_METRICS
         self._machine = StateMachine(initial=initial_state)
         self._wire_rules()
+
+    def attach_metrics(self, cert_metrics) -> None:
+        """Bind the certification-module metrics scope (host's pid)."""
+        self.cert_metrics = cert_metrics
 
     # -- public surface ---------------------------------------------------------
 
@@ -126,9 +139,7 @@ class PeerMonitor:
     # -- handlers -------------------------------------------------------------------
 
     def _on_init(self, message: SignedMessage) -> str:
-        self._require_clean(
-            certs.init_message_problems(message, self.params, self.verify)
-        )
+        self._require_clean(self._analyse(certs.init_message_problems, message))
         self.round = 1
         return Q0
 
@@ -152,7 +163,7 @@ class PeerMonitor:
 
     def _on_decide(self, message: SignedMessage) -> str:
         self._require_clean(
-            certs.decide_message_problems(message, self.params, self.verify)
+            self._analyse(certs.decide_message_problems, message)
         )
         return FINAL
 
@@ -175,7 +186,7 @@ class PeerMonitor:
             )
         del coordinator  # form dispatch happens inside the predicate
         self._require_clean(
-            certs.current_message_problems(message, self.params, self.verify)
+            self._analyse(certs.current_message_problems, message)
         )
 
     def _check_next(self, message: SignedMessage, expected_round: int) -> None:
@@ -191,12 +202,19 @@ class PeerMonitor:
                 f"identity mismatch: NEXT claims sender {body.sender} on the "
                 f"channel of peer {self.peer}"
             )
-        self._require_clean(
-            certs.next_message_problems(message, self.params, self.verify)
-        )
+        self._require_clean(self._analyse(certs.next_message_problems, message))
+
+    def _analyse(self, predicate, message: SignedMessage) -> list[str]:
+        """Run one PF predicate under the certification span timer."""
+        with self.cert_metrics.span("pf_predicate"):
+            return predicate(message, self.params, self.verify)
 
     def _require_clean(self, problems: list[str]) -> None:
-        if problems and self.check_certificates:
+        if not self.check_certificates:
+            return
+        self.cert_metrics.inc("certificates_checked", round=self.round)
+        if problems:
+            self.cert_metrics.inc("certificates_rejected", round=self.round)
             raise BehaviorViolation("; ".join(problems))
 
 
@@ -297,6 +315,24 @@ class MonitorBank:
         self.ledger = EquivocationLedger(verify) if use_ledger else None
         self._faulty: set[int] = set()
         self._reports: list[FaultReport] = []
+        # Metrics scopes; rebound via attach_metrics once the hosting
+        # process is in a world.
+        self.metrics = NULL_METRICS
+        self.cert_metrics = NULL_METRICS
+
+    def attach_metrics(self, registry: MetricsRegistry, pid: int) -> None:
+        """Bind the bank (and its monitors) to the world's registry.
+
+        Automaton admissions are attributed to the non-muteness module;
+        the PF predicate checks the monitors run are attributed to the
+        certification module — they analyse certificates, per Figure 1.
+        """
+        self.metrics = registry.scope(MODULE_MONITOR, pid)
+        self.cert_metrics = registry.scope(MODULE_CERTIFICATION, pid)
+        for monitor in self.monitors.values():
+            attach = getattr(monitor, "attach_metrics", None)
+            if attach is not None:
+                attach(self.cert_metrics)
 
     @property
     def faulty(self) -> frozenset[int]:
@@ -313,6 +349,8 @@ class MonitorBank:
         equivocations = (
             self.ledger.conflicts(message) if self.ledger is not None else []
         )
+        if equivocations:
+            self.metrics.inc("equivocations_detected", len(equivocations))
         for culprit, description in equivocations:
             if culprit != self.own_pid:
                 self.declare(culprit, description, now)
@@ -321,8 +359,11 @@ class MonitorBank:
             return True
         already_faulty = monitor.faulty
         step = monitor.feed(message)
+        self.metrics.inc("automaton_transitions")
         if step.accepted:
+            self.metrics.inc("messages_admitted")
             return True
+        self.metrics.inc("messages_rejected")
         if not already_faulty:
             self.declare(src, step.reason or "behaviour violation", now)
         return False
@@ -332,6 +373,7 @@ class MonitorBank:
         module for identity/signature failures)."""
         if culprit not in self._faulty:
             self._faulty.add(culprit)
+            self.metrics.inc("faults_declared")
             self._reports.append(
                 FaultReport(culprit=culprit, reason=reason, time=now)
             )

@@ -23,6 +23,7 @@ from repro.consensus.certification import SignatureCheck
 from repro.consensus.certification import init_message_problems
 from repro.messages.consensus import Init
 from repro.messages.ct import CtAck, CtDecide, CtEstimate, CtNack, CtPropose
+from repro.observability.registry import NULL_METRICS
 
 START = "start"
 WAIT = "between-phases"
@@ -49,6 +50,11 @@ class CtPeerMonitor:
         self.round = 0
         self._machine = StateMachine(initial=START)
         self._wire_rules()
+        self.cert_metrics = NULL_METRICS
+
+    def attach_metrics(self, cert_metrics) -> None:
+        """Bind certificate-check counters (certification module scope)."""
+        self.cert_metrics = cert_metrics
 
     @property
     def state(self) -> str:
@@ -158,5 +164,9 @@ class CtPeerMonitor:
             )
 
     def _clean(self, problems: list[str]) -> None:
-        if problems and self.check_certificates:
+        if not self.check_certificates:
+            return
+        self.cert_metrics.inc("certificates_checked", round=self.round)
+        if problems:
+            self.cert_metrics.inc("certificates_rejected", round=self.round)
             raise BehaviorViolation("; ".join(problems))

@@ -56,6 +56,13 @@ from repro.core.vector_certification import CertifiedVectorBuilder
 from repro.detectors.base import FailureDetector
 from repro.messages.base import Message
 from repro.messages.consensus import Init, VCurrent, VDecide, VNext, Vector
+from repro.observability.registry import (
+    MODULE_CERTIFICATION,
+    MODULE_PROTOCOL,
+    MODULE_SIGNATURE,
+    NULL_METRICS,
+)
+from repro.sim.process import ProcessEnv
 
 #: Protocol phases.
 PHASE_INIT = "init"
@@ -95,6 +102,17 @@ class TransformedConsensusProcess(ConsensusProcess):
         self.sent_next = False
         self._vector_builder = CertifiedVectorBuilder(params)
         self._future: dict[int, list[SignedMessage]] = {}
+        # Per-module metric scopes; rebound in bind() once a world exists.
+        self._sig_metrics = NULL_METRICS
+        self._cert_metrics = NULL_METRICS
+        self._proto_metrics = NULL_METRICS
+
+    def bind(self, env: ProcessEnv) -> None:
+        super().bind(env)
+        self._sig_metrics = env.metrics.scope(MODULE_SIGNATURE, self.pid)
+        self._cert_metrics = env.metrics.scope(MODULE_CERTIFICATION, self.pid)
+        self._proto_metrics = env.metrics.scope(MODULE_PROTOCOL, self.pid)
+        self.monitor_bank.attach_metrics(env.metrics, self.pid)
 
     # -- derived views -------------------------------------------------------
 
@@ -142,20 +160,26 @@ class TransformedConsensusProcess(ConsensusProcess):
         and its (channel-identified) sender is declared faulty.
         """
         if not isinstance(payload, SignedMessage):
+            self._sig_metrics.inc("messages_rejected")
             self._declare(src, "signature module: unsigned payload")
             return None
         if not self.config.verify_signatures:
             return payload  # ablated: admit without authentication (E8)
         if payload.body.sender != src:
+            self._sig_metrics.inc("messages_rejected")
             self._declare(
                 src,
                 f"signature module: identity field {payload.body.sender} "
                 f"inconsistent with the sending channel {src}",
             )
             return None
-        if not self.authority.signature_valid(payload):
+        with self._sig_metrics.span("verify"):
+            valid = self.authority.signature_valid(payload)
+        if not valid:
+            self._sig_metrics.inc("messages_rejected")
             self._declare(src, "signature module: invalid signature")
             return None
+        self._sig_metrics.inc("messages_verified")
         return payload
 
     def _declare(self, culprit: int, reason: str) -> None:
@@ -170,7 +194,12 @@ class TransformedConsensusProcess(ConsensusProcess):
     # -- egress: sign, certify, broadcast ----------------------------------------
 
     def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
-        message = self.authority.make(body, cert)
+        with self._sig_metrics.span("sign"):
+            message = self.authority.make(body, cert)
+        self._sig_metrics.inc("messages_signed")
+        round_label = self.round if self.phase == PHASE_ROUNDS else None
+        self._cert_metrics.inc("certificates_attached", round=round_label)
+        self._cert_metrics.observe("certificate_entries", len(cert))
         self.broadcast(message)
         return message
 
@@ -199,11 +228,14 @@ class TransformedConsensusProcess(ConsensusProcess):
         if self.phase == PHASE_INIT:
             # Votes can arrive while we are still collecting INITs (a fast
             # peer finished its INIT phase first): buffer them.
+            self._proto_metrics.inc("messages_buffered")
             self._future.setdefault(body.round, []).append(message)
             return
         if body.round < self.round:
+            self._proto_metrics.inc("messages_stale")
             return  # stale vote (footnote 5)
         if body.round > self.round:
+            self._proto_metrics.inc("messages_buffered")
             self._future.setdefault(body.round, []).append(message)
             return
         if isinstance(body, VCurrent):
@@ -231,6 +263,7 @@ class TransformedConsensusProcess(ConsensusProcess):
         self.round = round_number
         self.sent_current = False
         self.sent_next = False
+        self._proto_metrics.inc("rounds_started", round=round_number)
         notify = getattr(self.detector, "notify_round", None)
         if notify is not None:
             notify(round_number)  # round-aware ◇M variants scale patience

@@ -58,6 +58,13 @@ from repro.detectors.base import FailureDetector
 from repro.messages.base import Message
 from repro.messages.consensus import Init, Vector
 from repro.messages.ct import CtAck, CtDecide, CtEstimate, CtNack, CtPropose
+from repro.observability.registry import (
+    MODULE_CERTIFICATION,
+    MODULE_PROTOCOL,
+    MODULE_SIGNATURE,
+    NULL_METRICS,
+)
+from repro.sim.process import ProcessEnv
 
 PHASE_INIT = "init"
 PHASE_ROUNDS = "rounds"
@@ -103,6 +110,17 @@ class TransformedCtProcess(ConsensusProcess):
         self._round_propose: SignedMessage | None = None
         self._vector_builder = CertifiedVectorBuilder(params)
         self._future: dict[int, list[SignedMessage]] = {}
+        # Per-module metric scopes; rebound in bind() once a world exists.
+        self._sig_metrics = NULL_METRICS
+        self._cert_metrics = NULL_METRICS
+        self._proto_metrics = NULL_METRICS
+
+    def bind(self, env: ProcessEnv) -> None:
+        super().bind(env)
+        self._sig_metrics = env.metrics.scope(MODULE_SIGNATURE, self.pid)
+        self._cert_metrics = env.metrics.scope(MODULE_CERTIFICATION, self.pid)
+        self._proto_metrics = env.metrics.scope(MODULE_PROTOCOL, self.pid)
+        self.monitor_bank.attach_metrics(env.metrics, self.pid)
 
     # -- views ------------------------------------------------------------------
 
@@ -142,20 +160,26 @@ class TransformedCtProcess(ConsensusProcess):
 
     def _admit_signature(self, src: int, payload: Any) -> SignedMessage | None:
         if not isinstance(payload, SignedMessage):
+            self._sig_metrics.inc("messages_rejected")
             self._declare(src, "signature module: unsigned payload")
             return None
         if not self.config.verify_signatures:
             return payload
         if payload.body.sender != src:
+            self._sig_metrics.inc("messages_rejected")
             self._declare(
                 src,
                 f"signature module: identity field {payload.body.sender} "
                 f"inconsistent with the sending channel {src}",
             )
             return None
-        if not self.authority.signature_valid(payload):
+        with self._sig_metrics.span("verify"):
+            valid = self.authority.signature_valid(payload)
+        if not valid:
+            self._sig_metrics.inc("messages_rejected")
             self._declare(src, "signature module: invalid signature")
             return None
+        self._sig_metrics.inc("messages_verified")
         return payload
 
     def _declare(self, culprit: int, reason: str) -> None:
@@ -168,7 +192,12 @@ class TransformedCtProcess(ConsensusProcess):
         self.evaluate_guards()
 
     def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
-        message = self.authority.make(body, cert)
+        with self._sig_metrics.span("sign"):
+            message = self.authority.make(body, cert)
+        self._sig_metrics.inc("messages_signed")
+        round_label = self.round if self.phase == PHASE_ROUNDS else None
+        self._cert_metrics.inc("certificates_attached", round=round_label)
+        self._cert_metrics.observe("certificate_entries", len(cert))
         self.broadcast(message)
         return message
 
@@ -196,6 +225,7 @@ class TransformedCtProcess(ConsensusProcess):
 
     def _begin_round(self, round_number: int) -> None:
         self.round = round_number
+        self._proto_metrics.inc("rounds_started", round=round_number)
         self.replied = False
         self._proposed = False
         self._estimates = {}
@@ -237,11 +267,14 @@ class TransformedCtProcess(ConsensusProcess):
         if not isinstance(body, (CtEstimate, CtPropose, CtAck, CtNack)):
             return
         if self.phase == PHASE_INIT:
+            self._proto_metrics.inc("messages_buffered")
             self._future.setdefault(body.round, []).append(message)
             return
         if body.round < self.round:
+            self._proto_metrics.inc("messages_stale")
             return
         if body.round > self.round:
+            self._proto_metrics.inc("messages_buffered")
             self._future.setdefault(body.round, []).append(message)
             return
         self._dispatch_round_message(message)

@@ -17,11 +17,18 @@ from __future__ import annotations
 from abc import ABC
 
 from repro.errors import ProtocolError
+from repro.observability.registry import MODULE_MUTENESS
 from repro.sim.process import ProcessEnv
 
 
 class FailureDetector(ABC):
-    """Base class of every failure-detector module."""
+    """Base class of every failure-detector module.
+
+    Observability: suspicion churn is counted under the ``muteness_fd``
+    module label — the failure-detection slot of the paper's Figure 1.
+    (Crash-model ◇S detectors occupy the same slot, so their counters
+    share the label; see ``docs/OBSERVABILITY.md``.)
+    """
 
     def __init__(self) -> None:
         self._suspected: set[int] = set()
@@ -86,6 +93,9 @@ class FailureDetector(ABC):
     def _suspect(self, pid: int) -> None:
         if pid not in self._suspected:
             self._suspected.add(pid)
+            self.env.metrics.inc(
+                MODULE_MUTENESS, "suspicions_raised", pid=self.env.pid
+            )
             self.env.trace.record(
                 self.env.now, "suspect", process=self.env.pid, target=pid
             )
@@ -93,6 +103,9 @@ class FailureDetector(ABC):
     def _unsuspect(self, pid: int) -> None:
         if pid in self._suspected:
             self._suspected.discard(pid)
+            self.env.metrics.inc(
+                MODULE_MUTENESS, "suspicions_retracted", pid=self.env.pid
+            )
             self.env.trace.record(
                 self.env.now, "unsuspect", process=self.env.pid, target=pid
             )

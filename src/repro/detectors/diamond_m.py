@@ -28,6 +28,7 @@ escape suspicion.
 from __future__ import annotations
 
 from repro.detectors.base import FailureDetector
+from repro.observability.registry import MODULE_MUTENESS
 
 
 class MutenessDetector(FailureDetector):
@@ -61,6 +62,9 @@ class MutenessDetector(FailureDetector):
             return
         if src in self._suspected:
             self._wrongful_suspicions += 1
+            self.env.metrics.inc(
+                MODULE_MUTENESS, "wrongful_suspicions", pid=self.env.pid
+            )
             self._timeout[src] = self.timeout_of(src) * self._backoff
             self._unsuspect(src)
         self._arm(src)
@@ -68,6 +72,9 @@ class MutenessDetector(FailureDetector):
     def _arm(self, pid: int) -> None:
         deadline = self.env.now + self.timeout_of(pid)
         self._deadline[pid] = deadline
+        self.env.metrics.inc(
+            MODULE_MUTENESS, "timeouts_armed", pid=self.env.pid
+        )
         self.env.scheduler.schedule_after(
             self.timeout_of(pid),
             "muteness-timeout",

@@ -1,0 +1,69 @@
+"""Observability: per-module instrumentation, run metrics, JSONL export.
+
+The paper's contribution is *modularity* — five cooperating modules per
+process (signature, muteness FD, non-muteness FD, certification,
+protocol). This package makes that structure observable: every module
+reports counters, gauges and histograms into a per-run
+:class:`MetricsRegistry`, attributed to the module that produced them,
+and a run can be exported as a versioned JSONL artifact
+(:mod:`repro.observability.export`) that pairs the metrics with the
+event trace.
+
+Everything recorded here is derived from virtual time and deterministic
+event order, so a fixed-seed run exports **byte-identical** artifacts.
+The only exception is wall-clock :class:`~repro.observability.span.Span`
+profiles, which live in a separate section and are never exported.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue and the JSONL
+schema.
+"""
+
+from repro.observability.registry import (
+    MODULE_CERTIFICATION,
+    MODULE_MUTENESS,
+    MODULE_MONITOR,
+    MODULE_NETWORK,
+    MODULE_PROCESS,
+    MODULE_PROTOCOL,
+    MODULE_SCHEDULER,
+    MODULE_SIGNATURE,
+    NULL_METRICS,
+    PAPER_MODULES,
+    MetricsRegistry,
+    ModuleMetrics,
+)
+from repro.observability.span import Span
+from repro.observability.export import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    RunArtifact,
+    artifact_to_lines,
+    parse_lines,
+    read_run_jsonl,
+    run_to_lines,
+    write_run_jsonl,
+)
+
+__all__ = [
+    "MODULE_CERTIFICATION",
+    "MODULE_MUTENESS",
+    "MODULE_MONITOR",
+    "MODULE_NETWORK",
+    "MODULE_PROCESS",
+    "MODULE_PROTOCOL",
+    "MODULE_SCHEDULER",
+    "MODULE_SIGNATURE",
+    "NULL_METRICS",
+    "PAPER_MODULES",
+    "ArtifactError",
+    "MetricsRegistry",
+    "ModuleMetrics",
+    "RunArtifact",
+    "SCHEMA_VERSION",
+    "Span",
+    "artifact_to_lines",
+    "parse_lines",
+    "read_run_jsonl",
+    "run_to_lines",
+    "write_run_jsonl",
+]

@@ -1,0 +1,299 @@
+"""The metrics registry: counters, gauges and histograms per module.
+
+One :class:`MetricsRegistry` exists per simulated world (created by
+:class:`~repro.sim.world.World`); every layer of the stack writes into it
+through either the registry itself or a :class:`ModuleMetrics` scope that
+pre-binds the (module, pid) attribution.
+
+Metric identity is the tuple ``(module, name, pid, round)`` where ``pid``
+and ``round`` are optional labels. Aggregation never double-counts: each
+``inc``/``observe`` lands on exactly one key, and the per-module totals
+sum over all keys of a (module, name) pair.
+
+Determinism: everything stored here is a pure function of the simulated
+run (virtual time, seeded randomness), so two runs with the same seed
+produce equal registries and byte-identical exports. Wall-clock
+:meth:`ModuleMetrics.span` profiles are the deliberate exception — they
+are kept in a separate *profile* section that the JSONL exporter skips.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+
+from repro.observability.span import Span
+
+#: The five paper modules of Figure 1, as metric attribution labels.
+MODULE_SIGNATURE = "signature"
+MODULE_MUTENESS = "muteness_fd"
+MODULE_MONITOR = "non_muteness_fd"
+MODULE_CERTIFICATION = "certification"
+MODULE_PROTOCOL = "protocol"
+
+#: Simulation-substrate modules (not part of Figure 1).
+MODULE_SCHEDULER = "scheduler"
+MODULE_NETWORK = "network"
+MODULE_PROCESS = "process"
+
+PAPER_MODULES = (
+    MODULE_SIGNATURE,
+    MODULE_MUTENESS,
+    MODULE_MONITOR,
+    MODULE_CERTIFICATION,
+    MODULE_PROTOCOL,
+)
+
+#: (module, name, pid, round) — pid/round may be None.
+MetricKey = tuple[str, str, int | None, int | None]
+
+
+def _sort_key(key: MetricKey) -> tuple:
+    module, name, pid, rnd = key
+    return (module, name, pid is not None, pid or 0, rnd is not None, rnd or 0)
+
+
+class MetricsRegistry:
+    """Per-run store of counters, gauges, histograms and span profiles."""
+
+    def __init__(self) -> None:
+        self._counters: dict[MetricKey, int | float] = {}
+        self._gauges: dict[MetricKey, float] = {}
+        # histogram value: [count, sum, min, max]
+        self._histograms: dict[MetricKey, list[float]] = {}
+        # wall-clock span profile (never exported): same shape
+        self._profile: dict[tuple[str, str, int | None], list[float]] = {}
+
+    # -- writing -----------------------------------------------------------
+
+    def inc(
+        self,
+        module: str,
+        name: str,
+        value: int | float = 1,
+        pid: int | None = None,
+        round: int | None = None,
+    ) -> None:
+        """Add ``value`` to the counter ``(module, name, pid, round)``."""
+        key = (module, name, pid, round)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge_set(
+        self, module: str, name: str, value: float, pid: int | None = None
+    ) -> None:
+        """Set the gauge to ``value`` (last write wins)."""
+        self._gauges[(module, name, pid, None)] = value
+
+    def gauge_max(
+        self, module: str, name: str, value: float, pid: int | None = None
+    ) -> None:
+        """Raise the gauge to ``value`` if it exceeds the stored one."""
+        key = (module, name, pid, None)
+        current = self._gauges.get(key)
+        if current is None or value > current:
+            self._gauges[key] = value
+
+    def observe(
+        self,
+        module: str,
+        name: str,
+        value: float,
+        pid: int | None = None,
+        round: int | None = None,
+    ) -> None:
+        """Record one histogram observation (count/sum/min/max summary)."""
+        key = (module, name, pid, round)
+        entry = self._histograms.get(key)
+        if entry is None:
+            self._histograms[key] = [1, value, value, value]
+        else:
+            entry[0] += 1
+            entry[1] += value
+            entry[2] = min(entry[2], value)
+            entry[3] = max(entry[3], value)
+
+    def profile_observe(
+        self, module: str, name: str, seconds: float, pid: int | None = None
+    ) -> None:
+        """Record one wall-clock span duration (profile section only)."""
+        key = (module, name, pid)
+        entry = self._profile.get(key)
+        if entry is None:
+            self._profile[key] = [1, seconds, seconds, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+            entry[2] = min(entry[2], seconds)
+            entry[3] = max(entry[3], seconds)
+
+    def span(self, module: str, name: str, pid: int | None = None) -> Span:
+        """A wall-clock timer for a hot path, feeding the profile section."""
+        return Span(
+            sink=lambda seconds: self.profile_observe(module, name, seconds, pid),
+            clock=time.perf_counter,
+        )
+
+    def scope(self, module: str, pid: int | None = None) -> "ModuleMetrics":
+        """A writer with (module, pid) attribution pre-bound."""
+        return ModuleMetrics(self, module, pid)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(
+        self,
+        module: str,
+        name: str,
+        pid: int | None = None,
+        round: int | None = None,
+    ) -> int | float:
+        """The exact counter at ``(module, name, pid, round)`` (0 if unset)."""
+        return self._counters.get((module, name, pid, round), 0)
+
+    def counter_total(self, module: str, name: str) -> int | float:
+        """Sum of a counter over all pid/round labels."""
+        return sum(
+            value
+            for (mod, nm, _pid, _rnd), value in self._counters.items()
+            if mod == module and nm == name
+        )
+
+    def totals_by_module(self) -> dict[str, dict[str, int | float]]:
+        """``module -> name -> total`` over all labels, sorted for display."""
+        totals: dict[str, dict[str, int | float]] = {}
+        for (module, name, _pid, _rnd), value in self._counters.items():
+            bucket = totals.setdefault(module, {})
+            bucket[name] = bucket.get(name, 0) + value
+        return {
+            module: dict(sorted(names.items()))
+            for module, names in sorted(totals.items())
+        }
+
+    def rounds_observed(self) -> list[int]:
+        """Every distinct round label appearing on any counter, sorted."""
+        return sorted(
+            {rnd for (_m, _n, _p, rnd) in self._counters if rnd is not None}
+        )
+
+    def counters_for_round(self, rnd: int) -> dict[tuple[str, str], int | float]:
+        """``(module, name) -> total`` restricted to one round label."""
+        totals: dict[tuple[str, str], int | float] = {}
+        for (module, name, _pid, key_rnd), value in self._counters.items():
+            if key_rnd == rnd:
+                pair = (module, name)
+                totals[pair] = totals.get(pair, 0) + value
+        return totals
+
+    def profile_summary(self) -> dict[tuple[str, str], dict[str, float]]:
+        """Aggregated wall-clock span stats: ``(module, name) -> summary``."""
+        merged: dict[tuple[str, str], list[float]] = {}
+        for (module, name, _pid), (count, total, lo, hi) in self._profile.items():
+            entry = merged.get((module, name))
+            if entry is None:
+                merged[(module, name)] = [count, total, lo, hi]
+            else:
+                entry[0] += count
+                entry[1] += total
+                entry[2] = min(entry[2], lo)
+                entry[3] = max(entry[3], hi)
+        return {
+            pair: {"count": int(c), "sum": s, "min": lo, "max": hi}
+            for pair, (c, s, lo, hi) in sorted(merged.items())
+        }
+
+    # -- snapshots (the exporter's input) ----------------------------------
+
+    def iter_counters(self) -> Iterator[tuple[MetricKey, int | float]]:
+        for key in sorted(self._counters, key=_sort_key):
+            yield key, self._counters[key]
+
+    def iter_gauges(self) -> Iterator[tuple[MetricKey, float]]:
+        for key in sorted(self._gauges, key=_sort_key):
+            yield key, self._gauges[key]
+
+    def iter_histograms(self) -> Iterator[tuple[MetricKey, list[float]]]:
+        for key in sorted(self._histograms, key=_sort_key):
+            yield key, self._histograms[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        # Profiles are wall-clock noise: excluded from equality on purpose.
+        return (
+            self._counters == other._counters
+            and self._gauges == other._gauges
+            and self._histograms == other._histograms
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+class ModuleMetrics:
+    """A registry writer with the (module, pid) attribution pre-bound.
+
+    Hot-path instrumentation holds one of these instead of repeating the
+    module name and pid at every call site; :data:`NULL_METRICS` is the
+    no-op stand-in for components constructed outside a world.
+    """
+
+    __slots__ = ("_registry", "_module", "_pid")
+
+    def __init__(
+        self, registry: MetricsRegistry, module: str, pid: int | None
+    ) -> None:
+        self._registry = registry
+        self._module = module
+        self._pid = pid
+
+    def inc(
+        self, name: str, value: int | float = 1, round: int | None = None
+    ) -> None:
+        self._registry.inc(self._module, name, value, pid=self._pid, round=round)
+
+    def observe(self, name: str, value: float, round: int | None = None) -> None:
+        self._registry.observe(
+            self._module, name, value, pid=self._pid, round=round
+        )
+
+    def gauge_max(self, name: str, value: float) -> None:
+        self._registry.gauge_max(self._module, name, value, pid=self._pid)
+
+    def span(self, name: str) -> Span:
+        return self._registry.span(self._module, name, pid=self._pid)
+
+
+class _NullMetrics:
+    """No-op metrics sink: safe default outside a world.
+
+    Accepts both the registry call shape (``inc(module, name, ...)``)
+    and the scope call shape (``inc(name, ...)``), discarding everything.
+    """
+
+    __slots__ = ()
+
+    def inc(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def observe(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def gauge_set(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def gauge_max(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def span(self, *args: Any, **kwargs: Any) -> Span:
+        return _NULL_SPAN
+
+    def scope(self, module: str, pid: int | None = None) -> "_NullMetrics":
+        return self
+
+
+_NULL_SPAN = Span(sink=lambda _seconds: None, clock=lambda: 0.0)
+
+#: Shared no-op scope (also quacks like a registry via ``scope``).
+NULL_METRICS = _NullMetrics()

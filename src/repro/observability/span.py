@@ -1,0 +1,40 @@
+"""Span: a context-managed timer for hot paths.
+
+A :class:`Span` measures the duration of a code block against an
+injectable clock and reports it to a sink callback on exit. The registry
+hands out wall-clock spans (``time.perf_counter``) whose observations go
+to the *profile* section — kept out of the exported JSONL because wall
+time is not deterministic. A virtual-time clock can be injected instead,
+but note that virtual time does not advance inside one event callback,
+so spans around synchronous code need the wall clock to see anything.
+
+Spans are reusable and reentrant-safe enough for the simulator's single
+thread: each ``with`` entry snapshots its own start time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class Span:
+    """Times a ``with`` block and reports the duration to ``sink``."""
+
+    __slots__ = ("_sink", "_clock", "_starts", "last")
+
+    def __init__(
+        self, sink: Callable[[float], None], clock: Callable[[], float]
+    ) -> None:
+        self._sink = sink
+        self._clock = clock
+        self._starts: list[float] = []
+        #: Duration of the most recently completed block (seconds).
+        self.last: float = 0.0
+
+    def __enter__(self) -> "Span":
+        self._starts.append(self._clock())
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.last = self._clock() - self._starts.pop()
+        self._sink(self.last)

@@ -86,6 +86,12 @@ class _SlotEnv:
     def rng(self):
         return self._parent.rng
 
+    @property
+    def metrics(self):
+        # Slot engines share the replica's registry: per-slot counters
+        # aggregate under the same (module, pid) keys.
+        return self._parent.metrics
+
     def send(self, dst: int, payload: Any) -> None:
         self._parent.send(dst, SlotEnvelope(slot=self._slot, inner=payload))
 

@@ -16,6 +16,10 @@ from __future__ import annotations
 from typing import Any, Callable, Protocol
 
 from repro.errors import NetworkError
+from repro.observability.registry import (
+    MODULE_NETWORK,
+    MetricsRegistry,
+)
 from repro.sim.rng import SeededRng
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import Trace
@@ -151,9 +155,11 @@ class Network:
         trace: Trace,
         delay_model: DelayModel | None = None,
         fifo: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._scheduler = scheduler
         self._trace = trace
+        self._metrics = metrics
         self._delay_model: DelayModel = delay_model or UniformDelay()
         self._rng = scheduler.rng.fork("network")
         self._inboxes: dict[int, DeliverCallback] = {}
@@ -209,6 +215,18 @@ class Network:
         else:
             deliver_at = now + delay
         self._messages_sent += 1
+        if self._metrics is not None:
+            self._metrics.inc(MODULE_NETWORK, "messages_sent", pid=src)
+            # Scheduled transfer delay: FIFO back-pressure included, so the
+            # histogram reflects what the receiver actually experiences.
+            self._metrics.observe(
+                MODULE_NETWORK, "delivery_latency", deliver_at - now, pid=dst
+            )
+            self._metrics.gauge_max(
+                MODULE_NETWORK,
+                "in_flight_max",
+                self._messages_sent - self._messages_delivered,
+            )
         self._trace.record(
             now,
             "send",
@@ -225,6 +243,8 @@ class Network:
 
     def _deliver(self, src: int, dst: int, payload: Any) -> None:
         self._messages_delivered += 1
+        if self._metrics is not None:
+            self._metrics.inc(MODULE_NETWORK, "messages_delivered", pid=dst)
         self._trace.record(
             self._scheduler.now, "deliver", process=dst, src=src, payload=payload
         )

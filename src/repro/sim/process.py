@@ -16,6 +16,12 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import ProcessError
+from repro.observability.registry import (
+    MODULE_PROCESS,
+    MetricsRegistry,
+    ModuleMetrics,
+    NULL_METRICS,
+)
 from repro.sim.events import CancellationToken
 from repro.sim.network import Network
 from repro.sim.rng import SeededRng
@@ -39,6 +45,7 @@ class ProcessEnv:
         network: Network,
         trace: Trace,
         rng: SeededRng,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.pid = pid
         self.n = n
@@ -46,6 +53,15 @@ class ProcessEnv:
         self.network = network
         self.trace = trace
         self.rng = rng
+        #: The world's metrics registry; a no-op stand-in when the env is
+        #: constructed outside a world (unit tests), so module code can
+        #: instrument unconditionally.
+        self.metrics: MetricsRegistry | Any = (
+            metrics if metrics is not None else NULL_METRICS
+        )
+        self._own_metrics: ModuleMetrics | Any = self.metrics.scope(
+            MODULE_PROCESS, pid
+        )
         self.crashed = False
         self.crash_time: float | None = None
         self._timers: dict[str, CancellationToken] = {}
@@ -59,6 +75,7 @@ class ProcessEnv:
         if not self.crashed:
             self.crashed = True
             self.crash_time = self.now
+            self._own_metrics.inc("crashes")
             self.trace.record(self.now, "crash", process=self.pid)
 
     def send(self, dst: int, payload: Any) -> None:
@@ -72,6 +89,7 @@ class ProcessEnv:
         token = self.scheduler.schedule_after(
             delay, "timer", lambda: self._fire_timer(owner, name)
         )
+        self._own_metrics.inc("timers_set")
         self._timers[name] = token
 
     def cancel_timer(self, name: str) -> None:
@@ -83,6 +101,7 @@ class ProcessEnv:
         self._timers.pop(name, None)
         if self.crashed:
             return
+        self._own_metrics.inc("timers_fired")
         owner.on_timer(name)
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SchedulerError
+from repro.observability.registry import MODULE_SCHEDULER, MetricsRegistry
 from repro.sim.clock import VirtualClock
 from repro.sim.events import CancellationToken, EventCallback, EventQueue
 from repro.sim.rng import SeededRng
@@ -42,6 +43,8 @@ class Scheduler:
         self._queue = EventQueue()
         self._stopped = False
         self._dispatched = 0
+        #: Observability sink; the owning world rebinds this to its registry.
+        self.metrics: MetricsRegistry | None = None
 
     @property
     def now(self) -> float:
@@ -100,8 +103,16 @@ class Scheduler:
             if max_time is not None and next_time > max_time:
                 self.clock.advance_to(max_time)
                 return self._result("max_time", dispatched_this_run)
+            if self.metrics is not None:
+                # Event-loop depth *before* the pop: how much work is queued
+                # at the moment this event runs.
+                self.metrics.gauge_max(
+                    MODULE_SCHEDULER, "queue_depth_max", len(self._queue)
+                )
             event = self._queue.pop()
             self.clock.advance_to(event.time)
+            if self.metrics is not None:
+                self.metrics.inc(MODULE_SCHEDULER, f"events_{event.kind}")
             event.callback()
             self._dispatched += 1
             dispatched_this_run += 1

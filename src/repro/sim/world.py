@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.observability.registry import MetricsRegistry
 from repro.sim.network import DelayModel, Network
 from repro.sim.process import Process, ProcessEnv
 from repro.sim.scheduler import RunResult, Scheduler
@@ -32,8 +33,14 @@ class World:
             raise ConfigurationError("a world needs at least one process")
         self.scheduler = Scheduler(seed=seed)
         self.trace = Trace()
+        self.metrics = MetricsRegistry()
+        self.scheduler.metrics = self.metrics
         self.network = Network(
-            self.scheduler, self.trace, delay_model=delay_model, fifo=fifo
+            self.scheduler,
+            self.trace,
+            delay_model=delay_model,
+            fifo=fifo,
+            metrics=self.metrics,
         )
         self.processes: list[Process] = list(processes)
         self._envs: list[ProcessEnv] = []
@@ -46,6 +53,7 @@ class World:
                 network=self.network,
                 trace=self.trace,
                 rng=self.scheduler.rng.fork(f"process-{pid}"),
+                metrics=self.metrics,
             )
             process.bind(env)
             self._envs.append(env)
