@@ -4,10 +4,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check benchmarks experiments
+.PHONY: test campaign-smoke docs-check benchmarks experiments
 
+# -W error promotes every warning to a failure; the lone ignore shields
+# the suite from a deprecation raised inside third-party plugin hooks.
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -W error -W "ignore:mypy_extensions.TypedDict is deprecated" -m pytest -x -q
+
+# Fast end-to-end fault-injection sweep (~60 scenarios, fixed master
+# seed); exits non-zero if any scenario fails its oracles.
+campaign-smoke:
+	$(PYTHON) -m repro campaign run --preset smoke --master-seed 0
 
 # Execute every ```python snippet in README.md and docs/*.md
 # (tests/test_docs_snippets.py); keeps the documented examples honest.

@@ -1,0 +1,61 @@
+"""Scenario-matrix fault-injection campaigns (the correctness backbone).
+
+The paper's modularity claim — every failure class of the Section-2
+taxonomy is caught by exactly one of the five Figure-1 modules — is only
+credible when exercised *systematically*: across protocols, system
+sizes, fault assignments (including collusion), delay models and seeds.
+This package sweeps that scenario space and turns every run into a
+deterministic, replayable record:
+
+* :mod:`repro.campaign.scenario` — one scenario = one fully-specified
+  world; its config round-trips through JSON and hashes to a stable id;
+* :mod:`repro.campaign.matrix` — deterministic enumeration of the
+  scenario space from a :class:`~repro.campaign.matrix.CampaignSpec`;
+* :mod:`repro.campaign.oracles` — the oracle catalogue: consensus
+  invariants plus the detection-attribution oracle;
+* :mod:`repro.campaign.runner` — run scenarios, evaluate oracles;
+* :mod:`repro.campaign.artifact` — the versioned JSONL campaign
+  artifact (``repro.campaign/v1``, byte-identical for a fixed master
+  seed);
+* :mod:`repro.campaign.shrink` — minimise a failing scenario to a
+  small counterexample.
+
+``python -m repro campaign run|list|replay|shrink`` is the CLI surface;
+``docs/TESTING.md`` documents the workflow.
+"""
+
+from repro.campaign.artifact import (
+    CAMPAIGN_SCHEMA,
+    CampaignArtifact,
+    read_campaign_jsonl,
+    write_campaign_jsonl,
+)
+from repro.campaign.matrix import CampaignSpec, enumerate_scenarios
+from repro.campaign.oracles import ScenarioOutcome, evaluate_outcome
+from repro.campaign.runner import (
+    CampaignResult,
+    ScenarioRecord,
+    run_campaign,
+    run_scenario,
+)
+from repro.campaign.scenario import Scenario, build_scenario_system
+from repro.campaign.shrink import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CampaignArtifact",
+    "CampaignResult",
+    "CampaignSpec",
+    "Scenario",
+    "ScenarioOutcome",
+    "ScenarioRecord",
+    "ShrinkResult",
+    "build_scenario_system",
+    "enumerate_scenarios",
+    "evaluate_outcome",
+    "read_campaign_jsonl",
+    "run_campaign",
+    "run_scenario",
+    "shrink_scenario",
+    "write_campaign_jsonl",
+]

@@ -1,0 +1,121 @@
+"""Shrink a failing scenario to a minimal counterexample.
+
+When a campaign run violates its oracles, the raw scenario is rarely
+the *smallest* world exhibiting the bug: it may carry extra faulty
+processes, a bigger system than needed, a fancy delay distribution.
+:func:`shrink_scenario` greedily re-runs structurally smaller variants —
+drop one fault, shrink ``n``, flatten the delay model to ``fixed``,
+zero the seed — keeping a candidate only when it still fails *the same
+way* (same violation kinds, per
+:func:`repro.campaign.oracles.violation_kinds`). The search is
+deterministic: candidates are generated in a fixed order and the first
+still-failing candidate is adopted, so the reported minimal
+counterexample is stable across machines and runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.campaign.oracles import violation_kinds
+from repro.campaign.runner import ScenarioRecord, run_scenario
+from repro.campaign.scenario import Scenario
+from repro.errors import ConfigurationError
+
+#: Hard cap on candidate runs per shrink (each run is one full world).
+DEFAULT_BUDGET = 64
+
+
+@dataclass(slots=True)
+class ShrinkResult:
+    """Outcome of one shrinking pass."""
+
+    original: Scenario
+    minimal: Scenario
+    record: ScenarioRecord
+    #: Human-readable step log, one entry per adopted candidate.
+    steps: list[str] = field(default_factory=list)
+    candidates_tried: int = 0
+
+    @property
+    def shrunk(self) -> bool:
+        return self.minimal != self.original
+
+    def to_record(self) -> dict:
+        return {
+            "original_id": self.original.scenario_id,
+            "minimal_id": self.minimal.scenario_id,
+            "minimal_config": self.minimal.to_config(),
+            "steps": list(self.steps),
+            "candidates_tried": self.candidates_tried,
+        }
+
+
+def _candidates(scenario: Scenario) -> Iterator[tuple[str, Scenario]]:
+    """Structurally smaller variants, most aggressive first."""
+    # 1. Drop one faulty process at a time (attack, crash or colluder).
+    for pid in sorted(scenario.faulty_pids):
+        smaller = scenario.without_fault(pid)
+        if smaller != scenario:
+            yield f"drop faults of p{pid}", smaller
+    # 2. Shrink the system, highest pid first. Only valid while every
+    #    remaining fault seat exists in the smaller world.
+    if scenario.n > 2 and all(pid < scenario.n - 1 for pid in scenario.faulty_pids):
+        yield f"shrink n to {scenario.n - 1}", replace(scenario, n=scenario.n - 1)
+    # 3. Flatten the delay model.
+    if scenario.delay_model != "fixed":
+        yield "flatten delay model to fixed", replace(
+            scenario, delay_model="fixed", delay_params=()
+        )
+    # 4. Canonicalise the seed.
+    if scenario.seed != 0:
+        yield "reset seed to 0", replace(scenario, seed=0)
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    budget: int = DEFAULT_BUDGET,
+) -> ShrinkResult:
+    """Greedy deterministic shrink of a failing scenario.
+
+    The target predicate is "fails with the same violation kinds as the
+    original run". The original is re-run first to establish those kinds;
+    a scenario that does not fail at all raises
+    :class:`ConfigurationError` (there is nothing to shrink).
+    """
+    base_record = run_scenario(scenario)
+    base_kinds = violation_kinds(base_record.to_record())
+    if not base_kinds:
+        raise ConfigurationError(
+            f"scenario {scenario.scenario_id} does not fail; nothing to shrink"
+        )
+    current = scenario
+    current_record = base_record
+    steps: list[str] = []
+    tried = 0
+    progress = True
+    while progress and tried < budget:
+        progress = False
+        for description, candidate in _candidates(current):
+            if tried >= budget:
+                break
+            try:
+                candidate.validate()
+            except ConfigurationError:
+                continue  # not a well-formed smaller world; skip
+            tried += 1
+            candidate_record = run_scenario(candidate)
+            if violation_kinds(candidate_record.to_record()) == base_kinds:
+                steps.append(f"{description} -> {candidate.scenario_id}")
+                current = candidate
+                current_record = candidate_record
+                progress = True
+                break  # restart candidate generation from the new base
+    return ShrinkResult(
+        original=scenario,
+        minimal=current,
+        record=current_record,
+        steps=steps,
+        candidates_tried=tried,
+    )

@@ -9,7 +9,14 @@ Usage (``python -m repro <command> ...``):
 * ``attacks`` — list the attack catalogues and their fault profiles;
 * ``params`` — the resilience arithmetic for a system size;
 * ``report`` — aggregate a ``--metrics-out`` JSONL artifact into
-  per-module / per-round tables (or JSON).
+  per-module / per-round tables (or JSON);
+* ``campaign`` — scenario-matrix fault-injection campaigns with
+  replayable counterexamples (``run`` / ``list`` / ``replay`` /
+  ``shrink``; see ``docs/TESTING.md``).
+
+Invalid configurations (unknown attacks, malformed ``PID:VALUE`` pairs,
+fault plans beyond the resilience bounds, ...) exit with status 2 via
+:class:`~repro.errors.ConfigurationError` — never a traceback.
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ from repro.byzantine import (
 )
 from repro.byzantine.ct_attacks import CT_ATTACKS, ct_attack
 from repro.core.specs import SystemParameters, certification_resilience, crash_resilience
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.systems import build_crash_system, build_transformed_system
 
 CRASH_PROTOCOLS = ("hurfin-raynal", "chandra-toueg")
@@ -124,6 +131,66 @@ def build_parser() -> argparse.ArgumentParser:
     params = sub.add_parser("params", help="resilience arithmetic for n")
     params.add_argument("--n", type=int, required=True)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="scenario-matrix fault-injection campaigns (docs/TESTING.md)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    c_run = campaign_sub.add_parser(
+        "run", help="enumerate and run a campaign, export a JSONL artifact"
+    )
+    c_run.add_argument(
+        "--preset",
+        default="smoke",
+        help="campaign preset: smoke (~55 scenarios) or full (220)",
+    )
+    c_run.add_argument("--master-seed", type=int, default=0)
+    c_run.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the campaign artifact (JSONL, repro.campaign/v1) here",
+    )
+    c_run.add_argument(
+        "--max-scenarios",
+        type=int,
+        help="truncate the enumeration (debugging aid)",
+    )
+    c_run.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip the automatic shrink of failing scenarios",
+    )
+    c_run.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    c_list = campaign_sub.add_parser(
+        "list", help="list the scenario ids a preset enumerates"
+    )
+    c_list.add_argument("--preset", default="smoke")
+    c_list.add_argument("--master-seed", type=int, default=0)
+
+    c_replay = campaign_sub.add_parser(
+        "replay",
+        help="re-run one recorded scenario and check the verdict reproduces",
+    )
+    c_replay.add_argument("id", help="scenario id (sXXXXXXXXXXXX)")
+    c_replay.add_argument(
+        "--artifact", required=True, help="campaign artifact holding the id"
+    )
+    c_replay.add_argument(
+        "--json", action="store_true", help="emit the fresh record as JSON"
+    )
+
+    c_shrink = campaign_sub.add_parser(
+        "shrink", help="minimise a recorded failing scenario"
+    )
+    c_shrink.add_argument("id", help="scenario id (sXXXXXXXXXXXX)")
+    c_shrink.add_argument(
+        "--artifact", required=True, help="campaign artifact holding the id"
+    )
+
     experiments = sub.add_parser(
         "experiments",
         help="regenerate experiment tables (E1..E18) outside pytest",
@@ -144,16 +211,35 @@ def _parse_pairs(pairs: list[str], what: str) -> dict[int, str]:
     for pair in pairs:
         pid_text, _, value = pair.partition(":")
         if not value:
-            raise SystemExit(f"--{what} expects PID:VALUE, got {pair!r}")
-        parsed[int(pid_text)] = value
+            raise ConfigurationError(
+                f"--{what} expects PID:VALUE, got {pair!r}"
+            )
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"--{what} expects an integer PID, got {pid_text!r} "
+                f"in {pair!r}"
+            ) from None
+        parsed[pid] = value
     return parsed
 
 
+def _parse_crashes(pairs: list[str]) -> dict[int, float]:
+    crashes: dict[int, float] = {}
+    for pid, time_text in _parse_pairs(pairs, "crash").items():
+        try:
+            crashes[pid] = float(time_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"--crash expects PID:TIME with a numeric TIME, got "
+                f"{time_text!r} for pid {pid}"
+            ) from None
+    return crashes
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    crash_at = {
-        pid: float(time)
-        for pid, time in _parse_pairs(args.crash, "crash").items()
-    }
+    crash_at = _parse_crashes(args.crash)
     attack_names = _parse_pairs(args.attack, "attack")
     proposals = [f"v{i}" for i in range(args.n)]
     if args.protocol == "transformed":
@@ -305,6 +391,140 @@ def cmd_params(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        enumerate_scenarios,
+        read_campaign_jsonl,
+        run_campaign,
+        run_scenario,
+        shrink_scenario,
+        write_campaign_jsonl,
+    )
+    from repro.campaign.matrix import campaign_spec
+
+    if args.campaign_command == "list":
+        spec = campaign_spec(args.preset)
+        scenarios = enumerate_scenarios(spec, master_seed=args.master_seed)
+        rows = [
+            [
+                scenario.scenario_id,
+                scenario.protocol,
+                scenario.n,
+                scenario.seed,
+                scenario.delay_model,
+                _fault_plan(scenario),
+            ]
+            for scenario in scenarios
+        ]
+        print_table(
+            f"campaign {args.preset!r} (master seed {args.master_seed}, "
+            f"{len(scenarios)} scenarios)",
+            ["id", "protocol", "n", "seed", "delay", "fault plan"],
+            rows,
+        )
+        return 0
+
+    if args.campaign_command == "run":
+        spec = campaign_spec(args.preset)
+        scenarios = enumerate_scenarios(spec, master_seed=args.master_seed)
+        if args.max_scenarios is not None:
+            if args.max_scenarios < 1:
+                raise ConfigurationError(
+                    f"--max-scenarios must be positive, got {args.max_scenarios}"
+                )
+            scenarios = scenarios[: args.max_scenarios]
+        result = run_campaign(scenarios)
+        meta = {
+            "preset": args.preset,
+            "master_seed": args.master_seed,
+            "scenarios": len(scenarios),
+        }
+        if args.out:
+            write_campaign_jsonl(args.out, result, meta=meta)
+        summary = result.summary()
+        if args.json:
+            import json
+
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print_table(
+                f"campaign {args.preset!r} (master seed {args.master_seed})",
+                ["verdict", "scenarios"],
+                [[verdict, count] for verdict, count in summary["verdicts"].items()],
+            )
+            print_table(
+                "failure-class coverage (Section-2 taxonomy)",
+                ["failure class", "scenarios"],
+                [
+                    [failure_class, count]
+                    for failure_class, count in summary[
+                        "failure_class_coverage"
+                    ].items()
+                ],
+            )
+            if args.out:
+                print(f"campaign artifact exported to {args.out}")
+        for record in result.failures:
+            print(f"FAIL {record.scenario_id}: {'; '.join(record.outcome.violations)}")
+            if not args.no_shrink:
+                shrink = shrink_scenario(record.scenario)
+                print(
+                    f"  minimal counterexample {shrink.minimal.scenario_id}: "
+                    f"{shrink.minimal.to_config()}"
+                )
+                for step in shrink.steps:
+                    print(f"    {step}")
+        return 1 if result.failures else 0
+
+    artifact = read_campaign_jsonl(args.artifact)
+    scenario = artifact.scenario_for(args.id)
+    if args.campaign_command == "replay":
+        recorded = artifact.find(args.id)
+        fresh = run_scenario(scenario)
+        fresh_record = fresh.to_record()
+        if args.json:
+            import json
+
+            print(json.dumps(fresh_record, indent=2, sort_keys=True))
+        reproduced = recorded == fresh_record
+        print(
+            f"replay {args.id}: verdict={fresh.verdict} "
+            f"({'matches the artifact' if reproduced else 'DIVERGED from the artifact'})"
+        )
+        if not reproduced:
+            for key in sorted(set(recorded) | set(fresh_record)):
+                if recorded.get(key) != fresh_record.get(key):
+                    print(f"  {key}: recorded {recorded.get(key)!r}")
+                    print(f"  {key}: fresh    {fresh_record.get(key)!r}")
+        return 0 if reproduced else 1
+
+    # shrink
+    shrink = shrink_scenario(scenario)
+    print(f"shrink {args.id} ({shrink.candidates_tried} candidates tried):")
+    for step in shrink.steps:
+        print(f"  {step}")
+    if not shrink.shrunk:
+        print("  already minimal")
+    print(
+        f"minimal scenario {shrink.minimal.scenario_id} "
+        f"(verdict {shrink.record.verdict}):"
+    )
+    import json
+
+    print(json.dumps(shrink.minimal.to_config(), indent=2, sort_keys=True))
+    return 0
+
+
+def _fault_plan(scenario) -> str:
+    parts = [f"p{pid}:{name}" for pid, name in scenario.attacks]
+    parts += [f"p{pid}@{time:g}" for pid, time in scenario.crashes]
+    if scenario.collusion is not None:
+        parts.append(scenario.collusion)
+    if scenario.variant != "standard":
+        parts.append(scenario.variant)
+    return " ".join(parts) or "fault-free"
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import print_table as table
     from repro.analysis.suite import discover, run_experiments
@@ -347,6 +567,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "gallery": cmd_gallery,
         "attacks": cmd_attacks,
         "params": cmd_params,
+        "campaign": cmd_campaign,
         "experiments": cmd_experiments,
     }
     try:

@@ -41,8 +41,17 @@ class ArtifactError(ReproError):
     """A JSONL artifact is malformed or has an unsupported schema."""
 
 
-def _dumps(record: Mapping[str, Any]) -> str:
+def dumps_canonical(record: Mapping[str, Any]) -> str:
+    """One record as a canonical JSON line: sorted keys, no whitespace.
+
+    Shared by every JSONL artifact family (``repro.observability/v1``,
+    ``repro.campaign/v1``) — canonical serialisation is what makes
+    fixed-seed artifacts byte-identical.
+    """
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+_dumps = dumps_canonical
 
 
 def _detail_value(value: Any) -> Any:

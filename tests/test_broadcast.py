@@ -161,3 +161,66 @@ class TestFaultTolerance:
         world.scheduler.schedule_at(0.0, "go", lambda: hosts[0].rb.broadcast("m"))
         world.run()
         assert all(h.delivered == [(0, 0, "m")] for h in hosts)
+
+
+class TestDegenerateWorlds:
+    """Regression: f=0 and single-process worlds must still deliver."""
+
+    def test_single_process_world_delivers_to_self(self):
+        world, hosts = build(n=1, f=0, classes=[RbHost])
+        rb = hosts[0].rb
+        assert (rb.echo_quorum, rb.ready_amplify, rb.ready_deliver) == (1, 1, 1)
+        world.scheduler.schedule_at(0.0, "go", lambda: rb.broadcast("solo"))
+        world.run()
+        assert hosts[0].delivered == [(0, 0, "solo")]
+
+    def test_f_zero_pair_delivers(self):
+        world, hosts = build(n=2, f=0, classes=[RbHost, RbHost])
+        world.scheduler.schedule_at(0.0, "go", lambda: hosts[1].rb.broadcast("m"))
+        world.run()
+        assert all(h.delivered == [(1, 0, "m")] for h in hosts)
+
+    def test_f_zero_quorums_are_simple_majorities(self):
+        world, hosts = build(n=3, f=0, classes=[RbHost] * 3)
+        rb = hosts[0].rb
+        assert rb.echo_quorum == 2
+        assert rb.ready_amplify == 1
+        assert rb.ready_deliver == 1
+
+
+class TestDuplicateDeliveries:
+    """Regression: replayed wire traffic must never double-deliver."""
+
+    def test_replayed_ready_does_not_redeliver(self):
+        world, hosts = build()
+        world.scheduler.schedule_at(0.0, "go", lambda: hosts[0].rb.broadcast("m"))
+        world.run()
+        assert hosts[1].delivered == [(0, 0, "m")]
+        replay = RbReady(sender=2, origin=0, tag=0, payload="m")
+        for _ in range(3):
+            assert hosts[1].rb.filter_message(2, replay)
+        world.run()
+        assert hosts[1].delivered == [(0, 0, "m")]
+        assert hosts[1].rb.delivered_count == 1
+
+    def test_replayed_send_does_not_reecho(self):
+        world, hosts = build()
+        sends = []
+        world.scheduler.schedule_at(0.0, "go", lambda: hosts[0].rb.broadcast("m"))
+        world.run()
+        before = world.network.messages_sent
+        # A duplicate SEND on the origin's own channel: the slot already
+        # echoed, so no new ECHO traffic may be generated.
+        hosts[1].rb.filter_message(0, RbSend(sender=0, tag=0, payload="m"))
+        world.run()
+        assert world.network.messages_sent == before
+        del sends
+
+    def test_duplicate_echoes_from_one_witness_count_once(self):
+        world, hosts = build()
+        echo = RbEcho(sender=2, origin=3, tag=7, payload="x")
+        hosts[1].rb.filter_message(2, echo)
+        hosts[1].rb.filter_message(2, echo)
+        slot = hosts[1].rb._slots[(3, 7)]
+        (witnesses,) = slot.echoes.values()
+        assert witnesses == {2}

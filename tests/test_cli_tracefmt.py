@@ -142,9 +142,13 @@ class TestCli:
         assert "attack gallery" in out
         assert "mute" in out
 
-    def test_bad_pair_syntax(self):
-        with pytest.raises(SystemExit):
-            main(["run", "--crash", "zzz"])
+    def test_bad_pair_syntax(self, capsys):
+        # Malformed PID:VALUE pairs are configuration errors (exit 2),
+        # not tracebacks.
+        assert main(["run", "--crash", "zzz"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
 
     def test_repro_error_becomes_exit_2(self, capsys):
         # 2 attackers with n=4 exceeds F=1 -> ConfigurationError -> exit 2.
