@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test campaign-smoke docs-check benchmarks experiments
+.PHONY: test campaign-smoke lossy-smoke docs-check benchmarks experiments
 
 # -W error promotes every warning to a failure; the lone ignore shields
 # the suite from a deprecation raised inside third-party plugin hooks.
@@ -15,6 +15,12 @@ test:
 # seed); exits non-zero if any scenario fails its oracles.
 campaign-smoke:
 	$(PYTHON) -m repro campaign run --preset smoke --master-seed 0
+
+# The link-fault matrices (docs/NETWORK.md): consensus over lossy and
+# partitioned wires behind the reliable transport with adaptive ◇M.
+lossy-smoke:
+	$(PYTHON) -m repro campaign run --preset lossy --master-seed 0
+	$(PYTHON) -m repro campaign run --preset partition --master-seed 0
 
 # Execute every ```python snippet in README.md and docs/*.md
 # (tests/test_docs_snippets.py); keeps the documented examples honest.

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from repro.core.certificates import SignedMessage
 from repro.crypto.encoding import canonical_bytes
 from repro.detectors.heartbeat import Heartbeat
+from repro.sim.transport import AckSegment, DataSegment
 from repro.systems import ConsensusSystem
 
 
@@ -67,8 +68,10 @@ def measure(system: ConsensusSystem) -> RunMetrics:
     max_cert = 0
     for event in system.world.trace.of_kind("send"):
         payload = event.detail.get("payload")
-        if isinstance(payload, Heartbeat):
-            continue  # detector-internal traffic is not protocol cost
+        if isinstance(payload, (Heartbeat, AckSegment)):
+            continue  # detector/transport-internal traffic, not protocol cost
+        if isinstance(payload, DataSegment):
+            payload = payload.payload  # cost the framed protocol payload
         protocol_bytes += payload_bytes(payload)
         if isinstance(payload, SignedMessage):
             signed += 1

@@ -11,7 +11,10 @@ human (or the ``python -m repro report`` command) wants:
 * **per-round counters** — the round-labelled subset (rounds started,
   certificates checked per round, ...) as one row per (round, module,
   metric);
-* **event counts** — the trace compressed to one row per event type.
+* **event counts** — the trace compressed to one row per event type;
+* **link health** — the per-link ``drop[src->dst]`` / ``dup[...]`` /
+  ``retransmit[...]`` / ``ack[...]`` counters the network and transport
+  layers emit, pivoted into one row per directed link.
 
 The same report renders as aligned ASCII tables (:meth:`RunReport.render`)
 or as a JSON document (:meth:`RunReport.to_json`).
@@ -19,6 +22,7 @@ or as a JSON document (:meth:`RunReport.to_json`).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -96,6 +100,28 @@ class RunReport:
     def total(self, module: str, name: str) -> int | float:
         return self.module_totals.get(module, {}).get(name, 0)
 
+    #: ``name[src->dst]`` — how the network/transport layers encode
+    #: per-link counters inside a metric name.
+    _LINK_METRIC = re.compile(r"^(\w+)\[(\d+)->(\d+)\]$")
+
+    def link_health(self) -> dict[tuple[int, int], dict[str, int | float]]:
+        """Per-directed-link fault/recovery counters.
+
+        Returns ``(src, dst) -> {"drop": ..., "dup": ..., "retransmit":
+        ..., "ack": ...}`` pivoted from the ``drop[0->1]``-style counters;
+        empty when the run had no link model and no transport.
+        """
+        links: dict[tuple[int, int], dict[str, int | float]] = {}
+        for names in self.module_totals.values():
+            for name, value in names.items():
+                match = self._LINK_METRIC.match(name)
+                if match is None:
+                    continue
+                kind, src, dst = match.groups()
+                link = links.setdefault((int(src), int(dst)), {})
+                link[kind] = link.get(kind, 0) + value
+        return {link: dict(sorted(kinds.items())) for link, kinds in sorted(links.items())}
+
     # -- rendering -----------------------------------------------------------
 
     def render(self) -> str:
@@ -129,6 +155,19 @@ class RunReport:
                     ],
                 )
             )
+        link_health = self.link_health()
+        if link_health:
+            kinds = sorted({kind for counters in link_health.values() for kind in counters})
+            sections.append(
+                render_table(
+                    "link health",
+                    ["link"] + kinds,
+                    [
+                        [f"{src}->{dst}"] + [counters.get(kind, 0) for kind in kinds]
+                        for (src, dst), counters in link_health.items()
+                    ],
+                )
+            )
         if self.event_counts:
             sections.append(
                 render_table(
@@ -156,4 +195,8 @@ class RunReport:
             ],
             "event_counts": self.event_counts,
             "paper_module_activity": self.paper_module_activity(),
+            "link_health": [
+                {"src": src, "dst": dst, **counters}
+                for (src, dst), counters in self.link_health().items()
+            ],
         }

@@ -19,10 +19,15 @@ from typing import Any
 from repro.core.certificates import SignedMessage
 from repro.messages.base import Message
 from repro.sim.trace import Trace, TraceEvent
+from repro.sim.transport import AckSegment, DataSegment
 
 
 def describe_payload(payload: Any) -> str:
     """One-line human description of a wire payload."""
+    if isinstance(payload, DataSegment):
+        return f"seq:{payload.seq} {describe_payload(payload.payload)}"
+    if isinstance(payload, AckSegment):
+        return f"ack:{payload.ack}"
     if isinstance(payload, SignedMessage):
         cert = payload.cert
         if payload.has_full_cert:

@@ -49,6 +49,10 @@ class CampaignSpec:
     include_collusion: bool = True
     #: Include n=7 transformed scenarios combining an attack with a crash.
     include_combined: bool = True
+    #: Include the pristine-wire matrix (attacks, crashes, collusion).
+    include_baseline: bool = True
+    #: Link-fault families to sweep: ``"lossy"`` and/or ``"partition"``.
+    link_faults: tuple[str, ...] = ()
     max_time: float = 3_000.0
 
     def seeds(self, master_seed: int) -> tuple[int, ...]:
@@ -73,6 +77,30 @@ PRESETS: dict[str, CampaignSpec] = {
         seeds_per_config=1,
     ),
     "full": CampaignSpec(name="full", seeds_per_config=4),
+    # Link-fault matrices (the robustness axes): transformed consensus on
+    # a faulty wire behind the reliable transport with adaptive ◇M.
+    "lossy": CampaignSpec(
+        name="lossy",
+        crash_sizes=(),
+        transformed_sizes=(4,),
+        seeds_per_config=2,
+        include_crashes=False,
+        include_collusion=False,
+        include_combined=False,
+        include_baseline=False,
+        link_faults=("lossy",),
+    ),
+    "partition": CampaignSpec(
+        name="partition",
+        crash_sizes=(),
+        transformed_sizes=(4,),
+        seeds_per_config=2,
+        include_crashes=False,
+        include_collusion=False,
+        include_combined=False,
+        include_baseline=False,
+        link_faults=("partition",),
+    ),
 }
 
 
@@ -113,6 +141,14 @@ def _generate(spec: CampaignSpec, master_seed: int) -> Iterator[Scenario]:
                 seed=seed, delay_model=delay, max_time=spec.max_time, **kwargs
             )
 
+    if spec.include_baseline:
+        yield from _baseline(spec, emit)
+    for family in spec.link_faults:
+        yield from _link_matrix(spec, family, emit)
+
+
+def _baseline(spec: CampaignSpec, emit) -> Iterator[Scenario]:
+    """The pristine-wire matrix: attacks, crashes, collusion, variants."""
     # -- crash-model protocols: the Figure-2 victims ------------------------
     for n in spec.crash_sizes:
         for protocol in ("hurfin-raynal", "chandra-toueg"):
@@ -180,3 +216,57 @@ def _generate(spec: CampaignSpec, master_seed: int) -> Iterator[Scenario]:
             n=7,
             attacks=((1, "equivocate-current"), (5, "premature-decide")),
         )
+
+
+#: The loss threshold the presets certify (see docs/NETWORK.md): every
+#: lossy-preset scenario at or below this per-link drop probability must
+#: reach consensus behind the reliable transport.
+LOSS_THRESHOLD = 0.2
+
+#: One partition-then-heal window for the n=4 partition matrix.
+_PARTITION_WINDOW = (40.0, 120.0, "0,1|2,3")
+
+
+def _link_matrix(
+    spec: CampaignSpec, family: str, emit
+) -> Iterator[Scenario]:
+    """Link-fault scenarios: faulty wire + reliable transport + adaptive ◇M.
+
+    Every scenario here is expected to *pass* its oracles — the presets
+    certify that consensus survives the documented fault envelope. The
+    no-retransmit ablation (which demonstrably fails) lives in the test
+    suite, not in the presets.
+    """
+    n = min(spec.transformed_sizes)
+    common = dict(
+        protocol="transformed",
+        n=n,
+        transport="reliable",
+        muteness="adaptive",
+    )
+    if family == "lossy":
+        # Sweep loss up to the documented threshold, plain and combined
+        # with duplication/reordering and with a Byzantine attacker (the
+        # attribution oracle must keep blaming the right module).
+        for loss in (0.05, 0.1, LOSS_THRESHOLD):
+            yield from emit(loss=loss, **common)
+        yield from emit(loss=0.1, dup=0.1, reorder=0.05, **common)
+        yield from emit(loss=0.1, attacks=((n - 1, "mute"),), **common)
+        yield from emit(
+            loss=0.1, attacks=((0, "equivocate-current"),), **common
+        )
+    elif family == "partition":
+        # One partition-then-heal window, alone and combined with loss,
+        # duplication and a Byzantine attacker outside the minority side.
+        yield from emit(partitions=(_PARTITION_WINDOW,), **common)
+        yield from emit(
+            partitions=(_PARTITION_WINDOW,), loss=0.1, dup=0.05, **common
+        )
+        yield from emit(
+            partitions=(_PARTITION_WINDOW,),
+            loss=0.1,
+            attacks=((n - 1, "mute"),),
+            **common,
+        )
+    else:  # pragma: no cover - spec bug guard
+        raise ConfigurationError(f"unknown link-fault family {family!r}")

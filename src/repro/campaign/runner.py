@@ -34,6 +34,9 @@ class ScenarioRecord:
     end_reason: str
     messages_sent: int
     events: int
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    retransmissions: int = 0
 
     @property
     def scenario_id(self) -> str:
@@ -53,6 +56,9 @@ class ScenarioRecord:
                 "end_reason": self.end_reason,
                 "messages_sent": self.messages_sent,
                 "events": self.events,
+                "messages_dropped": self.messages_dropped,
+                "messages_duplicated": self.messages_duplicated,
+                "retransmissions": self.retransmissions,
             },
         }
         record.update(self.outcome.to_record())
@@ -64,6 +70,7 @@ def run_scenario(scenario: Scenario) -> ScenarioRecord:
     system = build_scenario_system(scenario)
     result = system.run(max_time=scenario.max_time)
     outcome = evaluate_outcome(scenario, system)
+    transport = system.world.transport
     return ScenarioRecord(
         scenario=scenario,
         outcome=outcome,
@@ -71,6 +78,9 @@ def run_scenario(scenario: Scenario) -> ScenarioRecord:
         end_reason=result.reason,
         messages_sent=system.world.network.messages_sent,
         events=result.events_dispatched,
+        messages_dropped=system.world.network.messages_dropped,
+        messages_duplicated=system.world.network.messages_duplicated,
+        retransmissions=transport.retransmissions if transport else 0,
     )
 
 

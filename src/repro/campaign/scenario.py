@@ -22,7 +22,15 @@ from repro.byzantine.collusion import make_colluding_equivocators
 from repro.byzantine.ct_attacks import CT_ATTACKS, ct_attack
 from repro.core.specs import SystemParameters, crash_resilience
 from repro.errors import ConfigurationError
-from repro.sim.network import DelayModel, ExponentialDelay, FixedDelay, UniformDelay
+from repro.sim.network import (
+    DelayModel,
+    ExponentialDelay,
+    FixedDelay,
+    LinkModel,
+    Partition,
+    UniformDelay,
+)
+from repro.sim.world import TRANSPORTS
 from repro.systems import ConsensusSystem, build_crash_system, build_transformed_system
 
 #: Crash-model protocols run the Figure-2 (or CT) protocol unprotected;
@@ -40,6 +48,28 @@ DELAY_MODELS: dict[str, tuple[type, dict[str, float]]] = {
     "fixed": (FixedDelay, {"delay": 1.0}),
     "exponential": (ExponentialDelay, {"mean": 1.0, "base": 0.1, "cap": 50.0}),
 }
+
+#: Muteness-detector choices a transformed scenario may pin.
+MUTENESS_DETECTORS = ("oracle", "timeout", "round-aware", "adaptive")
+
+
+def parse_partition_groups(spec: str) -> tuple[tuple[int, ...], ...]:
+    """Parse a partition group spec like ``"0,1|2,3"`` into pid groups."""
+    try:
+        groups = tuple(
+            tuple(sorted(int(pid) for pid in side.split(",")))
+            for side in spec.split("|")
+        )
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"malformed partition groups {spec!r} (expected e.g. '0,1|2,3')"
+        ) from exc
+    return groups
+
+
+def format_partition_groups(groups: tuple[tuple[int, ...], ...]) -> str:
+    """Inverse of :func:`parse_partition_groups`."""
+    return "|".join(",".join(str(pid) for pid in side) for side in groups)
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,6 +90,19 @@ class Scenario:
     delay_params: tuple[tuple[str, float], ...] = ()
     variant: str = "standard"
     max_time: float = 3_000.0
+    #: Per-link drop probability (``loss=p`` fault axis).
+    loss: float = 0.0
+    #: Per-link duplication probability (``dup`` fault axis).
+    dup: float = 0.0
+    #: Per-link burst-reorder probability.
+    reorder: float = 0.0
+    #: Scripted partition windows: sorted ``(start, heal, groups)`` with
+    #: groups as a ``"0,1|2,3"`` spec (``partition(window, groups)`` axis).
+    partitions: tuple[tuple[float, float, str], ...] = ()
+    #: ``"none"`` | ``"reliable"`` | ``"no-retransmit"``.
+    transport: str = "none"
+    #: ◇M implementation for transformed protocols (ignored otherwise).
+    muteness: str = "oracle"
 
     # -- identity -----------------------------------------------------------
 
@@ -86,6 +129,14 @@ class Scenario:
             "delay_params": {key: value for key, value in self.delay_params},
             "variant": self.variant,
             "max_time": self.max_time,
+            "loss": self.loss,
+            "dup": self.dup,
+            "reorder": self.reorder,
+            "partitions": [
+                [start, heal, groups] for start, heal, groups in self.partitions
+            ],
+            "transport": self.transport,
+            "muteness": self.muteness,
         }
 
     @classmethod
@@ -120,6 +171,17 @@ class Scenario:
                 ),
                 variant=config.get("variant", "standard"),
                 max_time=float(config.get("max_time", 3_000.0)),
+                loss=float(config.get("loss", 0.0)),
+                dup=float(config.get("dup", 0.0)),
+                reorder=float(config.get("reorder", 0.0)),
+                partitions=tuple(
+                    sorted(
+                        (float(start), float(heal), str(groups))
+                        for start, heal, groups in (config.get("partitions") or ())
+                    )
+                ),
+                transport=config.get("transport", "none"),
+                muteness=config.get("muteness", "oracle"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed scenario config: {exc}") from exc
@@ -151,6 +213,36 @@ class Scenario:
             attacks=tuple(a for a in self.attacks if a[0] != pid),
             crashes=tuple(c for c in self.crashes if c[0] != pid),
             collusion=None if self.collusion and pid in (0, self.n - 1) else self.collusion,
+        )
+
+    @property
+    def has_link_faults(self) -> bool:
+        return bool(
+            self.loss or self.dup or self.reorder or self.partitions
+        )
+
+    def without_link_faults(self) -> "Scenario":
+        """A copy on pristine wire (link-fault shrinking step)."""
+        return replace(
+            self, loss=0.0, dup=0.0, reorder=0.0, partitions=(), transport="none"
+        )
+
+    def build_link_model(self) -> LinkModel | None:
+        """The :class:`LinkModel` this scenario installs (None if pristine)."""
+        if not self.has_link_faults:
+            return None
+        return LinkModel(
+            loss=self.loss,
+            duplication=self.dup,
+            reorder=self.reorder,
+            partitions=tuple(
+                Partition(
+                    start=start,
+                    heal=heal,
+                    groups=parse_partition_groups(groups),
+                )
+                for start, heal, groups in self.partitions
+            ),
         )
 
     # -- validation ----------------------------------------------------------
@@ -232,7 +324,55 @@ class Scenario:
             raise ConfigurationError(
                 "variants are only defined for the transformed protocol"
             )
+        self._validate_link_faults()
         self._validate_fault_budget()
+
+    def _validate_link_faults(self) -> None:
+        for axis, value in (
+            ("loss", self.loss),
+            ("dup", self.dup),
+            ("reorder", self.reorder),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(
+                    f"{axis} probability must be in [0, 1), got {value!r}"
+                )
+        for start, heal, groups in self.partitions:
+            if start < 0 or heal <= start:
+                raise ConfigurationError(
+                    f"partition window [{start!r}, {heal!r}) must satisfy "
+                    "0 <= start < heal"
+                )
+            sides = parse_partition_groups(groups)
+            if len(sides) < 2 or any(not side for side in sides):
+                raise ConfigurationError(
+                    f"partition groups {groups!r} need >= 2 non-empty sides"
+                )
+            seen: set[int] = set()
+            for side in sides:
+                for pid in side:
+                    if not 0 <= pid < self.n:
+                        raise ConfigurationError(
+                            f"partition pid {pid} out of range for n={self.n}"
+                        )
+                    if pid in seen:
+                        raise ConfigurationError(
+                            f"partition groups {groups!r} repeat pid {pid}"
+                        )
+                    seen.add(pid)
+        if self.transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {self.transport!r}; known: {list(TRANSPORTS)}"
+            )
+        if self.muteness not in MUTENESS_DETECTORS:
+            raise ConfigurationError(
+                f"unknown muteness detector {self.muteness!r}; known: "
+                f"{list(MUTENESS_DETECTORS)}"
+            )
+        if self.muteness != "oracle" and self.protocol not in TRANSFORMED_PROTOCOLS:
+            raise ConfigurationError(
+                "muteness detectors are only defined for transformed protocols"
+            )
 
     def _validate_fault_budget(self) -> None:
         faulty = self.faulty_pids
@@ -284,6 +424,7 @@ def build_scenario_system(scenario: Scenario) -> ConsensusSystem:
     scenario.validate()
     proposals = [f"v{i}" for i in range(scenario.n)]
     delay_model = scenario.build_delay_model()
+    link_model = scenario.build_link_model()
     if not scenario.is_transformed:
         byzantine: dict[int, Any] = {}
         for pid, name in scenario.attacks:
@@ -295,6 +436,8 @@ def build_scenario_system(scenario: Scenario) -> ConsensusSystem:
             protocol=scenario.protocol,
             seed=scenario.seed,
             delay_model=delay_model,
+            link_model=link_model,
+            transport=scenario.transport,
         )
     attack_maker = transformed_attack if scenario.protocol == "transformed" else ct_attack
     byzantine = {}
@@ -310,4 +453,7 @@ def build_scenario_system(scenario: Scenario) -> ConsensusSystem:
         delay_model=delay_model,
         variant=scenario.variant,
         base="hurfin-raynal" if scenario.protocol == "transformed" else "chandra-toueg",
+        muteness=scenario.muteness,
+        link_model=link_model,
+        transport=scenario.transport,
     )

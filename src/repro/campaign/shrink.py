@@ -63,12 +63,15 @@ def _candidates(scenario: Scenario) -> Iterator[tuple[str, Scenario]]:
     #    remaining fault seat exists in the smaller world.
     if scenario.n > 2 and all(pid < scenario.n - 1 for pid in scenario.faulty_pids):
         yield f"shrink n to {scenario.n - 1}", replace(scenario, n=scenario.n - 1)
-    # 3. Flatten the delay model.
+    # 3. Heal the wire: drop all link faults (and the transport with them).
+    if scenario.has_link_faults:
+        yield "heal all link faults", scenario.without_link_faults()
+    # 4. Flatten the delay model.
     if scenario.delay_model != "fixed":
         yield "flatten delay model to fixed", replace(
             scenario, delay_model="fixed", delay_params=()
         )
-    # 4. Canonicalise the seed.
+    # 5. Canonicalise the seed.
     if scenario.seed != 0:
         yield "reset seed to 0", replace(scenario, seed=0)
 

@@ -43,6 +43,8 @@ from repro.byzantine import (
 from repro.byzantine.ct_attacks import CT_ATTACKS, ct_attack
 from repro.core.specs import SystemParameters, certification_resilience, crash_resilience
 from repro.errors import ConfigurationError, ReproError
+from repro.sim.network import LinkModel, Partition
+from repro.sim.world import TRANSPORTS
 from repro.systems import build_crash_system, build_transformed_system
 
 CRASH_PROTOCOLS = ("hurfin-raynal", "chandra-toueg")
@@ -91,6 +93,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="install a Byzantine behaviour (repeatable)",
     )
     run.add_argument("--max-time", type=float, default=3_000.0)
+    run.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-link drop probability in [0, 1) (docs/NETWORK.md)",
+    )
+    run.add_argument(
+        "--dup",
+        type=float,
+        default=0.0,
+        help="per-link duplication probability in [0, 1)",
+    )
+    run.add_argument(
+        "--reorder",
+        type=float,
+        default=0.0,
+        help="per-link burst-reorder probability in [0, 1)",
+    )
+    run.add_argument(
+        "--partition",
+        action="append",
+        default=[],
+        metavar="START:HEAL:GROUPS",
+        help="sever cross-group links during [START, HEAL), e.g. "
+        "40:120:0,1|2,3 (repeatable)",
+    )
+    run.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default="none",
+        help="reliable-channel layer over the faulty wire "
+        "(no-retransmit is the ablation)",
+    )
+    run.add_argument(
+        "--muteness",
+        choices=("oracle", "timeout", "round-aware", "adaptive"),
+        default="oracle",
+        help="◇M implementation (transformed protocol only)",
+    )
     run.add_argument(
         "--chart", action="store_true", help="print the message-sequence chart"
     )
@@ -143,7 +184,8 @@ def build_parser() -> argparse.ArgumentParser:
     c_run.add_argument(
         "--preset",
         default="smoke",
-        help="campaign preset: smoke (~55 scenarios) or full (220)",
+        help="campaign preset: smoke (~55 scenarios), full (220), or the "
+        "link-fault matrices lossy / partition (docs/NETWORK.md)",
     )
     c_run.add_argument("--master-seed", type=int, default=0)
     c_run.add_argument(
@@ -225,6 +267,42 @@ def _parse_pairs(pairs: list[str], what: str) -> dict[int, str]:
     return parsed
 
 
+def _parse_partitions(specs: list[str]) -> tuple[Partition, ...]:
+    partitions = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"--partition expects START:HEAL:GROUPS, got {spec!r}"
+            )
+        start_text, heal_text, groups_text = parts
+        try:
+            start, heal = float(start_text), float(heal_text)
+            groups = tuple(
+                tuple(int(pid) for pid in side.split(","))
+                for side in groups_text.split("|")
+            )
+        except ValueError:
+            raise ConfigurationError(
+                f"--partition expects numeric START:HEAL and GROUPS like "
+                f"0,1|2,3, got {spec!r}"
+            ) from None
+        partitions.append(Partition(start=start, heal=heal, groups=groups))
+    return tuple(partitions)
+
+
+def _build_link_model(args: argparse.Namespace) -> LinkModel | None:
+    partitions = _parse_partitions(args.partition)
+    if not (args.loss or args.dup or args.reorder or partitions):
+        return None
+    return LinkModel(
+        loss=args.loss,
+        duplication=args.dup,
+        reorder=args.reorder,
+        partitions=partitions,
+    )
+
+
 def _parse_crashes(pairs: list[str]) -> dict[int, float]:
     crashes: dict[int, float] = {}
     for pid, time_text in _parse_pairs(pairs, "crash").items():
@@ -241,6 +319,7 @@ def _parse_crashes(pairs: list[str]) -> dict[int, float]:
 def cmd_run(args: argparse.Namespace) -> int:
     crash_at = _parse_crashes(args.crash)
     attack_names = _parse_pairs(args.attack, "attack")
+    link_model = _build_link_model(args)
     proposals = [f"v{i}" for i in range(args.n)]
     if args.protocol == "transformed":
         byzantine = {}
@@ -256,10 +335,17 @@ def cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             variant=args.variant,
             base=args.base,
+            muteness=args.muteness,
+            link_model=link_model,
+            transport=args.transport,
         )
         system.run(max_time=args.max_time)
         report = check_vector_consensus(system)
     else:
+        if args.muteness != "oracle":
+            raise ConfigurationError(
+                "--muteness selects a ◇M detector; crash protocols use ◇S"
+            )
         byzantine = {}
         for pid, name in attack_names.items():
             byzantine.update(crash_attack(pid, name))
@@ -269,12 +355,22 @@ def cmd_run(args: argparse.Namespace) -> int:
             crash_at=crash_at,
             protocol=args.protocol,
             seed=args.seed,
+            link_model=link_model,
+            transport=args.transport,
         )
         system.run(max_time=args.max_time)
         report = check_crash_consensus(system)
 
     print(f"run finished: {system.result.reason} at t={system.result.end_time:.2f}, "
           f"{system.world.network.messages_sent} messages")
+    if link_model is not None:
+        transport = system.world.transport
+        print(
+            f"link faults: {system.world.network.messages_dropped} dropped, "
+            f"{system.world.network.messages_duplicated} duplicated, "
+            f"{transport.retransmissions if transport else 0} retransmitted "
+            f"(transport={args.transport})"
+        )
     for pid in sorted(system.correct_pids):
         process = system.processes[pid]
         state = f"decided {process.decision!r} (round {process.decision_round})" \
@@ -522,6 +618,16 @@ def _fault_plan(scenario) -> str:
         parts.append(scenario.collusion)
     if scenario.variant != "standard":
         parts.append(scenario.variant)
+    if scenario.loss:
+        parts.append(f"loss={scenario.loss:g}")
+    if scenario.dup:
+        parts.append(f"dup={scenario.dup:g}")
+    if scenario.reorder:
+        parts.append(f"reorder={scenario.reorder:g}")
+    for start, heal, groups in scenario.partitions:
+        parts.append(f"partition[{start:g},{heal:g}){groups}")
+    if scenario.transport != "none":
+        parts.append(scenario.transport)
     return " ".join(parts) or "fault-free"
 
 

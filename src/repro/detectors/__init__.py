@@ -1,7 +1,11 @@
 """Unreliable failure-detector substrate: ◇S (crash) and ◇M (muteness)."""
 
 from repro.detectors.base import FailureDetector
-from repro.detectors.diamond_m import MutenessDetector, RoundAwareMutenessDetector
+from repro.detectors.diamond_m import (
+    AdaptiveMutenessDetector,
+    MutenessDetector,
+    RoundAwareMutenessDetector,
+)
 from repro.detectors.diamond_s import (
     heartbeat_diamond_s_suite,
     oracle_diamond_s_suite,
@@ -10,6 +14,7 @@ from repro.detectors.heartbeat import Heartbeat, HeartbeatDetector
 from repro.detectors.oracles import OracleDetector, PerfectOracle
 
 __all__ = [
+    "AdaptiveMutenessDetector",
     "FailureDetector",
     "Heartbeat",
     "HeartbeatDetector",

@@ -60,14 +60,26 @@ class MutenessDetector(FailureDetector):
         message, so it is not mute *now*."""
         if src == self.env.pid or self._stopped:
             return
+        self._observe_arrival(src)
         if src in self._suspected:
             self._wrongful_suspicions += 1
             self.env.metrics.inc(
                 MODULE_MUTENESS, "wrongful_suspicions", pid=self.env.pid
             )
-            self._timeout[src] = self.timeout_of(src) * self._backoff
+            self._punish(src)
             self._unsuspect(src)
         self._arm(src)
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _observe_arrival(self, src: int) -> None:
+        """A protocol message from ``src`` arrived (before suspicion
+        bookkeeping); adaptive variants feed their estimators here."""
+
+    def _punish(self, src: int) -> None:
+        """``src`` was wrongfully suspected: grow its timeout so the
+        wrongful suspicion does not repeat (eventual weak A-accuracy)."""
+        self._timeout[src] = self.timeout_of(src) * self._backoff
 
     def _arm(self, pid: int) -> None:
         deadline = self.env.now + self.timeout_of(pid)
@@ -128,3 +140,104 @@ class RoundAwareMutenessDetector(MutenessDetector):
     def timeout_of(self, pid: int) -> float:
         base = super().timeout_of(pid)
         return base * self._round_growth ** (self._round - 1)
+
+
+class AdaptiveMutenessDetector(MutenessDetector):
+    """◇M whose timeout tracks each peer's observed message cadence.
+
+    A hand-tuned ``initial_timeout`` is brittle on a real network: lossy
+    links stretch the effective inter-arrival time of protocol messages
+    (a dropped message is recovered only after the transport's RTO), so a
+    fixed timeout either suspects everyone under loss or waits far too
+    long on healthy links. This variant derives the timeout from the
+    traffic itself, Jacobson-style (the RFC-6298 RTO estimator, applied
+    to protocol-message inter-arrival gaps rather than RTT samples)::
+
+        srtt   <- (1 - alpha) * srtt + alpha * sample        (alpha = 1/8)
+        rttvar <- (1 - beta) * rttvar + beta * |srtt - sample|  (beta = 1/4)
+        timeout = clamp(safety * (srtt + 4 * rttvar),
+                        min_timeout, max_timeout) * penalty
+
+    ``penalty`` starts at 1 and is multiplied by ``backoff`` on each
+    wrongful suspicion of that peer — the ◇M accuracy mechanism — and
+    optionally decays back toward 1 (``penalty_decay < 1``) while the
+    peer keeps talking, so one early mistake is not punished forever.
+    Until a peer has produced a first inter-arrival sample its timeout is
+    the inherited ``initial_timeout`` (times any penalty).
+    """
+
+    def __init__(
+        self,
+        initial_timeout: float = 8.0,
+        backoff: float = 2.0,
+        safety: float = 3.0,
+        min_timeout: float = 2.0,
+        max_timeout: float = 120.0,
+        alpha: float = 0.125,
+        beta: float = 0.25,
+        penalty_decay: float = 1.0,
+    ) -> None:
+        super().__init__(initial_timeout=initial_timeout, backoff=backoff)
+        if safety <= 0 or min_timeout <= 0 or max_timeout < min_timeout:
+            raise ValueError(
+                "adaptive ◇M needs safety > 0 and 0 < min_timeout <= "
+                f"max_timeout; got safety={safety!r}, "
+                f"min_timeout={min_timeout!r}, max_timeout={max_timeout!r}"
+            )
+        if not (0.0 < alpha <= 1.0 and 0.0 < beta <= 1.0):
+            raise ValueError(f"alpha/beta must be in (0, 1]; got {alpha!r}/{beta!r}")
+        if not (0.0 < penalty_decay <= 1.0):
+            raise ValueError(f"penalty_decay must be in (0, 1]; got {penalty_decay!r}")
+        self._safety = safety
+        self._min_timeout = min_timeout
+        self._max_timeout = max_timeout
+        self._alpha = alpha
+        self._beta = beta
+        self._penalty_decay = penalty_decay
+        self._srtt: dict[int, float] = {}
+        self._rttvar: dict[int, float] = {}
+        self._last_arrival: dict[int, float] = {}
+        self._penalty: dict[int, float] = {}
+
+    def estimate_of(self, pid: int) -> float | None:
+        """The smoothed inter-arrival estimate for ``pid`` (None before
+        the first sample)."""
+        return self._srtt.get(pid)
+
+    def penalty_of(self, pid: int) -> float:
+        return self._penalty.get(pid, 1.0)
+
+    def timeout_of(self, pid: int) -> float:
+        penalty = self._penalty.get(pid, 1.0)
+        srtt = self._srtt.get(pid)
+        if srtt is None:
+            return self._initial_timeout * penalty
+        raw = self._safety * (srtt + 4.0 * self._rttvar.get(pid, 0.0))
+        return min(max(raw, self._min_timeout), self._max_timeout) * penalty
+
+    def _observe_arrival(self, src: int) -> None:
+        now = self.env.now
+        last = self._last_arrival.get(src)
+        self._last_arrival[src] = now
+        if last is None:
+            return
+        sample = now - last
+        self.env.metrics.observe(
+            MODULE_MUTENESS, "interarrival", sample, pid=self.env.pid
+        )
+        srtt = self._srtt.get(src)
+        if srtt is None:
+            self._srtt[src] = sample
+            self._rttvar[src] = sample / 2.0
+        else:
+            self._rttvar[src] = (1.0 - self._beta) * self._rttvar[
+                src
+            ] + self._beta * abs(srtt - sample)
+            self._srtt[src] = (1.0 - self._alpha) * srtt + self._alpha * sample
+        if src not in self._suspected and self._penalty_decay < 1.0:
+            penalty = self._penalty.get(src, 1.0)
+            if penalty > 1.0:
+                self._penalty[src] = max(1.0, penalty * self._penalty_decay)
+
+    def _punish(self, src: int) -> None:
+        self._penalty[src] = self._penalty.get(src, 1.0) * self._backoff

@@ -34,6 +34,7 @@ MODULE_PROTOCOL = "protocol"
 #: Simulation-substrate modules (not part of Figure 1).
 MODULE_SCHEDULER = "scheduler"
 MODULE_NETWORK = "network"
+MODULE_TRANSPORT = "transport"
 MODULE_PROCESS = "process"
 
 PAPER_MODULES = (

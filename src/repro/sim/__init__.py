@@ -13,7 +13,9 @@ from repro.sim.network import (
     DelayModel,
     ExponentialDelay,
     FixedDelay,
+    LinkModel,
     Network,
+    Partition,
     TargetedSlowdown,
     UniformDelay,
 )
@@ -21,21 +23,28 @@ from repro.sim.process import Process, ProcessEnv
 from repro.sim.rng import SeededRng
 from repro.sim.scheduler import RunResult, Scheduler
 from repro.sim.trace import Trace, TraceEvent
-from repro.sim.world import World
+from repro.sim.transport import AckSegment, DataSegment, ReliableTransport
+from repro.sim.world import TRANSPORTS, World
 
 __all__ = [
+    "AckSegment",
     "CancellationToken",
+    "DataSegment",
     "DelayModel",
     "Event",
     "EventQueue",
     "ExponentialDelay",
     "FixedDelay",
+    "LinkModel",
     "Network",
+    "Partition",
     "Process",
     "ProcessEnv",
+    "ReliableTransport",
     "RunResult",
     "Scheduler",
     "SeededRng",
+    "TRANSPORTS",
     "TargetedSlowdown",
     "Trace",
     "TraceEvent",

@@ -1,21 +1,32 @@
-"""Reliable FIFO point-to-point network.
+"""Point-to-point network: reliable FIFO by default, faulty on request.
 
-This implements exactly the channel assumptions of the paper's model
-(Section 2): every pair of processes is connected by a *reliable* channel
-(no loss, no duplication, no corruption in transit) that is *FIFO*, with
-no bound on transfer delays. Delay distributions are pluggable so the
-adversary can delay messages arbitrarily (but finitely) — the standard way
-to model asynchrony in a discrete-event simulator.
+The default configuration implements exactly the channel assumptions of
+the paper's model (Section 2): every pair of processes is connected by a
+*reliable* channel (no loss, no duplication, no corruption in transit)
+that is *FIFO*, with no bound on transfer delays. Delay distributions are
+pluggable so the adversary can delay messages arbitrarily (but finitely)
+— the standard way to model asynchrony in a discrete-event simulator.
 
-Corruption, duplication and omission are *process* faults in this paper,
-not channel faults, so they live in :mod:`repro.byzantine`, never here.
+A :class:`LinkModel` turns the substrate into the network a production
+deployment actually faces: per-link message loss, duplication, burst
+reordering and scripted (healing) :class:`Partition` windows, all drawn
+from the run's seeded randomness so faulty runs replay exactly. The
+paper's channel assumptions are then *restored* one layer up by
+:mod:`repro.sim.transport`, whose seq/ack/retransmit machinery is what
+lets the five Figure-1 modules run unmodified above a lossy fabric (see
+``docs/NETWORK.md``).
+
+Corruption and *process* omission remain process faults in this paper and
+live in :mod:`repro.byzantine`; what lives here is strictly what a wire
+can do to a frame in transit.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
-from repro.errors import NetworkError
+from repro.errors import ConfigurationError, NetworkError
 from repro.observability.registry import (
     MODULE_NETWORK,
     MetricsRegistry,
@@ -141,12 +152,117 @@ class TargetedSlowdown:
         return delay
 
 
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """A scripted network partition that later heals.
+
+    During ``[start, heal)`` every message whose endpoints sit in
+    *different* groups is severed (dropped on the wire); at ``heal`` the
+    cut disappears. Pids absent from every group are unaffected — list a
+    pid in some group to make it partitionable. Groups must be disjoint.
+    """
+
+    start: float
+    heal: float
+    groups: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.heal <= self.start:
+            raise ConfigurationError(
+                f"partition window [{self.start}, {self.heal}) is not a "
+                "non-empty forward window"
+            )
+        if len(self.groups) < 2:
+            raise ConfigurationError("a partition needs at least two groups")
+        seen: set[int] = set()
+        for group in self.groups:
+            if not group:
+                raise ConfigurationError("empty partition group")
+            overlap = seen & set(group)
+            if overlap:
+                raise ConfigurationError(
+                    f"pids {sorted(overlap)} appear in two partition groups"
+                )
+            seen |= set(group)
+
+    def severs(self, now: float, src: int, dst: int) -> bool:
+        """Is the ``src -> dst`` link cut at virtual time ``now``?"""
+        if not self.start <= now < self.heal:
+            return False
+        side_src = side_dst = None
+        for index, group in enumerate(self.groups):
+            if src in group:
+                side_src = index
+            if dst in group:
+                side_dst = index
+        return side_src is not None and side_dst is not None and side_src != side_dst
+
+
+class LinkModel:
+    """Composable per-link fault model: loss, duplication, reordering, cuts.
+
+    Probabilities are per message; all sampling happens on the network's
+    dedicated ``links`` substream, so two runs with the same seed lose,
+    duplicate and reorder exactly the same messages. A process's channel
+    to itself is internal and never faulted.
+
+    Args:
+        loss: probability a message silently vanishes in transit.
+        duplication: probability the wire delivers a second copy.
+        reorder: probability a message escapes the FIFO clamp and is
+            additionally delayed by up to ``reorder_spread`` (a burst
+            reordering: later traffic on the channel may overtake it).
+        reorder_spread: maximum extra delay of a reordered message.
+        partitions: scripted :class:`Partition` windows (may overlap).
+    """
+
+    def __init__(
+        self,
+        loss: float = 0.0,
+        duplication: float = 0.0,
+        reorder: float = 0.0,
+        reorder_spread: float = 5.0,
+        partitions: tuple[Partition, ...] | list[Partition] = (),
+    ) -> None:
+        for name, probability in (
+            ("loss", loss), ("duplication", duplication), ("reorder", reorder)
+        ):
+            if not 0.0 <= probability < 1.0:
+                raise ConfigurationError(
+                    f"link {name} probability must be in [0, 1), got {probability!r}"
+                )
+        if reorder_spread <= 0:
+            raise ConfigurationError(
+                f"reorder_spread must be positive, got {reorder_spread!r}"
+            )
+        self.loss = loss
+        self.duplication = duplication
+        self.reorder = reorder
+        self.reorder_spread = reorder_spread
+        self.partitions = tuple(partitions)
+
+    @property
+    def faultless(self) -> bool:
+        return (
+            not self.loss
+            and not self.duplication
+            and not self.reorder
+            and not self.partitions
+        )
+
+    def severed(self, now: float, src: int, dst: int) -> bool:
+        return any(p.severs(now, src, dst) for p in self.partitions)
+
+
 class Network:
-    """Reliable FIFO network over a :class:`~repro.sim.scheduler.Scheduler`.
+    """Point-to-point network over a :class:`~repro.sim.scheduler.Scheduler`.
 
     Processes are registered with a delivery callback; :meth:`send`
     schedules a delivery event whose timestamp respects per-channel FIFO
-    order regardless of the sampled delays.
+    order regardless of the sampled delays. An optional :class:`LinkModel`
+    makes individual links lossy, duplicating, reordering or partitioned;
+    every drop, duplicate and partition transition is traced and counted
+    so nothing the wire does is invisible to the oracles.
     """
 
     def __init__(
@@ -156,20 +272,52 @@ class Network:
         delay_model: DelayModel | None = None,
         fifo: bool = True,
         metrics: MetricsRegistry | None = None,
+        link_model: LinkModel | None = None,
     ) -> None:
         self._scheduler = scheduler
         self._trace = trace
         self._metrics = metrics
         self._delay_model: DelayModel = delay_model or UniformDelay()
         self._rng = scheduler.rng.fork("network")
+        self._link_rng = scheduler.rng.fork("links")
+        self._link_model = link_model
         self._inboxes: dict[int, DeliverCallback] = {}
         self._last_delivery: dict[tuple[int, int], float] = {}
         self._messages_sent = 0
         self._messages_delivered = 0
+        self._messages_dropped = 0
+        self._messages_duplicated = 0
         # FIFO is the paper's channel assumption; ``fifo=False`` exists
         # only so experiment E14 can demonstrate the assumption is
         # load-bearing (agreement breaks without it).
         self._fifo = fifo
+        if link_model is not None:
+            self._schedule_partition_transitions(link_model)
+
+    def _schedule_partition_transitions(self, link_model: LinkModel) -> None:
+        """Trace every partition cut and heal as a first-class event."""
+        for index, partition in enumerate(link_model.partitions):
+            for kind, time in (
+                ("partition-start", partition.start),
+                ("partition-heal", partition.heal),
+            ):
+                self._scheduler.schedule_at(
+                    time,
+                    "partition",
+                    lambda k=kind, i=index, p=partition: self._partition_transition(
+                        k, i, p
+                    ),
+                )
+
+    def _partition_transition(self, kind: str, index: int, partition: Partition) -> None:
+        self._trace.record(
+            self._scheduler.now,
+            kind,
+            partition=index,
+            groups=[list(group) for group in partition.groups],
+        )
+        if self._metrics is not None:
+            self._metrics.inc(MODULE_NETWORK, "partition_transitions")
 
     @property
     def messages_sent(self) -> int:
@@ -177,7 +325,22 @@ class Network:
 
     @property
     def messages_delivered(self) -> int:
+        """First-copy deliveries only — duplicate copies are counted apart."""
         return self._messages_delivered
+
+    @property
+    def messages_dropped(self) -> int:
+        """Messages the link model destroyed in transit (loss + partition)."""
+        return self._messages_dropped
+
+    @property
+    def messages_duplicated(self) -> int:
+        """Extra copies the link model delivered beyond the first."""
+        return self._messages_duplicated
+
+    @property
+    def link_model(self) -> LinkModel | None:
+        return self._link_model
 
     @property
     def process_ids(self) -> list[int]:
@@ -200,23 +363,30 @@ class Network:
         if src not in self._inboxes:
             raise NetworkError(f"send from unknown process {src}")
         now = self._scheduler.now
-        sample_for = getattr(self._delay_model, "sample_for", None)
-        if sample_for is not None:
-            delay = sample_for(self._rng, src, dst, payload)
-        else:
-            delay = self._delay_model.sample(self._rng, src, dst)
-        if delay < 0:
-            raise NetworkError(f"delay model produced negative delay {delay!r}")
-        channel = (src, dst)
-        if self._fifo:
-            earliest = self._last_delivery.get(channel, 0.0) + _FIFO_EPSILON
-            deliver_at = max(now + delay, earliest)
-            self._last_delivery[channel] = deliver_at
-        else:
-            deliver_at = now + delay
         self._messages_sent += 1
         if self._metrics is not None:
             self._metrics.inc(MODULE_NETWORK, "messages_sent", pid=src)
+        links = self._link_model
+        if links is not None and src != dst:
+            if links.severed(now, src, dst):
+                self._drop(now, src, dst, payload, "partition")
+                return
+            if links.loss and self._link_rng.chance(links.loss):
+                self._drop(now, src, dst, payload, "loss")
+                return
+        deliver_at = self._schedule_copy(now, src, dst, payload, duplicate=False)
+        if (
+            links is not None
+            and src != dst
+            and links.duplication
+            and self._link_rng.chance(links.duplication)
+        ):
+            self._messages_duplicated += 1
+            if self._metrics is not None:
+                self._metrics.inc(MODULE_NETWORK, "messages_duplicated", pid=src)
+                self._metrics.inc(MODULE_NETWORK, f"dup[{src}->{dst}]")
+            self._schedule_copy(now, src, dst, payload, duplicate=True)
+        if self._metrics is not None:
             # Scheduled transfer delay: FIFO back-pressure included, so the
             # histogram reflects what the receiver actually experiences.
             self._metrics.observe(
@@ -225,8 +395,53 @@ class Network:
             self._metrics.gauge_max(
                 MODULE_NETWORK,
                 "in_flight_max",
-                self._messages_sent - self._messages_delivered,
+                self._messages_sent - self._messages_delivered
+                - self._messages_dropped,
             )
+
+    def _drop(self, now: float, src: int, dst: int, payload: Any, reason: str) -> None:
+        """The wire destroyed the message: count and trace, never deliver."""
+        self._messages_dropped += 1
+        if self._metrics is not None:
+            self._metrics.inc(MODULE_NETWORK, "messages_dropped", pid=src)
+            self._metrics.inc(MODULE_NETWORK, f"drop[{src}->{dst}]")
+        self._trace.record(
+            now, "link-drop", process=src, dst=dst, payload=payload, reason=reason
+        )
+
+    def _schedule_copy(
+        self, now: float, src: int, dst: int, payload: Any, duplicate: bool
+    ) -> float:
+        """Sample a delay and schedule one delivery; returns the timestamp."""
+        sample_for = getattr(self._delay_model, "sample_for", None)
+        if sample_for is not None:
+            delay = sample_for(self._rng, src, dst, payload)
+        else:
+            delay = self._delay_model.sample(self._rng, src, dst)
+        if delay < 0:
+            raise NetworkError(f"delay model produced negative delay {delay!r}")
+        links = self._link_model
+        reordered = (
+            links is not None
+            and src != dst
+            and links.reorder
+            and self._link_rng.chance(links.reorder)
+        )
+        channel = (src, dst)
+        if reordered:
+            # A burst reordering: the copy escapes the FIFO clamp (and does
+            # not tighten it), so later traffic on the channel may overtake.
+            deliver_at = now + delay + self._link_rng.uniform(
+                0.0, links.reorder_spread
+            )
+            if self._metrics is not None:
+                self._metrics.inc(MODULE_NETWORK, "messages_reordered", pid=src)
+        elif self._fifo:
+            earliest = self._last_delivery.get(channel, 0.0) + _FIFO_EPSILON
+            deliver_at = max(now + delay, earliest)
+            self._last_delivery[channel] = deliver_at
+        else:
+            deliver_at = now + delay
         self._trace.record(
             now,
             "send",
@@ -234,18 +449,33 @@ class Network:
             dst=dst,
             payload=payload,
             deliver_at=deliver_at,
+            **({"duplicate": True} if duplicate else {}),
         )
         self._scheduler.schedule_at(
             deliver_at,
             "deliver",
-            lambda: self._deliver(src, dst, payload),
+            lambda: self._deliver(src, dst, payload, duplicate),
         )
+        return deliver_at
 
-    def _deliver(self, src: int, dst: int, payload: Any) -> None:
-        self._messages_delivered += 1
-        if self._metrics is not None:
-            self._metrics.inc(MODULE_NETWORK, "messages_delivered", pid=dst)
+    def _deliver(
+        self, src: int, dst: int, payload: Any, duplicate: bool = False
+    ) -> None:
+        if duplicate:
+            if self._metrics is not None:
+                self._metrics.inc(
+                    MODULE_NETWORK, "duplicates_delivered", pid=dst
+                )
+        else:
+            self._messages_delivered += 1
+            if self._metrics is not None:
+                self._metrics.inc(MODULE_NETWORK, "messages_delivered", pid=dst)
         self._trace.record(
-            self._scheduler.now, "deliver", process=dst, src=src, payload=payload
+            self._scheduler.now,
+            "deliver",
+            process=dst,
+            src=src,
+            payload=payload,
+            **({"duplicate": True} if duplicate else {}),
         )
         self._inboxes[dst](src, payload)

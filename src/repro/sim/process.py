@@ -42,7 +42,7 @@ class ProcessEnv:
         pid: int,
         n: int,
         scheduler: Scheduler,
-        network: Network,
+        network: Network,  # or any fabric with the same register/send surface
         trace: Trace,
         rng: SeededRng,
         metrics: MetricsRegistry | None = None,

@@ -13,14 +13,25 @@ from typing import Sequence
 
 from repro.errors import ConfigurationError
 from repro.observability.registry import MetricsRegistry
-from repro.sim.network import DelayModel, Network
+from repro.sim.network import DelayModel, LinkModel, Network
 from repro.sim.process import Process, ProcessEnv
 from repro.sim.scheduler import RunResult, Scheduler
 from repro.sim.trace import Trace
+from repro.sim.transport import ReliableTransport
+
+#: Accepted values of ``World(transport=...)``.
+TRANSPORTS = ("none", "reliable", "no-retransmit")
 
 
 class World:
-    """A closed system of ``n`` processes over a reliable FIFO network."""
+    """A closed system of ``n`` processes over a reliable FIFO network.
+
+    With a faulty :class:`LinkModel` installed, the channels are only
+    reliable again if ``transport="reliable"`` slides a
+    :class:`ReliableTransport` between the processes and the wire;
+    ``transport="no-retransmit"`` is the ablation that frames and acks
+    but never resends, and ``"none"`` exposes the raw fabric.
+    """
 
     def __init__(
         self,
@@ -28,9 +39,17 @@ class World:
         seed: int = 0,
         delay_model: DelayModel | None = None,
         fifo: bool = True,
+        link_model: LinkModel | None = None,
+        transport: str = "none",
+        transport_rto: float = 4.0,
+        transport_retry_limit: int = 20,
     ) -> None:
         if not processes:
             raise ConfigurationError("a world needs at least one process")
+        if transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
         self.scheduler = Scheduler(seed=seed)
         self.trace = Trace()
         self.metrics = MetricsRegistry()
@@ -41,7 +60,22 @@ class World:
             delay_model=delay_model,
             fifo=fifo,
             metrics=self.metrics,
+            link_model=link_model,
         )
+        self.transport: ReliableTransport | None = None
+        fabric: Network | ReliableTransport = self.network
+        if transport != "none":
+            self.transport = ReliableTransport(
+                self.network,
+                self.scheduler,
+                self.trace,
+                metrics=self.metrics,
+                crashed=self.is_crashed,
+                rto=transport_rto,
+                retry_limit=transport_retry_limit,
+                retransmit=(transport != "no-retransmit"),
+            )
+            fabric = self.transport
         self.processes: list[Process] = list(processes)
         self._envs: list[ProcessEnv] = []
         n = len(self.processes)
@@ -50,14 +84,14 @@ class World:
                 pid=pid,
                 n=n,
                 scheduler=self.scheduler,
-                network=self.network,
+                network=fabric,
                 trace=self.trace,
                 rng=self.scheduler.rng.fork(f"process-{pid}"),
                 metrics=self.metrics,
             )
             process.bind(env)
             self._envs.append(env)
-            self.network.register(pid, process.deliver)
+            fabric.register(pid, process.deliver)
         self._started = False
 
     @property

@@ -29,11 +29,15 @@ from repro.core.transformer import TransformationBlueprint
 from repro.crypto.keys import KeyAuthority
 from repro.crypto.signatures import SignatureScheme
 from repro.detectors.base import FailureDetector
-from repro.detectors.diamond_m import MutenessDetector, RoundAwareMutenessDetector
+from repro.detectors.diamond_m import (
+    AdaptiveMutenessDetector,
+    MutenessDetector,
+    RoundAwareMutenessDetector,
+)
 from repro.detectors.heartbeat import HeartbeatDetector
 from repro.detectors.oracles import OracleDetector
 from repro.errors import ConfigurationError
-from repro.sim.network import DelayModel, UniformDelay
+from repro.sim.network import DelayModel, LinkModel, UniformDelay
 from repro.sim.scheduler import RunResult
 from repro.sim.world import World
 
@@ -108,6 +112,8 @@ def build_crash_system(
     suspicion_poll: float = 0.5,
     fifo: bool = True,
     fd: str = "oracle",
+    link_model: LinkModel | None = None,
+    transport: str = "none",
 ) -> ConsensusSystem:
     """A crash-model consensus system with a ◇S detector suite.
 
@@ -122,6 +128,12 @@ def build_crash_system(
         fd: ``"oracle"`` — ◇S enforced from ground truth — or
             ``"heartbeat"`` — the honest adaptive-timeout implementation
             (converges into ◇P ⊆ ◇S under eventually-bounded delays).
+        link_model: optional :class:`LinkModel` fault injection (loss,
+            duplication, reordering, partitions) on the wire.
+        transport: ``"none"`` (raw fabric), ``"reliable"`` (seq/ack/
+            retransmit layer restoring the channel assumptions) or
+            ``"no-retransmit"`` (the ablation; see
+            :class:`~repro.sim.transport.ReliableTransport`).
     """
     crash_at = dict(crash_at or {})
     byzantine = dict(byzantine or {})
@@ -172,6 +184,8 @@ def build_crash_system(
         seed=seed,
         delay_model=delay_model or UniformDelay(),
         fifo=fifo,
+        link_model=link_model,
+        transport=transport,
     )
     for detector in detectors:
         if isinstance(detector, OracleDetector):
@@ -207,6 +221,8 @@ def build_transformed_system(
     allow_excess_faults: bool = False,
     variant: str = "standard",
     base: str = "hurfin-raynal",
+    link_model: LinkModel | None = None,
+    transport: str = "none",
 ) -> ConsensusSystem:
     """The transformed (Figure 3) protocol with the five-module structure.
 
@@ -219,8 +235,12 @@ def build_transformed_system(
         f: assumed maximum number of faulty processes ``F``; defaults to
             the paper's bound ``min(floor((n-1)/2), floor((n-1)/3))``.
         config: module ablation switches (experiment E8).
-        muteness: ``"oracle"`` — ◇M enforced from ground truth — or
-            ``"timeout"`` — the honest Doudou-style implementation.
+        muteness: ``"oracle"`` — ◇M enforced from ground truth —
+            ``"timeout"`` — the honest Doudou-style implementation —
+            ``"round-aware"`` — timeout scaled by round number — or
+            ``"adaptive"`` — Jacobson-style timeouts learned from each
+            peer's observed message cadence (the right choice over lossy
+            links; see :class:`AdaptiveMutenessDetector`).
         variant: ``"standard"`` (Figure 3 as published) or ``"echo-init"``
             (INIT phase over reliable broadcast; see
             :mod:`repro.consensus.echo_init`).
@@ -228,6 +248,8 @@ def build_transformed_system(
             ``"hurfin-raynal"`` (the paper's case study, Figure 3) or
             ``"chandra-toueg"`` (the second case study,
             :mod:`repro.consensus.transformed_ct`).
+        link_model / transport: wire fault injection and the reliable-
+            channel layer above it; see :func:`build_crash_system`.
     """
     byzantine = dict(byzantine or {})
     crash_at = dict(crash_at or {})
@@ -253,6 +275,10 @@ def build_transformed_system(
             )
         elif muteness == "round-aware":
             detector = RoundAwareMutenessDetector(
+                initial_timeout=muteness_timeout
+            )
+        elif muteness == "adaptive":
+            detector = AdaptiveMutenessDetector(
                 initial_timeout=muteness_timeout
             )
         elif muteness == "oracle":
@@ -306,7 +332,13 @@ def build_transformed_system(
         config=module_config,
     )
     processes = blueprint.build_all(list(proposals))
-    world = World(processes, seed=seed, delay_model=delay_model or UniformDelay())
+    world = World(
+        processes,
+        seed=seed,
+        delay_model=delay_model or UniformDelay(),
+        link_model=link_model,
+        transport=transport,
+    )
     for pid, time in crash_at.items():
         world.crash_at(pid, time)
     return ConsensusSystem(

@@ -253,6 +253,120 @@ class TestArtifact:
             read_campaign_jsonl(tmp_path / "absent.jsonl")
 
 
+@pytest.fixture(scope="module")
+def lossy_scenarios():
+    return enumerate_scenarios(campaign_spec("lossy"), master_seed=0)
+
+
+@pytest.fixture(scope="module")
+def partition_scenarios():
+    return enumerate_scenarios(campaign_spec("partition"), master_seed=0)
+
+
+class TestLinkFaultPresets:
+    def test_lossy_preset_shape(self, lossy_scenarios):
+        assert len(lossy_scenarios) == 12
+        for scenario in lossy_scenarios:
+            assert scenario.protocol == "transformed"
+            assert scenario.transport == "reliable"
+            assert scenario.muteness == "adaptive"
+            assert scenario.has_link_faults
+            assert scenario.loss > 0
+
+    def test_partition_preset_shape(self, partition_scenarios):
+        assert len(partition_scenarios) == 6
+        for scenario in partition_scenarios:
+            assert scenario.partitions == ((40.0, 120.0, "0,1|2,3"),)
+            assert scenario.transport == "reliable"
+
+    def test_presets_cover_combined_link_and_byzantine_faults(
+        self, lossy_scenarios, partition_scenarios
+    ):
+        # The attribution oracle must be exercised with link faults AND a
+        # Byzantine attacker at the same time, in both families.
+        assert any(s.attacks for s in lossy_scenarios)
+        assert any(s.attacks for s in partition_scenarios)
+
+    @staticmethod
+    def _export(result) -> str:
+        buffer = io.StringIO()
+        write_campaign_jsonl(buffer, result, meta={"master_seed": 0})
+        return buffer.getvalue()
+
+    def test_lossy_campaign_passes_and_is_byte_identical(self, lossy_scenarios):
+        first, second = run_campaign(lossy_scenarios), run_campaign(lossy_scenarios)
+        assert first.failures == []
+        assert first.verdict_counts == {"pass": 12}
+        assert self._export(first) == self._export(second)
+
+    def test_partition_campaign_passes_and_is_byte_identical(
+        self, partition_scenarios
+    ):
+        first = run_campaign(partition_scenarios)
+        second = run_campaign(partition_scenarios)
+        assert first.failures == []
+        assert first.verdict_counts == {"pass": 6}
+        assert self._export(first) == self._export(second)
+
+    def test_link_fault_records_carry_wire_accounting(self, lossy_scenarios):
+        record = run_scenario(lossy_scenarios[0])
+        assert record.verdict == "pass"
+        assert record.messages_dropped > 0
+        assert record.retransmissions > 0
+        payload = record.to_record()
+        assert payload["run"]["messages_dropped"] == record.messages_dropped
+        assert payload["run"]["retransmissions"] == record.retransmissions
+
+    def test_link_fault_config_round_trips(self, lossy_scenarios, partition_scenarios):
+        for scenario in list(lossy_scenarios) + list(partition_scenarios):
+            assert Scenario.from_config(scenario.to_config()) == scenario
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"loss": 1.0},
+            {"dup": -0.1},
+            {"reorder": 1.5},
+            {"partitions": ((10.0, 10.0, "0,1|2,3"),)},
+            {"partitions": ((-1.0, 5.0, "0,1|2,3"),)},
+            {"partitions": ((0.0, 5.0, "0,1,2,3"),)},  # single side
+            {"partitions": ((0.0, 5.0, "0,1|1,2"),)},  # repeated pid
+            {"partitions": ((0.0, 5.0, "0,1|2,9"),)},  # pid out of range
+            {"partitions": ((0.0, 5.0, "0,1|x"),)},  # malformed groups
+            {"transport": "carrier-pigeon"},
+            {"muteness": "psychic"},
+        ],
+    )
+    def test_validate_rejects_bad_link_faults(self, overrides):
+        base = dict(protocol="transformed", n=4, seed=0)
+        base.update(overrides)
+        with pytest.raises(ConfigurationError):
+            Scenario(**base).validate()
+
+    def test_muteness_detector_needs_transformed_protocol(self):
+        scenario = Scenario(protocol="chandra-toueg", n=4, muteness="adaptive")
+        with pytest.raises(ConfigurationError):
+            scenario.validate()
+
+    def test_without_link_faults_restores_pristine_wire(self, lossy_scenarios):
+        scenario = lossy_scenarios[3]
+        healed = scenario.without_link_faults()
+        assert not healed.has_link_faults
+        assert healed.transport == "none"
+        assert healed.build_link_model() is None
+        assert healed.seed == scenario.seed  # only the wire changed
+
+    def test_shrink_heals_irrelevant_link_faults(self):
+        # The Figure-2 victim fails with or without a faulty wire, so the
+        # shrinker must strip the link faults from the counterexample.
+        from dataclasses import replace
+
+        noisy = replace(SHRINKABLE, loss=0.1, dup=0.05, transport="reliable")
+        result = shrink_scenario(noisy)
+        assert not result.minimal.has_link_faults
+        assert any("heal all link faults" in step for step in result.steps)
+
+
 class TestShrink:
     def test_shrinks_to_minimal_counterexample(self):
         result = shrink_scenario(SHRINKABLE)

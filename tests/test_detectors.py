@@ -5,7 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.detectors.base import FailureDetector
-from repro.detectors.diamond_m import MutenessDetector, RoundAwareMutenessDetector
+from repro.detectors.diamond_m import (
+    AdaptiveMutenessDetector,
+    MutenessDetector,
+    RoundAwareMutenessDetector,
+)
 from repro.detectors.diamond_s import (
     heartbeat_diamond_s_suite,
     oracle_diamond_s_suite,
@@ -265,3 +269,119 @@ class TestMutenessDetector:
         assert listener.detector.wrongful_suspicions == 1
         assert listener.detector.timeout_of(0) == 6.0
         assert 0 not in listener.detector.suspected
+
+    def test_repeated_wrongful_suspicions_compound_the_backoff(self):
+        class BurstTalker(Host):
+            # Speaks at t=4 and t=11: each burst lands just after the
+            # listener's current timeout expired, so each is a wrongful
+            # suspicion and the doubling compounds.
+            def on_start(self):
+                super().on_start()
+                self.set_timer("talk-1", 4.0)
+                self.set_timer("talk-2", 11.0)
+
+            def on_timer(self, name):
+                self.send(1, "protocol")
+
+        talker = BurstTalker(MutenessDetector(initial_timeout=3.0))
+        listener = Host(MutenessDetector(initial_timeout=3.0))
+        world = World([talker, listener], delay_model=FixedDelay(0.1))
+        world.run(max_time=12.0)
+        assert listener.detector.wrongful_suspicions == 2
+        assert listener.detector.timeout_of(0) == 12.0  # 3.0 doubled twice
+
+
+class Chatter(Host):
+    """Sends a protocol message to p1 every ``period`` until ``until``."""
+
+    def __init__(self, detector, period=1.0, first=0.0, until=None):
+        super().__init__(detector)
+        self._period = period
+        self._first = first
+        self._until = until
+
+    def on_start(self):
+        super().on_start()
+        self.set_timer("chat", self._first or self._period)
+
+    def on_timer(self, name):
+        self.send(1, "protocol")
+        if self._until is None or self.now < self._until:
+            self.set_timer("chat", self._period)
+
+
+class TestAdaptiveMutenessDetector:
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            AdaptiveMutenessDetector(safety=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveMutenessDetector(min_timeout=5.0, max_timeout=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveMutenessDetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveMutenessDetector(penalty_decay=0.0)
+
+    def test_falls_back_to_initial_timeout_before_first_sample(self):
+        detector = AdaptiveMutenessDetector(initial_timeout=9.0)
+        assert detector.estimate_of(0) is None
+        assert detector.timeout_of(0) == 9.0
+
+    def test_estimator_converges_on_stable_cadence(self):
+        listener = Host(AdaptiveMutenessDetector(initial_timeout=8.0))
+        talker = Chatter(
+            AdaptiveMutenessDetector(initial_timeout=8.0), period=1.0
+        )
+        world = World([talker, listener], delay_model=FixedDelay(0.1))
+        world.run(max_time=100.0)
+        estimate = listener.detector.estimate_of(0)
+        assert estimate == pytest.approx(1.0, rel=0.05)
+        # Constant gaps shrink rttvar, so the timeout converges well below
+        # the static fallback while respecting the min_timeout floor.
+        assert 2.0 <= listener.detector.timeout_of(0) < 8.0
+        assert 0 not in listener.detector.suspected
+        assert listener.detector.wrongful_suspicions == 0
+
+    def test_wrongful_suspicion_multiplies_penalty(self):
+        listener = Host(AdaptiveMutenessDetector(initial_timeout=3.0))
+        # First word arrives only after the 3.0 fallback timeout expired.
+        talker = Chatter(
+            AdaptiveMutenessDetector(initial_timeout=3.0),
+            period=1.0,
+            first=6.0,
+            until=6.5,
+        )
+        world = World([talker, listener], delay_model=FixedDelay(0.1))
+        world.run(max_time=7.0)
+        assert listener.detector.wrongful_suspicions == 1
+        assert listener.detector.penalty_of(0) == 2.0
+        # No inter-arrival sample yet: fallback times the penalty.
+        assert listener.detector.timeout_of(0) == 6.0
+        assert 0 not in listener.detector.suspected
+
+    def test_penalty_decays_while_peer_keeps_talking(self):
+        listener = Host(
+            AdaptiveMutenessDetector(initial_timeout=2.0, penalty_decay=0.5)
+        )
+        talker = Chatter(
+            AdaptiveMutenessDetector(initial_timeout=2.0, penalty_decay=0.5),
+            period=1.0,
+            first=5.0,
+        )
+        world = World([talker, listener], delay_model=FixedDelay(0.1))
+        world.run(max_time=30.0)
+        assert listener.detector.wrongful_suspicions == 1
+        # The one early mistake was forgiven as sound arrivals kept coming.
+        assert listener.detector.penalty_of(0) == 1.0
+        assert 0 not in listener.detector.suspected
+
+    def test_end_to_end_adaptive_system(self):
+        from repro.analysis.properties import check_vector_consensus
+        from repro.systems import build_transformed_system
+
+        system = build_transformed_system(
+            [f"v{i}" for i in range(4)],
+            muteness="adaptive",
+            seed=2,
+        )
+        system.run(max_time=3_000)
+        assert check_vector_consensus(system).all_hold

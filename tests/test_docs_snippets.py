@@ -59,4 +59,7 @@ def test_doc_snippet_executes(path, line, code, tmp_path, monkeypatch):
 def test_docs_have_snippets():
     """The check is live: the documented examples were actually found."""
     found = list(snippets())
-    assert len(found) >= 6, [p.name for p, *_ in (s.values for s in found)]
+    assert len(found) >= 10, [p.name for p, *_ in (s.values for s in found)]
+    covered = {s.values[0].name for s in found}
+    # The network/transport page must stay executable documentation.
+    assert "NETWORK.md" in covered, covered
