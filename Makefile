@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test campaign-smoke lossy-smoke docs-check benchmarks experiments
+.PHONY: test campaign-smoke lossy-smoke service-smoke docs-check benchmarks experiments
 
 # -W error promotes every warning to a failure; the lone ignore shields
 # the suite from a deprecation raised inside third-party plugin hooks.
@@ -21,6 +21,15 @@ campaign-smoke:
 lossy-smoke:
 	$(PYTHON) -m repro campaign run --preset lossy --master-seed 0
 	$(PYTHON) -m repro campaign run --preset partition --master-seed 0
+
+# The replicated-service preset (docs/SERVICE.md): four seeded
+# deployments judged by the service oracles, run twice — the JSON
+# records must be byte-identical (the determinism guarantee).
+service-smoke:
+	$(PYTHON) -m repro service campaign --preset smoke --out /tmp/service-smoke-a.json
+	$(PYTHON) -m repro service campaign --preset smoke --out /tmp/service-smoke-b.json
+	cmp /tmp/service-smoke-a.json /tmp/service-smoke-b.json
+	rm -f /tmp/service-smoke-a.json /tmp/service-smoke-b.json
 
 # Execute every ```python snippet in README.md and docs/*.md
 # (tests/test_docs_snippets.py); keeps the documented examples honest.

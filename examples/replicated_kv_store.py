@@ -1,56 +1,58 @@
 #!/usr/bin/env python
-"""A Byzantine fault-tolerant replicated key-value store.
+"""A long-lived BFT replicated key-value service, end to end.
 
-Four replicas run a replicated log where every slot is one instance of
-the transformed (DSN 2000, Figure 3) Vector Consensus protocol. Replica
-3 is compromised and corrupts every vector it sends — the correct
-replicas converge to identical stores anyway, and convict it.
+Four replicas run the service runtime from ``repro.service``: open-loop
+clients submit commands, replicas pack them into batches and pipeline
+the Vector Consensus slots, certify a checkpoint every two applied slots
+(f+1 matching signed digests), and compact their logs under it. Midway,
+replica 2 is taken down and restarted with its state wiped — it rejoins
+through certified state transfer and commits new slots.
 
 Run:  python examples/replicated_kv_store.py
 """
 
-from repro.byzantine.transformed_attacks import TCorruptVectorAttacker
-from repro.replication import Command, build_replicated_system, materialise
+from repro.service import ServiceConfig, build_service_system, service_digest
 
-N = 4
-SLOTS = 3
-
-# Each replica's clients issue a stream of writes.
-workloads = [
-    [Command("set", f"user:{pid}:{slot}", f"payload-{pid}-{slot}") for slot in range(SLOTS)]
-    for pid in range(N)
-]
-
-
-def corrupt_engine(pid, proposal, params, authority, detector, config):
-    return TCorruptVectorAttacker(
-        proposal=proposal, params=params, authority=authority,
-        detector=detector, config=config,
-    )
-
-
-system = build_replicated_system(
-    workloads,
-    target_slots=SLOTS,
+config = ServiceConfig(
+    n_replicas=4,
+    n_clients=2,
+    requests_per_client=25,
+    rate=0.5,              # open-loop Poisson arrivals per client
+    batch_size=4,
+    window=2,              # pipelining: two slots in flight
+    checkpoint_interval=2,
     seed=99,
-    byzantine={3: corrupt_engine},
 )
-result = system.run()
+system = build_service_system(config, recoveries=((2, 25.0, 60.0),))
+result = system.run(max_time=2_500.0)
 print(f"run: {result.reason} at t={result.end_time:.1f}, "
       f"{system.world.network.messages_sent} messages")
 
-logs = system.correct_logs()
-print(f"\ncommitted log ({len(logs[0])} commands, identical on all correct replicas):")
-for command in logs[0]:
-    print(f"  {command.op} {command.key} = {command.value}")
+# -- clients -> batches -> commits ------------------------------------------
+total = config.n_clients * config.requests_per_client
+print(f"\nclients completed {system.completed_requests()}/{total} requests; "
+      f"the service committed {system.committed_commands()} commands.")
+assert system.all_clients_done(), "a client is still waiting!"
 
-stores = [materialise(log) for log in logs]
-assert all(log == logs[0] for log in logs), "logs diverged!"
-assert all(store == stores[0] for store in stores), "stores diverged!"
-print(f"\nstore ({len(stores[0])} keys), identical on every correct replica.")
+# -- checkpoints -------------------------------------------------------------
+assert system.checkpoints_agree(), "checkpoint digests diverged!"
+print(f"checkpoints: {system.certified_checkpoints()} counts certified "
+      f"(f+1 matching signed digests each), logs compacted under them.")
+digests = {
+    service_digest(system.replicas[pid].store, system.replicas[pid].executed)
+    for pid in system.correct_pids
+}
+assert len(digests) == 1, "stores diverged!"
+print(f"final state digest {next(iter(digests))[:16]}..., "
+      f"identical on every correct replica.")
 
-print("\nconvictions accumulated across slots:")
-for pid in sorted(system.correct_pids):
-    print(f"  replica {pid}: faulty = {sorted(system.replicas[pid].faulty_union)}")
-assert all(3 in system.replicas[pid].faulty_union for pid in system.correct_pids)
-print("\nThe corrupting replica was convicted by every correct replica.")
+# -- recovery ----------------------------------------------------------------
+replica = system.replicas[2]
+assert replica.state_transfers_completed, "replica 2 never caught up!"
+when, installed, frontier = replica.state_transfers_completed[-1]
+print(f"\nreplica 2 went down at t=25, restarted empty at t=60,")
+print(f"  installed a certified snapshot of {installed} slots at t={when:.1f}")
+print(f"  and kept committing: applied frontier now {replica.next_apply} "
+      f"(> {installed}, so it rejoined the pipeline).")
+assert replica.next_apply > installed
+print("\nThe restarted replica recovered by state transfer and rejoined.")

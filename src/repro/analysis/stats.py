@@ -67,6 +67,28 @@ def rate_with_ci(
     return f"{rate:.0f}% [{100 * low:.0f}%, {100 * high:.0f}%]"
 
 
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Deterministic nearest-rank-with-interpolation estimator (the numpy
+    ``linear`` method) over a copy of ``values``; used for the service
+    latency tables (p50/p99 commit latency) where the registry's
+    count/sum/min/max histograms are too coarse.
+    """
+    if not values:
+        raise ConfigurationError("percentile needs at least one value")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile q={q!r} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
 def min_trials_for_zero_failures(target_rate: float, confidence: float = 0.95) -> int:
     """How many all-success trials certify a rate of at least ``target``?
 

@@ -12,7 +12,10 @@ Usage (``python -m repro <command> ...``):
   per-module / per-round tables (or JSON);
 * ``campaign`` — scenario-matrix fault-injection campaigns with
   replayable counterexamples (``run`` / ``list`` / ``replay`` /
-  ``shrink``; see ``docs/TESTING.md``).
+  ``shrink``; see ``docs/TESTING.md``);
+* ``service`` — the long-lived BFT replicated key-value service:
+  clients, batching, pipelining, checkpoints and state transfer
+  (``run`` / ``campaign``; see ``docs/SERVICE.md``).
 
 Invalid configurations (unknown attacks, malformed ``PID:VALUE`` pairs,
 fault plans beyond the resilience bounds, ...) exit with status 2 via
@@ -231,6 +234,76 @@ def build_parser() -> argparse.ArgumentParser:
     c_shrink.add_argument("id", help="scenario id (sXXXXXXXXXXXX)")
     c_shrink.add_argument(
         "--artifact", required=True, help="campaign artifact holding the id"
+    )
+
+    service = sub.add_parser(
+        "service",
+        help="run the BFT replicated key-value service (docs/SERVICE.md)",
+    )
+    service_sub = service.add_subparsers(dest="service_command", required=True)
+
+    s_run = service_sub.add_parser(
+        "run", help="run one service deployment and report on it"
+    )
+    s_run.add_argument("--n", type=int, default=4, help="number of replicas")
+    s_run.add_argument("--clients", type=int, default=2)
+    s_run.add_argument("--mode", choices=("open", "closed"), default="open")
+    s_run.add_argument(
+        "--rate", type=float, default=2.0, help="open-loop arrival rate"
+    )
+    s_run.add_argument(
+        "--think", type=float, default=1.0, help="closed-loop think time"
+    )
+    s_run.add_argument("--requests", type=int, default=20,
+                       help="requests per client")
+    s_run.add_argument("--batch-size", type=int, default=4)
+    s_run.add_argument("--batch-delay", type=float, default=1.0)
+    s_run.add_argument(
+        "--window", type=int, default=2, help="pipelining window W"
+    )
+    s_run.add_argument(
+        "--checkpoint-interval", type=int, default=2,
+        help="checkpoint every K applied slots",
+    )
+    s_run.add_argument("--request-timeout", type=float, default=40.0)
+    s_run.add_argument("--seed", type=int, default=0)
+    s_run.add_argument(
+        "--attack",
+        action="append",
+        default=[],
+        metavar="PID:NAME",
+        help="install a Byzantine consensus engine on a replica (repeatable)",
+    )
+    s_run.add_argument(
+        "--recover",
+        action="append",
+        default=[],
+        metavar="PID:DOWN:UP",
+        help="take PID down at DOWN, restart (state transfer) at UP "
+        "(repeatable)",
+    )
+    s_run.add_argument("--loss", type=float, default=0.0,
+                       help="per-link drop probability in [0, 1)")
+    s_run.add_argument("--transport", choices=TRANSPORTS, default="none")
+    s_run.add_argument(
+        "--delay-model",
+        choices=("uniform", "fixed", "exponential"),
+        default="uniform",
+    )
+    s_run.add_argument("--max-time", type=float, default=2_500.0)
+    s_run.add_argument(
+        "--json", metavar="FILE", help="export the run record as JSON to FILE"
+    )
+
+    s_campaign = service_sub.add_parser(
+        "campaign", help="run a service scenario preset with oracles"
+    )
+    s_campaign.add_argument("--preset", default="smoke")
+    s_campaign.add_argument(
+        "--out", metavar="FILE", help="write the records as JSON to FILE"
+    )
+    s_campaign.add_argument(
+        "--json", action="store_true", help="emit the records as JSON"
     )
 
     experiments = sub.add_parser(
@@ -631,6 +704,128 @@ def _fault_plan(scenario) -> str:
     return " ".join(parts) or "fault-free"
 
 
+def _parse_recoveries(specs: list[str]) -> tuple[tuple[int, float, float], ...]:
+    recoveries = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"--recover expects PID:DOWN:UP, got {spec!r}"
+            )
+        try:
+            recoveries.append((int(parts[0]), float(parts[1]), float(parts[2])))
+        except ValueError:
+            raise ConfigurationError(
+                f"--recover expects numeric PID:DOWN:UP, got {spec!r}"
+            ) from None
+    return tuple(sorted(recoveries))
+
+
+def _print_service_record(record: dict) -> None:
+    service = record["service"]
+    latency = record["latency"]
+    print_table(
+        f"service run {record['id']} ({record['config']['name']})",
+        ["measure", "value"],
+        [
+            ["verdict", record["verdict"]],
+            ["end reason", record["run"]["end_reason"]],
+            ["virtual end time", f"{record['run']['end_time']:.2f}"],
+            ["messages sent", record["run"]["messages_sent"]],
+            ["commands committed", service["committed_commands"]],
+            ["requests completed", service["completed_requests"]],
+            ["certified checkpoints", service["certified_checkpoints"]],
+            ["state transfers", service["state_transfers"]],
+            ["client resubmissions", service["resubmissions"]],
+            ["latency p50", latency["p50"]],
+            ["latency p99", latency["p99"]],
+        ],
+    )
+    for violation in record["violations"]:
+        print(f"  violation: {violation}")
+
+
+def cmd_service(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import (
+        ServiceScenario,
+        run_service_scenario,
+        service_preset,
+    )
+
+    if args.service_command == "run":
+        attack_names = _parse_pairs(args.attack, "attack")
+        scenario = ServiceScenario(
+            name="cli",
+            n_replicas=args.n,
+            n_clients=args.clients,
+            mode=args.mode,
+            rate=args.rate,
+            think=args.think,
+            requests_per_client=args.requests,
+            batch_size=args.batch_size,
+            batch_delay=args.batch_delay,
+            window=args.window,
+            checkpoint_interval=args.checkpoint_interval,
+            request_timeout=args.request_timeout,
+            seed=args.seed,
+            attacks=tuple(sorted(attack_names.items())),
+            recoveries=_parse_recoveries(args.recover),
+            loss=args.loss,
+            transport=args.transport,
+            delay_model=args.delay_model,
+            max_time=args.max_time,
+        )
+        record = run_service_scenario(scenario)
+        _print_service_record(record)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"run record exported to {args.json}")
+        return 0 if record["verdict"] == "pass" else 1
+
+    # campaign
+    records = [
+        run_service_scenario(scenario)
+        for scenario in service_preset(args.preset)
+    ]
+    payload = json.dumps(records, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+    if args.json:
+        print(payload, end="")
+    else:
+        print_table(
+            f"service campaign {args.preset!r} ({len(records)} scenarios)",
+            ["scenario", "verdict", "commands", "checkpoints", "transfers",
+             "p50", "p99"],
+            [
+                [
+                    record["config"]["name"],
+                    record["verdict"],
+                    record["service"]["committed_commands"],
+                    record["service"]["certified_checkpoints"],
+                    record["service"]["state_transfers"],
+                    record["latency"]["p50"],
+                    record["latency"]["p99"],
+                ]
+                for record in records
+            ],
+        )
+        if args.out:
+            print(f"campaign records exported to {args.out}")
+    failures = [r for r in records if r["verdict"] != "pass"]
+    for record in failures:
+        print(
+            f"FAIL {record['config']['name']}: "
+            f"{'; '.join(record['violations'])}"
+        )
+    return 1 if failures else 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import print_table as table
     from repro.analysis.suite import discover, run_experiments
@@ -674,6 +869,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "attacks": cmd_attacks,
         "params": cmd_params,
         "campaign": cmd_campaign,
+        "service": cmd_service,
         "experiments": cmd_experiments,
     }
     try:

@@ -36,6 +36,9 @@ MODULE_SCHEDULER = "scheduler"
 MODULE_NETWORK = "network"
 MODULE_TRANSPORT = "transport"
 MODULE_PROCESS = "process"
+#: The replicated-service runtime built on top of the five modules
+#: (clients, batching, checkpoints, state transfer — docs/SERVICE.md).
+MODULE_SERVICE = "service"
 
 PAPER_MODULES = (
     MODULE_SIGNATURE,

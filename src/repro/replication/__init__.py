@@ -9,9 +9,11 @@ from repro.replication.log import (
     NOOP,
     EngineFactory,
     ReplicatedLogProcess,
+    SlotEnv,
     SlotEnvelope,
+    SlotTimerProxy,
 )
-from repro.sim.network import DelayModel
+from repro.sim.network import DelayModel, LinkModel
 from repro.sim.world import World
 
 
@@ -52,13 +54,16 @@ def build_replicated_system(
     byzantine: dict[int, EngineFactory] | None = None,
     delay_model: DelayModel | None = None,
     config: ModuleConfig | None = None,
+    link_model: LinkModel | None = None,
+    transport: str = "none",
 ) -> ReplicatedSystem:
     """Build an n-replica log deployment (n = len(commands)).
 
     ``commands[pid]`` is the command queue replica ``pid`` proposes, one
     per slot. ``byzantine`` maps a replica to the consensus-engine
     factory used for *every* slot it participates in (any transformed
-    attack class fits).
+    attack class fits). ``link_model``/``transport`` expose the faulty
+    wire exactly as in :class:`~repro.sim.world.World`.
     """
     byzantine = dict(byzantine or {})
     n = len(commands)
@@ -75,7 +80,13 @@ def build_replicated_system(
         if pid in byzantine:
             kwargs["engine_factory"] = byzantine[pid]
         replicas.append(ReplicatedLogProcess(**kwargs))
-    world = World(replicas, seed=seed, delay_model=delay_model)
+    world = World(
+        replicas,
+        seed=seed,
+        delay_model=delay_model,
+        link_model=link_model,
+        transport=transport,
+    )
     return ReplicatedSystem(
         world=world, replicas=replicas, byzantine_pids=frozenset(byzantine)
     )
@@ -88,7 +99,9 @@ __all__ = [
     "NOOP",
     "ReplicatedLogProcess",
     "ReplicatedSystem",
+    "SlotEnv",
     "SlotEnvelope",
+    "SlotTimerProxy",
     "build_replicated_system",
     "materialise",
 ]

@@ -4,12 +4,22 @@ Commands are deterministic (``set`` / ``del``); because every correct
 replica commits the same command sequence (the replicated-log guarantee),
 every correct replica materialises the same store — byzantine replicas
 included in the membership notwithstanding.
+
+For checkpointing (``repro.service``) the store also exposes a *canonical
+digest* — a collision-resistant hash of its contents that is a pure
+function of the applied command sequence — and an exact
+``snapshot()``/``restore()`` pair, so a certified snapshot installed on a
+recovering replica reproduces the digest bit for bit.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Iterable
+
+from repro.crypto.encoding import canonical_bytes
+from repro.errors import EncodingError
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,7 +63,38 @@ class KeyValueStore:
         return self
 
     def snapshot(self) -> dict[str, Any]:
+        """A plain-dict copy of the contents (the transferable state)."""
         return dict(self._data)
+
+    def restore(self, snapshot: dict[str, Any], applied: int = 0) -> "KeyValueStore":
+        """Replace the contents with ``snapshot`` (inverse of :meth:`snapshot`).
+
+        ``applied`` resets the command counter to the value the snapshot
+        was taken at, so a restored store is indistinguishable — digest
+        included — from one that applied the original sequence itself.
+        """
+        self._data = dict(snapshot)
+        self.applied = applied
+        return self
+
+    def digest(self) -> str:
+        """Canonical content hash (hex): equal iff the contents are equal.
+
+        The hash covers the sorted ``(key, value)`` pairs in the canonical
+        byte encoding, so it is independent of insertion order and of any
+        ignored (non-:class:`Command`) inputs. Values outside the canonical
+        vocabulary fall back to their ``repr`` — still deterministic across
+        replicas because a committed value is the *same object graph* on
+        every correct replica.
+        """
+        hasher = hashlib.sha256()
+        for key in sorted(self._data):
+            hasher.update(canonical_bytes(key))
+            try:
+                hasher.update(canonical_bytes(self._data[key]))
+            except EncodingError:
+                hasher.update(canonical_bytes(repr(self._data[key])))
+        return hasher.hexdigest()
 
     def get(self, key: str, default: Any = None) -> Any:
         return self._data.get(key, default)

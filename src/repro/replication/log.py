@@ -46,12 +46,13 @@ class SlotEnvelope:
     inner: Any
 
 
-class _SlotEnv:
+class SlotEnv:
     """A virtual :class:`ProcessEnv` for one slot's consensus engine.
 
     Delegates to the replica's real environment, wrapping sends in
     :class:`SlotEnvelope` and namespacing timer names so concurrent slots
-    cannot collide.
+    cannot collide. Public because :mod:`repro.service` multiplexes its
+    pipelined slots through the same mechanism.
     """
 
     def __init__(self, parent: ProcessEnv, slot: int) -> None:
@@ -99,14 +100,14 @@ class _SlotEnv:
         # Namespace the timer under the real environment but strip the
         # prefix again when it fires, so the engine sees its own name.
         self._parent.set_timer(
-            _TimerProxy(owner), f"slot{self._slot}:{name}", delay
+            SlotTimerProxy(owner), f"slot{self._slot}:{name}", delay
         )
 
     def cancel_timer(self, name: str) -> None:
         self._parent.cancel_timer(f"slot{self._slot}:{name}")
 
 
-class _TimerProxy:
+class SlotTimerProxy:
     """Strips the slot prefix off firing timers before reaching the engine."""
 
     __slots__ = ("_owner",)
@@ -128,7 +129,8 @@ EngineFactory = Callable[
 ]
 
 
-def _default_engine(pid, proposal, params, authority, detector, config):
+def default_engine(pid, proposal, params, authority, detector, config):
+    """The honest-engine factory: one transformed Figure-3 instance."""
     return TransformedConsensusProcess(
         proposal=proposal,
         params=params,
@@ -136,6 +138,10 @@ def _default_engine(pid, proposal, params, authority, detector, config):
         detector=detector,
         config=config,
     )
+
+
+#: Backwards-compatible alias (pre-service name).
+_default_engine = default_engine
 
 
 class ReplicatedLogProcess(Process):
@@ -170,7 +176,12 @@ class ReplicatedLogProcess(Process):
         self.config = config if config is not None else ModuleConfig.full()
         self.log: list[tuple[int, int, Any]] = []  # (slot, proposer, command)
         self.engines: dict[int, TransformedConsensusProcess] = {}
-        self._applied: set[int] = set()
+        self._decided: set[int] = set()
+        #: Decided-but-not-yet-applied vectors, buffered so the log is
+        #: always appended in strict slot order (in-order apply) even when
+        #: a later slot's instance decides first.
+        self._pending_apply: dict[int, tuple] = {}
+        self._next_apply = 0
         self._queue: deque[Any] = deque(commands)
         self._proposed: dict[int, Any] = {}
         self.faulty_union: set[int] = set()
@@ -179,7 +190,12 @@ class ReplicatedLogProcess(Process):
 
     @property
     def committed_slots(self) -> int:
-        return len(self._applied)
+        return len(self._decided)
+
+    @property
+    def applied_slots(self) -> int:
+        """Slots whose commands are in the log (the in-order prefix)."""
+        return self._next_apply
 
     @property
     def finished(self) -> bool:
@@ -220,7 +236,7 @@ class ReplicatedLogProcess(Process):
             detector,
             self.config,
         )
-        engine.bind(_SlotEnv(self.env, slot))  # type: ignore[arg-type]
+        engine.bind(SlotEnv(self.env, slot))  # type: ignore[arg-type]
         self.engines[slot] = engine
         engine.on_start()
         return engine
@@ -243,17 +259,32 @@ class ReplicatedLogProcess(Process):
 
     def _harvest(self, slot: int) -> None:
         engine = self.engines.get(slot)
-        if engine is None or not engine.decided or slot in self._applied:
+        if engine is None or not engine.decided or slot in self._decided:
             return
-        self._applied.add(slot)
+        self._decided.add(slot)
         vector = engine.decision
-        for proposer, command in enumerate(vector):
-            if command != NULL:
-                self.log.append((slot, proposer, command))
+        self._pending_apply[slot] = vector
         # At-least-once: our command missed this slot's vector (it lost
         # the race into the n - F INIT quorum) — propose it again.
         mine = self._proposed.get(slot, NOOP)
         if mine != NOOP and vector[self.pid] == NULL:
             self._queue.appendleft(mine)
-        self.record("commit", slot=slot, vector=vector)
+        self._apply_ready()
         self._ensure_engine(slot + 1)
+
+    def _apply_ready(self) -> None:
+        """Apply buffered decisions in strict slot order.
+
+        A slot decided out of order (slot 2 before slot 1) waits here
+        until every earlier slot has decided, so the log — and any state
+        machine materialised from it — is identical across replicas
+        regardless of the decision schedule.
+        """
+        while self._next_apply in self._pending_apply:
+            slot = self._next_apply
+            vector = self._pending_apply.pop(slot)
+            for proposer, command in enumerate(vector):
+                if command != NULL:
+                    self.log.append((slot, proposer, command))
+            self.record("commit", slot=slot, vector=vector)
+            self._next_apply += 1

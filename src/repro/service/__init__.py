@@ -1,0 +1,58 @@
+"""repro.service — a long-lived BFT replicated service on the log.
+
+The consensus stack proves agreement one instance at a time; this
+package runs the *service* the paper's modular transformation exists to
+protect: clients submit commands, replicas batch them into pipelined
+Vector Consensus slots, apply the decided log in order to a replicated
+key-value store, checkpoint and compact the log under f+1-signed
+certificates, and bring lagging or restarted replicas back with
+certified state transfer. See docs/SERVICE.md.
+"""
+
+from repro.service.campaign import (
+    SERVICE_PRESETS,
+    ServiceScenario,
+    evaluate_service_outcome,
+    run_service_scenario,
+    service_preset,
+)
+from repro.service.checkpoint import (
+    CheckpointCertificate,
+    certificate_valid,
+    service_digest,
+)
+from repro.service.clients import ClosedLoopClient, OpenLoopClient, ServiceClient
+from repro.service.config import CLIENT_MODES, ServiceConfig
+from repro.service.messages import (
+    Checkpoint,
+    ClientReply,
+    ClientRequest,
+    StateRequest,
+    StateResponse,
+)
+from repro.service.replica import ServiceReplicaProcess
+from repro.service.runtime import ServiceSystem, build_service_system
+
+__all__ = [
+    "CLIENT_MODES",
+    "Checkpoint",
+    "CheckpointCertificate",
+    "ClientReply",
+    "ClientRequest",
+    "ClosedLoopClient",
+    "OpenLoopClient",
+    "SERVICE_PRESETS",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceReplicaProcess",
+    "ServiceScenario",
+    "ServiceSystem",
+    "StateRequest",
+    "StateResponse",
+    "build_service_system",
+    "certificate_valid",
+    "evaluate_service_outcome",
+    "run_service_scenario",
+    "service_digest",
+    "service_preset",
+]

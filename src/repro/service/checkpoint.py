@@ -1,0 +1,88 @@
+"""Checkpoint certificates: certified, transferable service state.
+
+Every ``checkpoint_interval`` applied slots each replica digests its
+service state (store contents *and* executed-request ids — both are part
+of what a recovering replica must reproduce), signs a
+:class:`~repro.service.messages.Checkpoint` vote in the service's own
+signature domain, and broadcasts it to the replica group. Because at
+most f replicas are faulty, **f+1 matching signed digests** mean at
+least one *correct* replica attests the digest; packed into a
+:class:`~repro.core.certificates.Certificate` they form a
+:class:`CheckpointCertificate` — the proof that lets peers truncate
+their logs and recovering replicas trust a snapshot they recompute the
+digest of (paper Section 3: "a piece of redundant information ...
+allows majority tests").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.core.certificates import Certificate, CertificationAuthority
+from repro.crypto.encoding import canonical_bytes
+from repro.replication.kvstore import KeyValueStore
+from repro.service.messages import Checkpoint
+
+
+def service_digest(store: KeyValueStore, executed: Iterable[tuple[int, int]]) -> str:
+    """Canonical digest of the full service state at a checkpoint.
+
+    Covers the store contents (via :meth:`KeyValueStore.digest`) and the
+    sorted executed-request ids, so two replicas agree on the digest iff
+    a transferred snapshot would make the receiver indistinguishable
+    from the sender — including its request deduplication behaviour.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(store.digest().encode("ascii"))
+    hasher.update(canonical_bytes(tuple(sorted(executed))))
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointCertificate:
+    """f+1 matching signed checkpoint votes for one (count, digest)."""
+
+    count: int
+    digest: str
+    certificate: Certificate
+
+    @property
+    def signers(self) -> frozenset[int]:
+        return self.certificate.senders()
+
+    def canonical(self) -> Any:
+        return ("checkpoint-cert", self.count, self.digest,
+                self.certificate.canonical())
+
+
+def certificate_valid(
+    cert: CheckpointCertificate,
+    authority: CertificationAuthority,
+    f: int,
+) -> bool:
+    """Full verification of a checkpoint certificate.
+
+    Checks that every entry is a validly signed :class:`Checkpoint` vote
+    for exactly this ``(count, digest)`` pair and that at least ``f + 1``
+    *distinct* replicas signed — the majority test guaranteeing a correct
+    attester. ``authority`` supplies the service signature domain (any
+    replica's authority verifies; signing capability is not used).
+    """
+    signers: set[int] = set()
+    try:
+        for entry in cert.certificate:
+            body = entry.body
+            if not isinstance(body, Checkpoint):
+                return False
+            if body.count != cert.count or body.digest != cert.digest:
+                return False
+            if not authority.signature_valid(entry):
+                return False
+            signers.add(body.sender)
+    except Exception:
+        # Structurally malformed entries (a Byzantine responder can ship
+        # anything here) are a rejection, never a crash.
+        return False
+    return len(signers) >= f + 1

@@ -1,0 +1,108 @@
+"""Configuration of a replicated-service deployment.
+
+One frozen :class:`ServiceConfig` pins every knob of the runtime —
+replica/client counts, workload shape, batching and pipelining policy,
+checkpoint cadence and client timeouts — so a service world, like a
+campaign scenario, is a pure function of its config and seed.
+:meth:`ServiceConfig.validate` is the exhaustive pre-flight check behind
+the CLI's exit-2 convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.specs import SystemParameters
+from repro.errors import ConfigurationError
+
+#: Client workload shapes (docs/SERVICE.md).
+CLIENT_MODES = ("open", "closed")
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Every knob of one service deployment (immutable, hashable)."""
+
+    n_replicas: int = 4
+    n_clients: int = 2
+    #: ``"open"`` (Poisson arrivals) or ``"closed"`` (think time).
+    mode: str = "open"
+    #: Open-loop arrival rate per client (requests / unit virtual time).
+    rate: float = 2.0
+    #: Closed-loop think time between completion and the next request.
+    think: float = 1.0
+    requests_per_client: int = 20
+    #: Commands packed into one slot proposal (size trigger).
+    batch_size: int = 4
+    #: Maximum age of a pending command before a partial batch is
+    #: proposed anyway (time trigger).
+    batch_delay: float = 1.0
+    #: Pipelining window W: concurrent open (undecided) slots.
+    window: int = 2
+    #: Checkpoint every K applied slots.
+    checkpoint_interval: int = 2
+    #: Client resubmit-on-silence timeout.
+    request_timeout: float = 40.0
+    #: State-transfer request retry period.
+    transfer_retry: float = 8.0
+    #: Client key space (keys are ``k0 .. k{key_space-1}``).
+    key_space: int = 16
+    seed: int = 0
+    #: Explicit fault bound; ``None`` derives F from ``n_replicas``.
+    f: int | None = None
+
+    def params(self) -> SystemParameters:
+        return SystemParameters.for_n(self.n_replicas, f=self.f)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on any inconsistency."""
+        if self.n_clients < 1:
+            raise ConfigurationError(
+                f"n_clients must be >= 1, got {self.n_clients}"
+            )
+        if self.mode not in CLIENT_MODES:
+            raise ConfigurationError(
+                f"unknown client mode {self.mode!r}; known: {list(CLIENT_MODES)}"
+            )
+        if self.rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate}")
+        if self.think < 0:
+            raise ConfigurationError(
+                f"think time must be >= 0, got {self.think}"
+            )
+        if self.requests_per_client < 1:
+            raise ConfigurationError(
+                f"requests_per_client must be >= 1, got "
+                f"{self.requests_per_client}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.batch_delay <= 0:
+            raise ConfigurationError(
+                f"batch_delay must be positive, got {self.batch_delay}"
+            )
+        if self.window < 1:
+            raise ConfigurationError(
+                f"pipelining window must be >= 1, got {self.window}"
+            )
+        if self.checkpoint_interval <= 0:
+            raise ConfigurationError(
+                f"checkpoint interval must be positive, got "
+                f"{self.checkpoint_interval}"
+            )
+        if self.request_timeout <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be positive, got {self.request_timeout}"
+            )
+        if self.transfer_retry <= 0:
+            raise ConfigurationError(
+                f"transfer_retry must be positive, got {self.transfer_retry}"
+            )
+        if self.key_space < 1:
+            raise ConfigurationError(
+                f"key_space must be >= 1, got {self.key_space}"
+            )
+        # Raises for system sizes outside the resilience arithmetic.
+        self.params()

@@ -25,7 +25,8 @@ CASES = {
     ],
     "replicated_kv_store.py": [
         "identical on every correct replica",
-        "convicted by every correct replica",
+        "installed a certified snapshot",
+        "recovered by state transfer and rejoined",
     ],
     "second_case_study.py": [
         "[hurfin-raynal]",

@@ -69,6 +69,48 @@ class TestKeyValueStore:
         log = [Command("set", "x", 1), Command("set", "x", 2)]
         assert materialise(log) == {"x": 2}
 
+    def test_digest_is_content_hash(self):
+        a = KeyValueStore().apply_all(
+            [Command("set", "x", 1), Command("set", "y", 2)]
+        )
+        b = KeyValueStore().apply_all(
+            [Command("set", "y", 2), Command("set", "x", 1)]
+        )
+        # Order-independent: equal contents hash equally.
+        assert a.digest() == b.digest()
+        a.apply(Command("set", "x", 3))
+        assert a.digest() != b.digest()
+
+    def test_digest_ignores_unknown_commands_deterministically(self):
+        # A Byzantine proposer's garbage must leave every correct
+        # replica's digest identical — ignored is ignored everywhere.
+        clean = KeyValueStore().apply_all([Command("set", "x", 1)])
+        dirty = KeyValueStore().apply_all(
+            [Command("set", "x", 1), "<poison>", 42, ("weird", "tuple")]
+        )
+        assert clean.digest() == dirty.digest()
+        assert dirty.applied == 4
+
+    def test_digest_of_uncanonical_value_is_deterministic(self):
+        # Values outside the canonical vocabulary fall back to repr.
+        a = KeyValueStore().apply_all([Command("set", "x", {"a", "b"})])
+        b = KeyValueStore().apply_all([Command("set", "x", {"a", "b"})])
+        assert a.digest() == b.digest()
+
+    def test_snapshot_restore_round_trip(self):
+        original = KeyValueStore().apply_all(
+            [Command("set", "x", 1), Command("set", "y", 2), Command("del", "y")]
+        )
+        restored = KeyValueStore().restore(
+            original.snapshot(), applied=original.applied
+        )
+        assert restored.snapshot() == original.snapshot()
+        assert restored.digest() == original.digest()
+        assert restored.applied == original.applied
+        # The copy is deep enough: mutating one store leaves the other.
+        restored.apply(Command("set", "z", 3))
+        assert original.get("z") is None
+
 
 class TestReplicatedLog:
     def test_single_slot_converges(self):

@@ -106,6 +106,64 @@ class TestCommandQueue:
             assert command.key.startswith(f"k{proposer}-")
 
 
+class TestDeliveryRegressions:
+    def test_duplicate_envelope_delivery_is_idempotent(self):
+        # Re-delivering traffic to a decided slot must not re-append.
+        system = make_system(slots=2)
+        system.run()
+        replica = system.replicas[0]
+        log_before = list(replica.log)
+        applied_before = replica.applied_slots
+        # A decided engine ignores duplicates; the harvest path must too.
+        engine = replica.engines[0]
+        assert engine.decided
+        replica.on_message(
+            1, SlotEnvelope(slot=0, inner="late-duplicate-garbage")
+        )
+        replica._harvest(0)
+        assert replica.log == log_before
+        assert replica.applied_slots == applied_before
+
+    def test_duplicating_links_do_not_break_convergence(self):
+        from repro.sim.network import LinkModel
+
+        commands = [
+            [Command("set", f"k{pid}-{i}", i) for i in range(2)]
+            for pid in range(4)
+        ]
+        system = build_replicated_system(
+            commands,
+            target_slots=2,
+            seed=13,
+            delay_model=FixedDelay(0.4),
+            link_model=LinkModel(duplication=0.3),
+        )
+        system.run(max_time=2_000)
+        assert system.converged()
+
+    def test_out_of_order_decision_applies_in_slot_order(self):
+        # Slot 2 deciding before slots 0/1 must wait in the buffer; the
+        # log is appended strictly in slot order regardless.
+        system = make_system(slots=3)
+        system.world.start()
+        replica = system.replicas[0]
+        vector2 = (Command("set", "late", 2),) + ("<null>",) * 3
+        replica._decided.add(2)
+        replica._pending_apply[2] = vector2
+        replica._apply_ready()
+        assert replica.log == []  # buffered: slots 0 and 1 still open
+        assert replica.applied_slots == 0
+        for slot in (1, 0):  # decide the rest, still out of order
+            replica._decided.add(slot)
+            replica._pending_apply[slot] = (
+                Command("set", f"s{slot}", slot),
+            ) + ("<null>",) * 3
+        replica._apply_ready()
+        assert replica.applied_slots == 3
+        assert [entry[0] for entry in replica.log] == [0, 1, 2]
+        assert [entry[2].key for entry in replica.log] == ["s0", "s1", "late"]
+
+
 class TestSystemSurface:
     def test_correct_pids_excludes_byzantine(self):
         from repro.byzantine.transformed_attacks import TCorruptVectorAttacker
