@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test campaign-smoke lossy-smoke service-smoke docs-check benchmarks experiments
+.PHONY: test campaign-smoke lossy-smoke service-smoke net-smoke docs-check benchmarks experiments
 
 # -W error promotes every warning to a failure; the lone ignore shields
 # the suite from a deprecation raised inside third-party plugin hooks.
@@ -30,6 +30,13 @@ service-smoke:
 	$(PYTHON) -m repro service campaign --preset smoke --out /tmp/service-smoke-b.json
 	cmp /tmp/service-smoke-a.json /tmp/service-smoke-b.json
 	rm -f /tmp/service-smoke-a.json /tmp/service-smoke-b.json
+
+# The deployed runtime (docs/NET.md): 4 replica OS processes over real
+# TCP commit >=100 commands while replica 2 is SIGKILLed and restarted
+# mid-run (certified state transfer over sockets); asserts digest
+# convergence and exactly-once at every replica.
+net-smoke:
+	$(PYTHON) -m repro net cluster --replicas 4 --requests 100 --kill 2
 
 # Execute every ```python snippet in README.md and docs/*.md
 # (tests/test_docs_snippets.py); keeps the documented examples honest.

@@ -15,7 +15,10 @@ Usage (``python -m repro <command> ...``):
   ``shrink``; see ``docs/TESTING.md``);
 * ``service`` — the long-lived BFT replicated key-value service:
   clients, batching, pipelining, checkpoints and state transfer
-  (``run`` / ``campaign``; see ``docs/SERVICE.md``).
+  (``run`` / ``campaign``; see ``docs/SERVICE.md``);
+* ``net`` — the deployed runtime: the same replica stack as real OS
+  processes over TCP (``keygen`` / ``replica`` / ``client`` /
+  ``cluster``; see ``docs/NET.md``).
 
 Invalid configurations (unknown attacks, malformed ``PID:VALUE`` pairs,
 fault plans beyond the resilience bounds, ...) exit with status 2 via
@@ -305,6 +308,77 @@ def build_parser() -> argparse.ArgumentParser:
     s_campaign.add_argument(
         "--json", action="store_true", help="emit the records as JSON"
     )
+
+    net = sub.add_parser(
+        "net",
+        help="deploy the replica stack as real processes over TCP "
+        "(docs/NET.md)",
+    )
+    net_sub = net.add_subparsers(dest="net_command", required=True)
+
+    n_keygen = net_sub.add_parser(
+        "keygen", help="write a genesis file (addresses, seed, knobs)"
+    )
+    n_keygen.add_argument("--out", required=True, metavar="FILE")
+    n_keygen.add_argument("--replicas", type=int, default=4)
+    n_keygen.add_argument("--clients", type=int, default=4)
+    n_keygen.add_argument("--seed", type=int, default=0)
+    n_keygen.add_argument("--name", default="local")
+    n_keygen.add_argument("--host", default="127.0.0.1")
+    n_keygen.add_argument(
+        "--base-port",
+        type=int,
+        default=0,
+        help="replica i listens on base+i; 0 allocates free ports now",
+    )
+
+    n_replica = net_sub.add_parser(
+        "replica", help="run one replica until SIGTERM/SIGINT"
+    )
+    n_replica.add_argument("--genesis", required=True, metavar="FILE")
+    n_replica.add_argument("--pid", type=int, required=True)
+    n_replica.add_argument(
+        "--join",
+        action="store_true",
+        help="start by requesting certified state transfer (cold rejoin)",
+    )
+    n_replica.add_argument(
+        "--metrics-dir",
+        metavar="DIR",
+        help="periodically export this node's JSONL metrics artifact here",
+    )
+
+    n_client = net_sub.add_parser(
+        "client", help="talk to a running cluster as a client"
+    )
+    n_client.add_argument("--genesis", required=True, metavar="FILE")
+    n_client.add_argument("--index", type=int, default=0,
+                          help="client identity index")
+    n_client.add_argument(
+        "op", choices=("set", "get", "status", "workload")
+    )
+    n_client.add_argument("operands", nargs="*",
+                          help="set KEY VALUE | get KEY")
+    n_client.add_argument("--requests", type=int, default=20,
+                          help="workload size")
+    n_client.add_argument("--concurrency", type=int, default=8)
+
+    n_cluster = net_sub.add_parser(
+        "cluster",
+        help="spawn a local cluster, commit a workload through a "
+        "kill+restart, assert convergence (the net smoke)",
+    )
+    n_cluster.add_argument("--replicas", type=int, default=4)
+    n_cluster.add_argument("--requests", type=int, default=100)
+    n_cluster.add_argument(
+        "--kill", type=int, default=2,
+        help="replica to SIGKILL mid-run and restart with --join",
+    )
+    n_cluster.add_argument("--seed", type=int, default=7)
+    n_cluster.add_argument(
+        "--workdir", help="keep genesis/logs/metrics here (default: temp)"
+    )
+    n_cluster.add_argument("--concurrency", type=int, default=8)
 
     experiments = sub.add_parser(
         "experiments",
@@ -826,6 +900,106 @@ def cmd_service(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_net(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.net import (
+        Genesis,
+        NetClient,
+        free_port,
+        run_cluster_smoke,
+        serve_replica,
+    )
+
+    if args.net_command == "keygen":
+        if args.base_port:
+            addresses = tuple(
+                (args.host, args.base_port + pid)
+                for pid in range(args.replicas)
+            )
+        else:
+            addresses = tuple(
+                (args.host, free_port()) for _ in range(args.replicas)
+            )
+        genesis = Genesis(
+            name=args.name,
+            seed=args.seed,
+            n_replicas=args.replicas,
+            max_clients=args.clients,
+            addresses=addresses,
+        )
+        path = genesis.save(args.out)
+        print(f"genesis {genesis.genesis_id()} written to {path}")
+        for pid, (host, port) in enumerate(addresses):
+            print(f"  replica {pid}: {host}:{port}")
+        return 0
+
+    if args.net_command == "replica":
+        genesis = Genesis.load(args.genesis)
+        return asyncio.run(
+            serve_replica(
+                genesis,
+                args.pid,
+                join=args.join,
+                metrics_dir=args.metrics_dir,
+            )
+        )
+
+    if args.net_command == "client":
+        genesis = Genesis.load(args.genesis)
+
+        async def drive() -> int:
+            client = NetClient(genesis, args.index)
+            try:
+                if args.op == "set":
+                    if len(args.operands) != 2:
+                        raise ConfigurationError("set expects KEY VALUE")
+                    key, value = args.operands
+                    slot = await client.set(key, value)
+                    print(f"committed {key}={value} (slot {slot})")
+                elif args.op == "get":
+                    if len(args.operands) != 1:
+                        raise ConfigurationError("get expects KEY")
+                    found, value = await client.get(args.operands[0])
+                    print(f"{args.operands[0]} = {value!r}"
+                          if found else f"{args.operands[0]} is unset")
+                elif args.op == "status":
+                    replies = await client.status()
+                    for pid, status in sorted(replies.items()):
+                        print(
+                            f"replica {pid}: applied={status.applied} "
+                            f"committed={status.committed} "
+                            f"digest={status.digest[:12]} "
+                            f"transfers={status.transfers} "
+                            f"rejected={status.suffix_rejections}"
+                        )
+                else:
+                    stats = await client.workload(
+                        args.requests, concurrency=args.concurrency
+                    )
+                    print(json.dumps(stats, indent=2, sort_keys=True))
+            finally:
+                await client.close()
+            return 0
+
+        return asyncio.run(drive())
+
+    # cluster
+    verdict = asyncio.run(
+        run_cluster_smoke(
+            replicas=args.replicas,
+            requests=args.requests,
+            kill_pid=args.kill,
+            seed=args.seed,
+            workdir=args.workdir,
+            concurrency=args.concurrency,
+        )
+    )
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    return 0 if verdict["ok"] else 1
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import print_table as table
     from repro.analysis.suite import discover, run_experiments
@@ -870,6 +1044,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "params": cmd_params,
         "campaign": cmd_campaign,
         "service": cmd_service,
+        "net": cmd_net,
         "experiments": cmd_experiments,
     }
     try:

@@ -102,6 +102,13 @@ class TransformedConsensusProcess(ConsensusProcess):
         self.sent_next = False
         self._vector_builder = CertifiedVectorBuilder(params)
         self._future: dict[int, list[SignedMessage]] = {}
+        #: The signed DECIDE this process broadcast when it decided. Its
+        #: certificate carries the (n - F) matching CURRENT quorum that
+        #: justified the decision, so the message doubles as transferable
+        #: per-slot evidence: the service state-transfer path re-verifies
+        #: it before replaying a decided vector it did not witness
+        #: (docs/SERVICE.md).
+        self.decision_justification: SignedMessage | None = None
         # Per-module metric scopes; rebound in bind() once a world exists.
         self._sig_metrics = NULL_METRICS
         self._cert_metrics = NULL_METRICS
@@ -335,7 +342,7 @@ class TransformedConsensusProcess(ConsensusProcess):
         )
         if len(matching.senders()) >= self._quorum():
             decide_cert = matching.union(self.est_cert)
-            self._broadcast_signed(
+            self.decision_justification = self._broadcast_signed(
                 VDecide(sender=self.pid, est_vect=self.est_vect), decide_cert
             )
             self.decide_value(self.est_vect, round_number=self.round)
@@ -368,7 +375,7 @@ class TransformedConsensusProcess(ConsensusProcess):
         cert = message.cert if isinstance(message.cert, Certificate) else None
         if cert is None:
             return  # a pruned DECIDE certificate would have been rejected
-        self._broadcast_signed(
+        self.decision_justification = self._broadcast_signed(
             VDecide(sender=self.pid, est_vect=message.body.est_vect), cert
         )
         self.decide_value(message.body.est_vect, round_number=self.round)

@@ -1,0 +1,87 @@
+"""Schedulers driving :class:`~repro.sim.process.ProcessEnv` off real time.
+
+The whole point of the net runtime is that the five modules and the
+service replica run *unchanged*: they only ever touch their environment
+through ``scheduler.now`` and ``scheduler.schedule_after`` (timers) and
+``network.send``. These two classes supply that scheduler surface:
+
+* :class:`WallScheduler` — timers on the asyncio event loop, ``now`` in
+  wall-clock seconds since the node started. Genesis knobs are therefore
+  in seconds (a simulated "time unit" becomes one second).
+* :class:`ManualScheduler` — a deterministic heap clock for the loopback
+  deployments in the test suite: :meth:`ManualScheduler.advance` fires
+  due timers in ``(time, insertion)`` order exactly like the simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SchedulerError
+from repro.sim.events import CancellationToken
+
+
+class WallScheduler:
+    """Timer scheduler over a running asyncio event loop."""
+
+    def __init__(self, loop: Any) -> None:
+        self._loop = loop
+        self._origin = loop.time()
+
+    @property
+    def now(self) -> float:
+        return self._loop.time() - self._origin
+
+    def schedule_after(
+        self, delay: float, kind: str, callback: Callable[[], None]
+    ) -> CancellationToken:
+        if delay < 0.0:
+            raise SchedulerError(f"negative delay {delay!r}")
+        token = CancellationToken()
+
+        def fire() -> None:
+            if not token.cancelled:
+                callback()
+
+        self._loop.call_later(delay, fire)
+        return token
+
+
+class ManualScheduler:
+    """Deterministic wall-clock stand-in for loopback deployments."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+        self._heap: list[tuple[float, int, CancellationToken, Callable[[], None]]] = []
+        self._seq = 0
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for _, _, token, _ in self._heap if not token.cancelled)
+
+    def schedule_after(
+        self, delay: float, kind: str, callback: Callable[[], None]
+    ) -> CancellationToken:
+        if delay < 0.0:
+            raise SchedulerError(f"negative delay {delay!r}")
+        token = CancellationToken()
+        heapq.heappush(self._heap, (self.now + delay, self._seq, token, callback))
+        self._seq += 1
+        return token
+
+    def advance(self, duration: float) -> int:
+        """Move time forward, firing every due timer in order."""
+        if duration < 0.0:
+            raise SchedulerError(f"cannot advance by {duration!r}")
+        target = self.now + duration
+        fired = 0
+        while self._heap and self._heap[0][0] <= target:
+            time, _seq, token, callback = heapq.heappop(self._heap)
+            self.now = max(self.now, time)
+            if token.cancelled:
+                continue
+            callback()
+            fired += 1
+        self.now = target
+        return fired

@@ -1,0 +1,233 @@
+"""The genesis file: one JSON document pinning a whole deployment.
+
+A cluster is a pure function of its genesis the same way a simulated
+world is a pure function of its config and seed: replica addresses,
+quorum parameters, every runtime knob and the key-derivation seed all
+live in one immutable :class:`Genesis`. Every node and client loads the
+same file; the :meth:`Genesis.genesis_id` content hash is embedded in
+every connection handshake so processes from different genesis files
+(or tampered copies) refuse to talk to each other.
+
+Key material note: the simulated signature scheme derives per-process
+HMAC keys from ``(seed, pid)`` (:mod:`repro.crypto.keys`), so "keygen"
+amounts to fixing the seed — the genesis *is* the key directory. The
+hello domain is separated from every protocol domain by the affine map
+``seed·1000003 − 2`` (slots use ``+ slot``, checkpoints ``− 1``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from repro.crypto.encoding import canonical_bytes
+from repro.crypto.keys import KeyAuthority
+from repro.errors import ConfigurationError
+from repro.net.messages import ROLE_REPLICA, ROLES, Hello
+from repro.service.config import ServiceConfig
+
+#: Affine offset of the hello-handshake signature domain.
+HELLO_DOMAIN = -2
+
+
+@dataclass(frozen=True, slots=True)
+class Genesis:
+    """Everything a node or client needs to join one deployment."""
+
+    name: str = "local"
+    seed: int = 0
+    n_replicas: int = 4
+    #: Explicit fault bound; ``None`` derives F from ``n_replicas``.
+    f: int | None = None
+    #: Client identity space: client ``i`` is pid ``n_replicas + i``.
+    max_clients: int = 4
+    #: One ``(host, port)`` per replica, indexed by pid.
+    addresses: tuple[tuple[str, int], ...] = ()
+    # -- runtime knobs, in wall-clock seconds ----------------------------
+    batch_size: int = 8
+    batch_delay: float = 0.05
+    window: int = 4
+    checkpoint_interval: int = 4
+    muteness_timeout: float = 1.5
+    transfer_retry: float = 0.5
+    stall_probe: float = 3.0
+    #: Client resubmit-on-silence timeout.
+    request_timeout: float = 1.5
+    #: Period of the per-node JSONL metrics export (0 disables).
+    metrics_interval: float = 2.0
+    key_space: int = 64
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on any inconsistency."""
+        if not self.name:
+            raise ConfigurationError("genesis name must be non-empty")
+        if len(self.addresses) != self.n_replicas:
+            raise ConfigurationError(
+                f"genesis lists {len(self.addresses)} addresses for "
+                f"{self.n_replicas} replicas"
+            )
+        for pid, address in enumerate(self.addresses):
+            if len(address) != 2 or not isinstance(address[0], str):
+                raise ConfigurationError(
+                    f"address of replica {pid} must be (host, port), "
+                    f"got {address!r}"
+                )
+            port = address[1]
+            if not isinstance(port, int) or not 0 < port < 65536:
+                raise ConfigurationError(
+                    f"replica {pid} has invalid port {port!r}"
+                )
+        if self.max_clients < 1:
+            raise ConfigurationError(
+                f"max_clients must be >= 1, got {self.max_clients}"
+            )
+        if self.metrics_interval < 0:
+            raise ConfigurationError(
+                f"metrics_interval must be >= 0, got {self.metrics_interval}"
+            )
+        # The service-config check covers every shared knob (batching,
+        # window, checkpoints, timeouts) plus the resilience arithmetic.
+        self.service_config().validate()
+
+    # -- derived views ----------------------------------------------------
+
+    def service_config(self) -> ServiceConfig:
+        """The :class:`ServiceConfig` a node runs this genesis under.
+
+        Workload-generator knobs (mode, rate, requests) are irrelevant —
+        real clients live in other processes — and stay at defaults.
+        """
+        return ServiceConfig(
+            n_replicas=self.n_replicas,
+            n_clients=self.max_clients,
+            batch_size=self.batch_size,
+            batch_delay=self.batch_delay,
+            window=self.window,
+            checkpoint_interval=self.checkpoint_interval,
+            request_timeout=self.request_timeout,
+            transfer_retry=self.transfer_retry,
+            muteness_timeout=self.muteness_timeout,
+            stall_probe=self.stall_probe,
+            key_space=self.key_space,
+            seed=self.seed,
+            f=self.f,
+        )
+
+    def genesis_id(self) -> str:
+        """Content hash binding handshakes to this exact genesis."""
+        payload = canonical_bytes(tuple(sorted(self.to_json().items(), key=repr)))
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    def address_of(self, pid: int) -> tuple[str, int]:
+        if not 0 <= pid < self.n_replicas:
+            raise ConfigurationError(
+                f"pid {pid} outside the replica range 0..{self.n_replicas - 1}"
+            )
+        host, port = self.addresses[pid]
+        return host, port
+
+    # -- the hello handshake domain ---------------------------------------
+
+    def hello_authority(self) -> KeyAuthority:
+        """Key authority of the hello domain (replicas *and* clients)."""
+        return KeyAuthority(
+            self.n_replicas + self.max_clients,
+            seed=self.seed * 1_000_003 + HELLO_DOMAIN,
+        )
+
+    def _hello_payload(self, src: int, dst: int, role: str) -> bytes:
+        return canonical_bytes(("hello", self.genesis_id(), src, dst, role))
+
+    def hello_for(self, src: int, dst: int, role: str) -> Hello:
+        """The authenticated first frame ``src`` sends to acceptor ``dst``."""
+        mac = self.hello_authority().signer_for(src).sign(
+            self._hello_payload(src, dst, role)
+        )
+        return Hello(cluster=self.genesis_id(), peer=src, role=role, mac=mac)
+
+    def hello_valid(self, hello: Hello, dst: int) -> bool:
+        """Full acceptor-side check; malformed hellos are rejections."""
+        try:
+            if hello.cluster != self.genesis_id():
+                return False
+            if hello.role not in ROLES:
+                return False
+            if hello.role == ROLE_REPLICA:
+                if not 0 <= hello.peer < self.n_replicas:
+                    return False
+            elif not (
+                self.n_replicas
+                <= hello.peer
+                < self.n_replicas + self.max_clients
+            ):
+                return False
+            return self.hello_authority().verify(
+                hello.peer, self._hello_payload(hello.peer, dst, hello.role), hello.mac
+            )
+        except Exception:
+            return False
+
+    # -- persistence -------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["addresses"] = [list(address) for address in self.addresses]
+        return data
+
+    @classmethod
+    def from_json(cls, data: Any) -> "Genesis":
+        if not isinstance(data, dict):
+            raise ConfigurationError("genesis document must be a JSON object")
+        known = {field for field in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown genesis keys: {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        if "addresses" in kwargs:
+            try:
+                kwargs["addresses"] = tuple(
+                    (str(host), int(port)) for host, port in kwargs["addresses"]
+                )
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"malformed genesis addresses: {exc}"
+                ) from exc
+        try:
+            genesis = cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(f"malformed genesis: {exc}") from exc
+        genesis.validate()
+        return genesis
+
+    def save(self, path: str | Path) -> Path:
+        self.validate()
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Genesis":
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read genesis: {exc}") from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"genesis is not valid JSON: {exc}") from exc
+        return cls.from_json(data)
+
+    def with_addresses(
+        self, addresses: tuple[tuple[str, int], ...]
+    ) -> "Genesis":
+        return replace(self, addresses=addresses)

@@ -1,0 +1,97 @@
+"""Wire types that exist only in the deployed (net) runtime.
+
+Everything the *protocol* says travels unchanged from the simulator
+(:mod:`repro.service.messages`, :mod:`repro.messages.consensus`); this
+module adds the envelope-level traffic a real deployment needs on top:
+
+* :class:`Hello` — the authenticated first frame of every connection,
+  binding the TCP stream to a process identity within one genesis;
+* :class:`ReadRequest` / :class:`ReadReply` — read-only ``get`` traffic
+  answered from committed state; the client accepts a value once f+1
+  *distinct* replicas agree on it (docs/NET.md);
+* :class:`StatusRequest` / :class:`StatusReply` — the observability
+  probe the cluster orchestrator uses for readiness, convergence and
+  exactly-once checks.
+
+None of these are signed protocol messages: Hello carries its own MAC
+in the genesis hello domain, and reads/status are answered from local
+committed state, where the f+1 matching-reply rule supplies the
+Byzantine protection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Connection roles a Hello may claim.
+ROLE_REPLICA = "replica"
+ROLE_CLIENT = "client"
+ROLES = (ROLE_REPLICA, ROLE_CLIENT)
+
+
+@dataclass(frozen=True, slots=True)
+class Hello:
+    """First frame on every connection: who is dialing, with proof.
+
+    ``mac`` is computed in the genesis *hello domain* over
+    ``(cluster, peer, dst, role)`` — it authenticates the dialer to one
+    specific acceptor within one specific genesis, so a captured Hello
+    replays against neither another node nor another cluster.
+    """
+
+    cluster: str
+    peer: int
+    role: str
+    mac: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class ReadRequest:
+    """Client asking one replica for the committed value under ``key``."""
+
+    client: int
+    req_id: int
+    key: str
+
+
+@dataclass(frozen=True, slots=True)
+class ReadReply:
+    """One replica's answer from its committed store.
+
+    ``found`` distinguishes an absent key from a stored ``None``;
+    ``applied`` (the replica's applied-slot frontier) lets clients
+    prefer fresh replies when diagnosing divergence.
+    """
+
+    replica: int
+    client: int
+    req_id: int
+    key: str
+    found: bool
+    value: Any
+    applied: int
+
+
+@dataclass(frozen=True, slots=True)
+class StatusRequest:
+    """Orchestrator/client probe for one replica's service state."""
+
+    client: int
+    req_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class StatusReply:
+    """Snapshot of one replica's progress counters and state digest."""
+
+    replica: int
+    client: int
+    req_id: int
+    applied: int
+    committed: int
+    store_applied: int
+    digest: str
+    stable_count: int
+    transfers: int
+    suffix_rejections: int

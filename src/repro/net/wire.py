@@ -1,0 +1,359 @@
+"""The versioned, length-prefixed wire codec of the net runtime.
+
+The simulator hands Python objects between processes by reference; a real
+deployment (docs/NET.md) must serialise them. The codec reuses the exact
+tag-length-value vocabulary of :mod:`repro.crypto.encoding` — the scheme
+every signature in the system is computed over — and extends it with one
+tag the crypto encoding deliberately lacks: ``R``, a *registered type*,
+which round-trips the message dataclasses faithfully instead of lossily
+(``canonical()`` flattens objects for hashing; the wire must rebuild
+them).
+
+Frame layout::
+
+    +--------+---------+----------------------+---------+
+    | b"RB"  | version |  payload length (u32)| payload |
+    |  2 B   |   1 B   |     big-endian       |   ...   |
+    +--------+---------+----------------------+---------+
+
+Robustness contract: **every** malformed input — truncated, oversized,
+wrong magic, wrong version, tampered payload, unknown type, hostile
+nesting depth — raises :class:`WireError` (a :class:`~repro.errors.
+ReproError`) and nothing else. Transports count these as rejections;
+nothing on the wire may crash or hang a node
+(``tests/test_net_wire.py`` fuzzes exactly this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Callable
+
+from repro.crypto.encoding import canonical_bytes
+from repro.errors import ReproError
+
+
+class WireError(ReproError):
+    """A frame or payload violates the wire format (always a rejection)."""
+
+
+#: Frame magic + codec version; bump the version on any layout change.
+MAGIC = b"RB"
+VERSION = 1
+HEADER = struct.Struct(">2sBI")
+#: Ceiling on one frame's payload: bounds memory against hostile length
+#: prefixes while leaving room for full state-transfer snapshots.
+MAX_FRAME = 8 * 1024 * 1024
+#: Ceiling on TLV nesting: certificates nest a few levels; a hostile
+#: payload must not recurse the decoder into a stack overflow.
+MAX_DEPTH = 64
+#: Ceiling on the decimal-digit length of one encoded integer.
+MAX_INT_DIGITS = 4096
+
+#: name -> (class, to_fields, from_fields); class -> (name, to_fields).
+_BY_NAME: dict[str, tuple[type, Callable[[Any], tuple], Callable[[tuple], Any]]] = {}
+_BY_TYPE: dict[type, tuple[str, Callable[[Any], tuple]]] = {}
+
+
+def register_wire_type(
+    cls: type,
+    *,
+    name: str | None = None,
+    to_fields: Callable[[Any], tuple] | None = None,
+    from_fields: Callable[[tuple], Any] | None = None,
+) -> type:
+    """Register ``cls`` for faithful wire round-trips under tag ``R``.
+
+    Dataclasses need no adapters: their declared field order is the wire
+    field order and the constructor rebuilds them. Non-dataclasses (or
+    classes whose constructor differs from their fields) pass explicit
+    ``to_fields`` / ``from_fields``.
+    """
+    wire_name = name if name is not None else cls.__qualname__
+    if to_fields is None:
+        if not dataclasses.is_dataclass(cls):
+            raise WireError(
+                f"{cls.__name__} is not a dataclass; pass to_fields/from_fields"
+            )
+        field_names = tuple(f.name for f in dataclasses.fields(cls))
+
+        def to_fields(obj: Any, _names: tuple[str, ...] = field_names) -> tuple:
+            return tuple(getattr(obj, n) for n in _names)
+
+    if from_fields is None:
+
+        def from_fields(fields: tuple, _cls: type = cls) -> Any:
+            return _cls(*fields)
+
+    if wire_name in _BY_NAME and _BY_NAME[wire_name][0] is not cls:
+        raise WireError(f"wire name {wire_name!r} registered twice")
+    _BY_NAME[wire_name] = (cls, to_fields, from_fields)
+    _BY_TYPE[cls] = (wire_name, to_fields)
+    return cls
+
+
+def _tlv(tag: bytes, payload: bytes) -> bytes:
+    # Same layout as repro.crypto.encoding._tlv: tag, u64 length, payload.
+    return tag + len(payload).to_bytes(8, "big") + payload
+
+
+def _encode(value: Any, depth: int) -> bytes:
+    if depth > MAX_DEPTH:
+        raise WireError("payload nesting exceeds the depth ceiling")
+    if value is None or isinstance(value, (bool, float, str, bytes)):
+        return canonical_bytes(value)
+    if isinstance(value, int):
+        if len(str(value)) > MAX_INT_DIGITS:
+            raise WireError("integer exceeds the digit ceiling")
+        return canonical_bytes(value)
+    registered = _BY_TYPE.get(type(value))
+    if registered is not None:
+        wire_name, to_fields = registered
+        body = _encode(wire_name, depth + 1) + _encode(
+            tuple(to_fields(value)), depth + 1
+        )
+        return _tlv(b"R", body)
+    if isinstance(value, (tuple, list)):
+        return _tlv(b"T", b"".join(_encode(item, depth + 1) for item in value))
+    if isinstance(value, dict):
+        items = sorted(
+            (_encode(key, depth + 1), _encode(val, depth + 1))
+            for key, val in value.items()
+        )
+        return _tlv(b"D", b"".join(key + val for key, val in items))
+    if isinstance(value, (set, frozenset)):
+        return _tlv(
+            b"E", b"".join(sorted(_encode(item, depth + 1) for item in value))
+        )
+    raise WireError(f"type {type(value).__name__} is not wire-encodable")
+
+
+def _decode(buf: memoryview, pos: int, end: int, depth: int) -> tuple[Any, int]:
+    if depth > MAX_DEPTH:
+        raise WireError("payload nesting exceeds the depth ceiling")
+    if pos + 9 > end:
+        raise WireError("truncated TLV header")
+    tag = bytes(buf[pos : pos + 1])
+    length = int.from_bytes(buf[pos + 1 : pos + 9], "big")
+    start = pos + 9
+    stop = start + length
+    if length > end - start:
+        raise WireError("TLV length exceeds the enclosing payload")
+    body = buf[start:stop]
+    if tag == b"N":
+        if length:
+            raise WireError("non-empty None")
+        return None, stop
+    if tag == b"B":
+        if length != 1 or bytes(body) not in (b"\x00", b"\x01"):
+            raise WireError("malformed bool")
+        return bytes(body) == b"\x01", stop
+    if tag == b"I":
+        if length > MAX_INT_DIGITS:
+            raise WireError("integer exceeds the digit ceiling")
+        try:
+            return int(bytes(body).decode("ascii")), stop
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireError(f"malformed int: {exc}") from exc
+    if tag == b"F":
+        try:
+            return float.fromhex(bytes(body).decode("ascii")), stop
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireError(f"malformed float: {exc}") from exc
+    if tag == b"S":
+        try:
+            return bytes(body).decode("utf-8"), stop
+        except UnicodeDecodeError as exc:
+            raise WireError(f"malformed str: {exc}") from exc
+    if tag == b"Y":
+        return bytes(body), stop
+    if tag == b"T":
+        items = []
+        cursor = start
+        while cursor < stop:
+            item, cursor = _decode(buf, cursor, stop, depth + 1)
+            items.append(item)
+        return tuple(items), stop
+    if tag == b"D":
+        mapping: dict[Any, Any] = {}
+        cursor = start
+        while cursor < stop:
+            key, cursor = _decode(buf, cursor, stop, depth + 1)
+            value, cursor = _decode(buf, cursor, stop, depth + 1)
+            try:
+                mapping[key] = value
+            except TypeError as exc:
+                raise WireError(f"unhashable dict key: {exc}") from exc
+        return mapping, stop
+    if tag == b"E":
+        members = []
+        cursor = start
+        while cursor < stop:
+            member, cursor = _decode(buf, cursor, stop, depth + 1)
+            members.append(member)
+        try:
+            return frozenset(members), stop
+        except TypeError as exc:
+            raise WireError(f"unhashable set member: {exc}") from exc
+    if tag == b"R":
+        wire_name, cursor = _decode(buf, start, stop, depth + 1)
+        if not isinstance(wire_name, str):
+            raise WireError("registered-type name is not a string")
+        fields, cursor = _decode(buf, cursor, stop, depth + 1)
+        if cursor != stop or not isinstance(fields, tuple):
+            raise WireError(f"malformed registered type {wire_name!r}")
+        entry = _BY_NAME.get(wire_name)
+        if entry is None:
+            raise WireError(f"unknown wire type {wire_name!r}")
+        cls, _to_fields, from_fields = entry
+        try:
+            return from_fields(fields), stop
+        except WireError:
+            raise
+        except Exception as exc:
+            raise WireError(f"cannot rebuild {wire_name}: {exc}") from exc
+    raise WireError(f"unknown TLV tag {tag!r}")
+
+
+def encode_payload(value: Any) -> bytes:
+    """Encode one message to payload bytes (no frame header)."""
+    return _encode(value, 0)
+
+
+def decode_payload(data: bytes) -> Any:
+    """Decode one payload; any malformation raises :class:`WireError`."""
+    try:
+        value, pos = _decode(memoryview(data), 0, len(data), 0)
+    except WireError:
+        raise
+    except Exception as exc:  # belt and braces: hostile input never crashes
+        raise WireError(f"undecodable payload: {exc}") from exc
+    if pos != len(data):
+        raise WireError("trailing bytes after payload")
+    return value
+
+
+def encode_frame(value: Any) -> bytes:
+    """Encode one message to a complete wire frame."""
+    payload = encode_payload(value)
+    if len(payload) > MAX_FRAME:
+        raise WireError(
+            f"frame payload of {len(payload)} bytes exceeds MAX_FRAME"
+        )
+    return HEADER.pack(MAGIC, VERSION, len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> Any:
+    """Decode exactly one complete frame (loopback / tests)."""
+    assembler = FrameAssembler()
+    messages = assembler.feed(data)
+    if len(messages) != 1 or assembler.buffered:
+        raise WireError(
+            f"expected exactly one frame, got {len(messages)} plus "
+            f"{assembler.buffered} trailing bytes"
+        )
+    return messages[0]
+
+
+class FrameAssembler:
+    """Incremental frame parser over a byte stream.
+
+    Feed arbitrary chunks as they arrive; complete frames decode to
+    messages, partial frames wait for more bytes. A malformed stream
+    raises :class:`WireError` — the caller drops the connection and
+    counts a rejection. One assembler per connection: the error leaves
+    the buffer unusable by design (resynchronising inside a hostile
+    stream is not attempted).
+    """
+
+    __slots__ = ("_buffer", "_max_frame")
+
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
+        self._buffer = bytearray()
+        self._max_frame = max_frame
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Any]:
+        self._buffer += data
+        messages: list[Any] = []
+        while len(self._buffer) >= HEADER.size:
+            magic, version, length = HEADER.unpack_from(self._buffer)
+            if magic != MAGIC:
+                raise WireError(f"bad frame magic {magic!r}")
+            if version != VERSION:
+                raise WireError(f"unsupported wire version {version}")
+            if length > self._max_frame:
+                raise WireError(f"oversized frame: {length} bytes declared")
+            frame_end = HEADER.size + length
+            if len(self._buffer) < frame_end:
+                break  # partial frame: wait for more bytes
+            payload = bytes(self._buffer[HEADER.size : frame_end])
+            del self._buffer[:frame_end]
+            messages.append(decode_payload(payload))
+        return messages
+
+
+def _register_stack_types() -> None:
+    """Register every message type the deployed service puts on the wire."""
+    from repro.core.certificates import (
+        Certificate,
+        CertificateDigest,
+        SignedMessage,
+    )
+    from repro.crypto.signatures import Signature
+    from repro.messages.consensus import Init, VCurrent, VDecide, VNext
+    from repro.net.messages import (
+        Hello,
+        ReadReply,
+        ReadRequest,
+        StatusReply,
+        StatusRequest,
+    )
+    from repro.replication.kvstore import Command
+    from repro.replication.log import SlotEnvelope
+    from repro.service.checkpoint import CheckpointCertificate
+    from repro.service.messages import (
+        Checkpoint,
+        ClientReply,
+        ClientRequest,
+        StateRequest,
+        StateResponse,
+    )
+
+    for cls in (
+        Signature,
+        CertificateDigest,
+        SignedMessage,
+        Command,
+        SlotEnvelope,
+        Init,
+        VCurrent,
+        VNext,
+        VDecide,
+        ClientRequest,
+        ClientReply,
+        Checkpoint,
+        StateRequest,
+        StateResponse,
+        CheckpointCertificate,
+        Hello,
+        ReadRequest,
+        ReadReply,
+        StatusRequest,
+        StatusReply,
+    ):
+        register_wire_type(cls)
+    # Certificate is a plain class sorting its entries itself; shipping
+    # the entry tuple is enough to rebuild it canonically.
+    register_wire_type(
+        Certificate,
+        to_fields=lambda cert: (cert.entries,),
+        from_fields=lambda fields: Certificate(tuple(fields[0])),
+    )
+
+
+_register_stack_types()

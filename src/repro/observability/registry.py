@@ -39,6 +39,9 @@ MODULE_PROCESS = "process"
 #: The replicated-service runtime built on top of the five modules
 #: (clients, batching, checkpoints, state transfer — docs/SERVICE.md).
 MODULE_SERVICE = "service"
+#: The real-socket deployment runtime (wire codec, peer transport,
+#: replica nodes — docs/NET.md).
+MODULE_NET = "net"
 
 PAPER_MODULES = (
     MODULE_SIGNATURE,

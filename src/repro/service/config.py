@@ -45,6 +45,16 @@ class ServiceConfig:
     request_timeout: float = 40.0
     #: State-transfer request retry period.
     transfer_retry: float = 8.0
+    #: Initial ◇M suspicion timeout handed to each slot engine's muteness
+    #: detector. The default matches the historical hardcoded value; the
+    #: wall-clock net runtime (docs/NET.md) shrinks it to seconds.
+    muteness_timeout: float = 10.0
+    #: Anti-entropy probe period for long-lived deployments: a replica
+    #: that made no apply progress over a full period while holding
+    #: decided-but-unappliable (or open undecided) slots starts a state
+    #: transfer. ``0`` disables the probe — the sim default, so fixed-seed
+    #: simulator schedules carry no extra timer events.
+    stall_probe: float = 0.0
     #: Client key space (keys are ``k0 .. k{key_space-1}``).
     key_space: int = 16
     seed: int = 0
@@ -99,6 +109,14 @@ class ServiceConfig:
         if self.transfer_retry <= 0:
             raise ConfigurationError(
                 f"transfer_retry must be positive, got {self.transfer_retry}"
+            )
+        if self.muteness_timeout <= 0:
+            raise ConfigurationError(
+                f"muteness_timeout must be positive, got {self.muteness_timeout}"
+            )
+        if self.stall_probe < 0:
+            raise ConfigurationError(
+                f"stall_probe must be >= 0, got {self.stall_probe}"
             )
         if self.key_space < 1:
             raise ConfigurationError(

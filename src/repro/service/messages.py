@@ -88,8 +88,13 @@ class StateResponse:
     :class:`~repro.replication.kvstore.KeyValueStore` and executed-id set
     at checkpoint ``count`` (the receiver *recomputes* the digest and
     checks it against the certificate — the snapshot itself is untrusted
-    data); ``suffix`` holds every decided vector the responder still has
-    for slots ``>= count``.
+    data); ``suffix`` holds one ``(slot, vector, justification)`` triple
+    per decided vector the responder still has for slots ``>= count``.
+    The justification is the responder's retained signed ``VDecide`` for
+    that slot, whose certificate carries the (n − F) matching CURRENT
+    quorum under the slot's own signature domain — the receiver
+    re-verifies it per slot before replaying (the suffix is as untrusted
+    as the snapshot), rejecting and counting forged entries.
     """
 
     replica: int
@@ -98,4 +103,4 @@ class StateResponse:
     executed: tuple[tuple[int, int], ...]
     store_applied: int
     certificate: Any  # CheckpointCertificate | None (count == 0)
-    suffix: tuple[tuple[int, tuple], ...]
+    suffix: tuple[tuple[int, tuple, Any], ...]

@@ -40,7 +40,7 @@ from repro.core.specs import SystemParameters
 from repro.crypto.keys import KeyAuthority
 from repro.crypto.signatures import SignatureScheme
 from repro.detectors.diamond_m import MutenessDetector
-from repro.messages.consensus import NULL
+from repro.messages.consensus import NULL, VCurrent, VDecide
 from repro.observability.registry import MODULE_SERVICE
 from repro.replication.kvstore import Command, KeyValueStore
 from repro.replication.log import (
@@ -166,6 +166,11 @@ class ServiceReplicaProcess(Process):
         #: Applied vectors retained since the stable checkpoint — the
         #: suffix served to catching-up peers.
         self._vector_history: dict[int, tuple] = {}
+        #: slot -> the signed DECIDE justifying the slot's vector (the
+        #: engine's ``decision_justification``, or the verified one a
+        #: transfer installed) — shipped alongside the suffix so peers
+        #: can re-check each slot against its own signature domain.
+        self._vector_justifications: dict[int, SignedMessage] = {}
         self._proposed: dict[int, Any] = {}
         self.next_apply = 0
         self.base_slot = 0
@@ -190,7 +195,13 @@ class ServiceReplicaProcess(Process):
         self.downs = 0
         self.restarts = 0
         self._transferring = False
+        self._transfer_reason = ""
         self._replaying = False
+        #: Suffix entries refused during state transfer (forged vector,
+        #: missing/invalid justification) — an oracle surface.
+        self.suffix_rejections = 0
+        #: Applied frontier at the last stall-probe tick.
+        self._probe_apply = 0
         #: (virtual time, installed count, applied frontier) per transfer.
         self.state_transfers_completed: list[tuple[float, int, int]] = []
 
@@ -227,6 +238,10 @@ class ServiceReplicaProcess(Process):
 
     # -- message routing ----------------------------------------------------
 
+    def on_start(self) -> None:
+        if self.config.stall_probe > 0:
+            self.set_timer("stall-probe", self.config.stall_probe)
+
     def on_message(self, src: int, payload: Any) -> None:
         if self.down:
             return
@@ -252,6 +267,8 @@ class ServiceReplicaProcess(Process):
         elif name == "state-retry" and self._transferring:
             self._broadcast_state_request()
             self.set_timer("state-retry", self.config.transfer_retry)
+        elif name == "stall-probe":
+            self._stall_probe()
 
     # -- client requests and batching ----------------------------------------
 
@@ -358,7 +375,7 @@ class ServiceReplicaProcess(Process):
         authority = CertificationAuthority(
             SignatureScheme(keys), keys.signer_for(self.pid)
         )
-        detector = MutenessDetector(initial_timeout=10.0)
+        detector = MutenessDetector(initial_timeout=self.config.muteness_timeout)
         engine = self.engine_factory(
             self.pid,
             self._proposal_for(slot),
@@ -391,6 +408,9 @@ class ServiceReplicaProcess(Process):
         self._decided.add(slot)
         vector = engine.decision
         self._pending_apply[slot] = vector
+        justification = getattr(engine, "decision_justification", None)
+        if justification is not None:
+            self._vector_justifications[slot] = justification
         self._metrics.inc("slots_decided")
         mine = self._proposed.get(slot, NOOP)
         if mine != NOOP and vector[self.pid] == NULL:
@@ -546,6 +566,9 @@ class ServiceReplicaProcess(Process):
         self._vector_history = {
             s: v for s, v in self._vector_history.items() if s >= count
         }
+        self._vector_justifications = {
+            s: j for s, j in self._vector_justifications.items() if s >= count
+        }
         before = len(self.log)
         self.log = [entry for entry in self.log if entry[0] >= count]
         self._metrics.inc("log_entries_truncated", before - len(self.log))
@@ -589,6 +612,7 @@ class ServiceReplicaProcess(Process):
         self._decided.clear()
         self._pending_apply.clear()
         self._vector_history.clear()
+        self._vector_justifications.clear()
         self._proposed.clear()
         self.pending.clear()
         self.pending_ids.clear()
@@ -607,11 +631,48 @@ class ServiceReplicaProcess(Process):
         self.restarts += 1
         self.record("service_restart")
         self._metrics.inc("restarts")
-        self._start_state_transfer()
+        if self.config.stall_probe > 0:
+            self._probe_apply = 0
+            self.set_timer("stall-probe", self.config.stall_probe)
+        self._start_state_transfer("restart")
 
-    def _start_state_transfer(self) -> None:
+    def catch_up(self) -> None:
+        """Ask peers for certified state right away.
+
+        The net runtime calls this on a cold-started node rejoining an
+        established cluster (``--join``): unlike :meth:`restart`, the OS
+        process has no volatile state to wipe — it only needs to pull the
+        certified snapshot and suffix before serving.
+        """
+        if not self.down and not self._transferring:
+            self._start_state_transfer("join")
+
+    def _stall_probe(self) -> None:
+        """Anti-entropy: transfer when the apply frontier is wedged.
+
+        A replica that lost messages of a slot (e.g. its TCP connections
+        died under it) can hold later decided slots forever without being
+        able to apply them — in-order apply never passes the gap. If a
+        full probe period elapsed with outstanding slot work and zero
+        apply progress, pull certified state from the peers.
+        """
+        stalled = (
+            self.next_apply == self._probe_apply
+            and not self._transferring
+            and (bool(self._pending_apply) or self._open_slots() > 0)
+        )
+        if stalled:
+            self._metrics.inc("stall_probes_fired")
+            self._start_state_transfer("probe")
+        self._probe_apply = self.next_apply
+        self.set_timer("stall-probe", self.config.stall_probe)
+
+    def _start_state_transfer(self, reason: str = "lag") -> None:
         self._transferring = True
-        self.record("state_transfer_start", applied=self.next_apply)
+        self._transfer_reason = reason
+        self.record(
+            "state_transfer_start", applied=self.next_apply, reason=reason
+        )
         self._metrics.inc("state_transfers_started")
         self._broadcast_state_request()
         self.set_timer("state-retry", self.config.transfer_retry)
@@ -646,15 +707,66 @@ class ServiceReplicaProcess(Process):
             executed=executed,
             store_applied=store_applied,
             certificate=certificate,
-            suffix=tuple(sorted(suffix.items())),
+            suffix=tuple(
+                (s, v, self._vector_justifications.get(s))
+                for s, v in sorted(suffix.items())
+            ),
         )
         self._metrics.inc("state_responses")
         self._metrics.inc("state_transfer_bytes", len(repr(response)))
         self.send(src, response)
 
+    def _suffix_entry_valid(self, slot: int, vector: Any, justification: Any) -> bool:
+        """Per-slot transfer verification (the full PBFT-style check).
+
+        A suffix entry is accepted only with the responder's signed
+        DECIDE for exactly this vector, carrying an (n − F) same-round
+        quorum of validly signed matching CURRENTs — all checked under
+        the *slot's own* signature domain, so nothing transfers between
+        slots and a forged suffix needs forged signatures. Any malformed
+        shape is a rejection, never a crash.
+        """
+        try:
+            if not isinstance(vector, tuple) or len(vector) != self.config.n_replicas:
+                return False
+            if not isinstance(justification, SignedMessage):
+                return False
+            body = justification.body
+            if not isinstance(body, VDecide) or body.est_vect != vector:
+                return False
+            if not 0 <= body.sender < self.config.n_replicas:
+                return False
+            keys = KeyAuthority(
+                self.config.n_replicas, seed=self.config.seed * 1_000_003 + slot
+            )
+            authority = CertificationAuthority(
+                SignatureScheme(keys), keys.signer_for(self.pid)
+            )
+            if not authority.signature_valid(justification):
+                return False
+            cert = justification.cert
+            if not isinstance(cert, Certificate):
+                return False  # a pruned justification cannot be re-checked
+            by_round: dict[int, set[int]] = {}
+            for entry in cert:
+                inner = entry.body
+                if not isinstance(inner, VCurrent):
+                    continue  # est_cert entries (INITs) ride along; skip
+                if inner.est_vect != vector:
+                    continue
+                if not 0 <= inner.sender < self.config.n_replicas:
+                    continue
+                if not authority.signature_valid(entry):
+                    continue
+                by_round.setdefault(inner.round, set()).add(inner.sender)
+            return any(
+                len(senders) >= self.params.quorum
+                for senders in by_round.values()
+            )
+        except Exception:
+            return False  # structurally malformed entry: rejection, not crash
+
     def _on_state_response(self, response: StateResponse) -> None:
-        if not self._transferring:
-            return
         before_apply = self.next_apply
         installed = 0
         if response.count > self.next_apply:
@@ -700,17 +812,33 @@ class ServiceReplicaProcess(Process):
             self._metrics.inc("snapshots_installed")
             self._truncate(response.count)
         # Replay the decided suffix without re-sending client replies.
+        # Each entry is verified against its slot's signature domain
+        # before it is believed — the suffix is exactly as untrusted as
+        # the snapshot (the ROADMAP trust gap this closes).
         self._replaying = True
-        for slot, vector in response.suffix:
-            if slot >= self.next_apply and slot not in self._pending_apply:
-                if slot not in self._decided:
-                    self._decided.add(slot)
-                    self._pending_apply[slot] = tuple(vector)
+        for entry in response.suffix:
+            if not (isinstance(entry, tuple) and len(entry) == 3):
+                self._reject_suffix_entry("malformed")
+                continue
+            slot, vector, justification = entry
+            if (
+                not isinstance(slot, int)
+                or slot < self.next_apply
+                or slot in self._pending_apply
+                or slot in self._decided
+            ):
+                continue  # stale or already decided locally
+            if not self._suffix_entry_valid(slot, vector, justification):
+                self._reject_suffix_entry(f"slot {slot}")
+                continue
+            self._metrics.inc("suffix_entries_verified")
+            self._decided.add(slot)
+            self._pending_apply[slot] = tuple(vector)
+            self._vector_justifications[slot] = justification
         self._apply_ready()
         self._replaying = False
-        if self.next_apply > before_apply or installed:
-            self._transferring = False
-            self.cancel_timer("state-retry")
+        progress = self.next_apply > before_apply or bool(installed)
+        if progress:
             self.state_transfers_completed.append(
                 (self.now, installed, self.next_apply)
             )
@@ -721,3 +849,21 @@ class ServiceReplicaProcess(Process):
             )
             self._metrics.inc("state_transfers_completed")
             self._drain_batches(force=False)
+        if self._transferring and (
+            progress
+            or (
+                # A probe/join transfer may find the peers have nothing
+                # we lack; stop retrying instead of livelocking. Restart
+                # and lag transfers keep retrying until real progress —
+                # there the replica is behind by construction.
+                self._transfer_reason in ("probe", "join")
+                and response.count <= before_apply
+            )
+        ):
+            self._transferring = False
+            self.cancel_timer("state-retry")
+
+    def _reject_suffix_entry(self, what: str) -> None:
+        self.suffix_rejections += 1
+        self._metrics.inc("suffix_entries_rejected")
+        self.record("suffix_entry_rejected", entry=what)

@@ -1,0 +1,124 @@
+"""Tests: genesis files and the hello handshake domain (repro.net.genesis)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.genesis import Genesis
+from repro.net.messages import ROLE_CLIENT, ROLE_REPLICA, Hello
+
+
+def genesis(**overrides) -> Genesis:
+    base = Genesis(
+        addresses=(
+            ("127.0.0.1", 9001),
+            ("127.0.0.1", 9002),
+            ("127.0.0.1", 9003),
+            ("127.0.0.1", 9004),
+        )
+    )
+    return replace(base, **overrides)
+
+
+class TestGenesisValidation:
+    def test_defaults_validate(self):
+        genesis().validate()
+
+    def test_address_count_must_match_replicas(self):
+        with pytest.raises(ConfigurationError):
+            genesis(n_replicas=5).validate()
+
+    def test_bad_port_rejected(self):
+        bad = genesis().with_addresses(
+            (("127.0.0.1", 9001),) * 3 + (("127.0.0.1", 0),)
+        )
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+    def test_service_knobs_are_checked_too(self):
+        with pytest.raises(ConfigurationError):
+            genesis(window=0).validate()
+        with pytest.raises(ConfigurationError):
+            genesis(max_clients=0).validate()
+
+    def test_address_of_range(self):
+        assert genesis().address_of(3) == ("127.0.0.1", 9004)
+        with pytest.raises(ConfigurationError):
+            genesis().address_of(4)
+
+
+class TestGenesisPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        original = genesis(name="rt", seed=13)
+        path = original.save(tmp_path / "genesis.json")
+        assert Genesis.load(path) == original
+
+    def test_genesis_id_is_content_addressed(self, tmp_path):
+        a = genesis(seed=1)
+        b = genesis(seed=2)
+        assert a.genesis_id() == genesis(seed=1).genesis_id()
+        assert a.genesis_id() != b.genesis_id()
+
+    def test_unknown_keys_rejected(self):
+        data = genesis().to_json()
+        data["surprise"] = 1
+        with pytest.raises(ConfigurationError):
+            Genesis.from_json(data)
+
+    def test_malformed_documents_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            Genesis.from_json([1, 2, 3])
+        data = genesis().to_json()
+        data["addresses"] = "nope"
+        with pytest.raises(ConfigurationError):
+            Genesis.from_json(data)
+        target = tmp_path / "broken.json"
+        target.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            Genesis.load(target)
+        with pytest.raises(ConfigurationError):
+            Genesis.load(tmp_path / "absent.json")
+
+
+class TestHelloHandshake:
+    def test_replica_hello_verifies_at_its_target_only(self):
+        g = genesis(seed=5)
+        hello = g.hello_for(1, 2, ROLE_REPLICA)
+        assert g.hello_valid(hello, 2)
+        assert not g.hello_valid(hello, 3)  # not replayable at another node
+
+    def test_client_hello_verifies(self):
+        g = genesis(seed=5)
+        client_pid = g.n_replicas  # client index 0
+        hello = g.hello_for(client_pid, 0, ROLE_CLIENT)
+        assert g.hello_valid(hello, 0)
+
+    def test_cross_genesis_hello_rejected(self):
+        a, b = genesis(seed=5), genesis(seed=6)
+        assert not b.hello_valid(a.hello_for(1, 2, ROLE_REPLICA), 2)
+
+    def test_role_and_range_confusion_rejected(self):
+        g = genesis(seed=5)
+        hello = g.hello_for(1, 2, ROLE_REPLICA)
+        assert not g.hello_valid(replace(hello, role=ROLE_CLIENT), 2)
+        assert not g.hello_valid(replace(hello, peer=0), 2)
+        assert not g.hello_valid(replace(hello, role="admin"), 2)
+        out_of_range = Hello(
+            cluster=g.genesis_id(), peer=99, role=ROLE_REPLICA, mac=hello.mac
+        )
+        assert not g.hello_valid(out_of_range, 2)
+
+    def test_tampered_mac_rejected(self):
+        g = genesis(seed=5)
+        hello = g.hello_for(1, 2, ROLE_REPLICA)
+        forged = replace(hello, mac=b"\x00" * max(1, len(hello.mac)))
+        assert not g.hello_valid(forged, 2)
+
+    def test_garbage_hello_is_a_rejection_not_a_crash(self):
+        g = genesis(seed=5)
+        assert not g.hello_valid(
+            Hello(cluster=123, peer="x", role=None, mac=object()), 2  # type: ignore[arg-type]
+        )

@@ -1,0 +1,227 @@
+"""Tests: the net runtime on the in-memory loopback fabric.
+
+Same :class:`NetNode` hosts, same wire codec on every hop, but the
+transport is :class:`LoopbackHub` and the clock is
+:class:`ManualScheduler` — so the full deployment (commits, quorum
+reads, kill/rejoin via certified state transfer) runs deterministically
+inside the test process with no sockets or sleeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import (
+    LoopbackHub,
+    ManualScheduler,
+    NetNode,
+    TransportError,
+    make_genesis,
+)
+from repro.net.messages import ReadReply, ReadRequest, StatusReply, StatusRequest
+from repro.observability.export import read_run_jsonl
+from repro.replication.kvstore import Command
+from repro.service.checkpoint import service_digest
+from repro.service.messages import ClientReply, ClientRequest
+
+
+class LoopbackClient:
+    """Minimal correct client: f+1 distinct acks, resubmit on silence."""
+
+    def __init__(self, genesis, hub, scheduler, index=0):
+        self.genesis = genesis
+        self.pid = genesis.n_replicas + index
+        self.f = genesis.service_config().params().f
+        self.scheduler = scheduler
+        self.transport = hub.register(self.pid, self._on_message)
+        self.next_id = 0
+        self.outstanding: dict[int, ClientRequest] = {}
+        self.attempts: dict[int, int] = {}
+        self.acks: dict[int, set[int]] = {}
+        self.completed: set[int] = set()
+        self.read_replies: dict[int, dict[int, tuple[bool, object]]] = {}
+        self.statuses: dict[int, StatusReply] = {}
+
+    def _on_message(self, src, message):
+        if isinstance(message, ClientReply) and message.client == self.pid:
+            if message.req_id in self.completed:
+                return
+            self.acks.setdefault(message.req_id, set()).add(message.replica)
+            if len(self.acks[message.req_id]) >= self.f + 1:
+                self.completed.add(message.req_id)
+                self.outstanding.pop(message.req_id, None)
+        elif isinstance(message, ReadReply) and message.client == self.pid:
+            self.read_replies.setdefault(message.req_id, {})[message.replica] = (
+                message.found,
+                message.value,
+            )
+        elif isinstance(message, StatusReply) and message.client == self.pid:
+            self.statuses[message.replica] = message
+
+    def set(self, key, value) -> int:
+        req_id = self.next_id
+        self.next_id += 1
+        request = ClientRequest(
+            client=self.pid, req_id=req_id, command=Command("set", key, value)
+        )
+        self.outstanding[req_id] = request
+        self.attempts[req_id] = 0
+        self._submit(req_id)
+        return req_id
+
+    def _submit(self, req_id) -> None:
+        request = self.outstanding.get(req_id)
+        if request is None:
+            return
+        attempt = self.attempts[req_id]
+        self.attempts[req_id] += 1
+        target = (self.pid + req_id + attempt) % self.genesis.n_replicas
+        self.transport.send(target, request)
+        self.scheduler.schedule_after(
+            self.genesis.request_timeout, "resubmit", lambda: self._submit(req_id)
+        )
+
+    def read(self, key) -> int:
+        req_id = self.next_id
+        self.next_id += 1
+        request = ReadRequest(client=self.pid, req_id=req_id, key=key)
+        for replica in range(self.genesis.n_replicas):
+            self.transport.send(replica, request)
+        return req_id
+
+    def quorum_read(self, req_id):
+        """The f+1 matching-distinct-replies rule over collected answers."""
+        groups: dict[object, int] = {}
+        for answer in self.read_replies.get(req_id, {}).values():
+            groups[answer] = groups.get(answer, 0) + 1
+        for answer, count in groups.items():
+            if count >= self.f + 1:
+                return answer
+        return None
+
+    def probe_status(self) -> None:
+        self.statuses.clear()
+        request = StatusRequest(client=self.pid, req_id=self.next_id)
+        self.next_id += 1
+        for replica in range(self.genesis.n_replicas):
+            self.transport.send(replica, request)
+
+
+class Deployment:
+    """4 replicas + 1 client on one hub and one manual clock."""
+
+    def __init__(self, seed=3, **overrides):
+        self.genesis = make_genesis(
+            4, seed=seed, request_timeout=0.6, stall_probe=2.0, **overrides
+        )
+        self.scheduler = ManualScheduler()
+        self.hub = LoopbackHub(self.scheduler)
+        self.nodes: dict[int, NetNode] = {}
+        for pid in range(4):
+            self.up(pid)
+        self.client = LoopbackClient(self.genesis, self.hub, self.scheduler)
+
+    def up(self, pid, join=False, metrics_path=None):
+        node = NetNode(
+            self.genesis, pid, self.scheduler, join=join,
+            metrics_path=metrics_path,
+        )
+        node.attach_transport(self.hub.register(pid, node.handle_message))
+        self.nodes[pid] = node
+        node.start()
+        return node
+
+    def kill(self, pid):
+        self.hub.unregister(pid)
+        del self.nodes[pid]
+
+    def pump(self, seconds):
+        for _ in range(int(seconds * 10)):
+            self.scheduler.advance(0.1)
+
+    def commit(self, count, prefix="v"):
+        ids = [
+            self.client.set(f"k{i % 8}", f"{prefix}{i}") for i in range(count)
+        ]
+        self.pump(8)
+        return ids
+
+    def digests(self):
+        return {
+            pid: service_digest(node.process.store, node.process.executed)
+            for pid, node in sorted(self.nodes.items())
+        }
+
+
+class TestLoopbackDeployment:
+    def test_commits_workload_exactly_once(self):
+        deployment = Deployment(seed=3)
+        deployment.commit(30)
+        client = deployment.client
+        assert len(client.completed) == 30
+        committed = {
+            node.process.committed_commands
+            for node in deployment.nodes.values()
+        }
+        assert committed == {30}
+        assert len(set(deployment.digests().values())) == 1
+
+    def test_quorum_read_returns_committed_value(self):
+        deployment = Deployment(seed=4)
+        deployment.client.set("answer", "42")
+        deployment.pump(5)
+        req_id = deployment.client.read("answer")
+        deployment.pump(1)
+        assert deployment.client.quorum_read(req_id) == (True, "42")
+        missing = deployment.client.read("never-written")
+        deployment.pump(1)
+        assert deployment.client.quorum_read(missing) == (False, None)
+
+    def test_status_probe_reports_all_replicas(self):
+        deployment = Deployment(seed=5)
+        deployment.commit(8)
+        deployment.client.probe_status()
+        deployment.pump(1)
+        statuses = deployment.client.statuses
+        assert set(statuses) == {0, 1, 2, 3}
+        assert {status.committed for status in statuses.values()} == {8}
+        assert len({status.digest for status in statuses.values()}) == 1
+
+    def test_kill_and_rejoin_via_certified_transfer(self):
+        deployment = Deployment(seed=6)
+        deployment.commit(16, prefix="a")
+        deployment.kill(2)
+        deployment.commit(16, prefix="b")
+        rejoined = deployment.up(2, join=True)
+        deployment.pump(10)
+        deployment.commit(8, prefix="c")
+        deployment.pump(10)
+        assert len(deployment.client.completed) == 40
+        assert len(set(deployment.digests().values())) == 1
+        assert rejoined.process.committed_commands == 40
+        assert len(rejoined.process.state_transfers_completed) >= 1
+        assert rejoined.process.suffix_rejections == 0
+
+    def test_metrics_export_is_a_valid_artifact(self, tmp_path):
+        deployment = Deployment(seed=7)
+        target = tmp_path / "node-0.jsonl"
+        deployment.kill(0)
+        deployment.up(0, metrics_path=target)
+        deployment.commit(8)
+        deployment.pump(3)  # past metrics_interval
+        artifact = read_run_jsonl(target)
+        assert artifact.meta["runtime"] == "net"
+        assert artifact.meta["node"] == 0
+        modules = set(artifact.metrics.totals_by_module())
+        assert "net" in modules
+
+    def test_node_guards_its_contract(self):
+        deployment = Deployment(seed=8)
+        with pytest.raises(ConfigurationError):
+            NetNode(deployment.genesis, 9, deployment.scheduler)
+        bare = NetNode(deployment.genesis, 1, ManualScheduler())
+        with pytest.raises(ConfigurationError):
+            bare.start()  # no transport attached
+        with pytest.raises(TransportError):
+            deployment.hub.register(1, lambda src, message: None)

@@ -1,0 +1,179 @@
+"""Tests: the real-socket transport (repro.net.transport.PeerTransport).
+
+Small asyncio deployments on loopback TCP: framed delivery both ways,
+the authenticated hello gate, client connection routing, bounded
+outbound queues dropping oldest, and automatic reconnect to a
+restarted peer. Everything binds to OS-assigned free ports so tests
+never collide.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.net.cluster import make_genesis
+from repro.net.messages import ROLE_CLIENT
+from repro.net.transport import PeerTransport
+from repro.net.wire import FrameAssembler, encode_frame
+from repro.observability.registry import MODULE_NET, MetricsRegistry
+
+
+class Endpoint:
+    """One PeerTransport plus an inbox and per-test metrics."""
+
+    def __init__(self, genesis, pid, **kwargs):
+        self.pid = pid
+        self.inbox: list[tuple[int, object]] = []
+        self.arrived = asyncio.Event()
+        self.registry = MetricsRegistry()
+        self.transport = PeerTransport(
+            genesis,
+            pid,
+            self._receive,
+            metrics=self.registry.scope(MODULE_NET, pid),
+            **kwargs,
+        )
+
+    def _receive(self, src, message):
+        self.inbox.append((src, message))
+        self.arrived.set()
+
+    async def expect(self, count, timeout=8.0):
+        deadline = asyncio.get_running_loop().time() + timeout
+        while len(self.inbox) < count:
+            remaining = deadline - asyncio.get_running_loop().time()
+            self.arrived.clear()
+            await asyncio.wait_for(self.arrived.wait(), max(0.05, remaining))
+        return self.inbox
+
+    def counter(self, name):
+        return self.registry.counter_total(MODULE_NET, name)
+
+
+def test_replicas_exchange_framed_messages():
+    async def scenario():
+        genesis = make_genesis(4, seed=21)
+        a, b = Endpoint(genesis, 0), Endpoint(genesis, 1)
+        await a.transport.start()
+        await b.transport.start()
+        try:
+            a.transport.send(1, ("ping", 1))
+            b.transport.send(0, ("pong", 2))
+            a.transport.send(0, "self")  # self-delivery round-trips the codec
+            assert (await b.expect(1))[0] == (0, ("ping", 1))
+            await a.expect(2)
+            assert set(a.inbox) == {(1, ("pong", 2)), (0, "self")}
+            assert a.counter("frames_sent") == 2
+            assert b.counter("frames_received") >= 1
+        finally:
+            await a.transport.stop()
+            await b.transport.stop()
+
+    asyncio.run(scenario())
+
+
+def test_connections_without_a_valid_hello_are_refused():
+    async def scenario():
+        genesis = make_genesis(4, seed=22)
+        node = Endpoint(genesis, 0)
+        await node.transport.start()
+        try:
+            for opener in (
+                encode_frame("not a hello"),
+                encode_frame(genesis.hello_for(2, 1, "replica")),  # wrong target
+                b"\x00" * 16,  # not even a frame
+            ):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", node.transport.bound_port
+                )
+                writer.write(opener + encode_frame("smuggled"))
+                await writer.drain()
+                assert await reader.read() == b""  # server hung up on us
+                writer.close()
+            assert node.inbox == []  # nothing smuggled past the gate
+            assert node.counter("hello_rejected") >= 2
+        finally:
+            await node.transport.stop()
+
+    asyncio.run(scenario())
+
+
+def test_client_replies_route_over_the_clients_own_connection():
+    async def scenario():
+        genesis = make_genesis(4, seed=23)
+        node = Endpoint(genesis, 0)
+        await node.transport.start()
+        client_pid = genesis.n_replicas
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", node.transport.bound_port
+            )
+            writer.write(
+                encode_frame(genesis.hello_for(client_pid, 0, ROLE_CLIENT))
+            )
+            writer.write(encode_frame(("request", 7)))
+            await writer.drain()
+            await node.expect(1)
+            assert node.inbox == [(client_pid, ("request", 7))]
+            node.transport.send(client_pid, ("reply", 7))
+            assembler = FrameAssembler()
+            messages = []
+            while not messages:
+                messages = assembler.feed(await reader.read(1 << 16))
+            assert messages == [("reply", 7)]
+            writer.close()
+        finally:
+            await node.transport.stop()
+
+    asyncio.run(scenario())
+
+
+def test_outbound_queue_drops_oldest_when_peer_is_down():
+    async def scenario():
+        genesis = make_genesis(4, seed=24)
+        node = Endpoint(genesis, 0, queue_limit=8)
+        await node.transport.start()
+        try:
+            for i in range(20):  # peer 1 never comes up
+                node.transport.send(1, ("stale", i))
+            assert node.counter("frames_dropped") >= 12
+        finally:
+            await node.transport.stop()
+
+    asyncio.run(scenario())
+
+
+def test_sender_reconnects_to_a_restarted_peer():
+    async def scenario():
+        genesis = make_genesis(4, seed=25)
+        a, b = Endpoint(genesis, 0), Endpoint(genesis, 1)
+        await a.transport.start()
+        await b.transport.start()
+        try:
+            a.transport.send(1, "before")
+            await b.expect(1)
+            await b.transport.stop()  # crash the peer...
+            a.transport.send(1, "into the void")  # may be lost: that's fine
+            reborn = Endpoint(genesis, 1)
+            await reborn.transport.start()  # ...and restart on the same port
+            try:
+                # Frames can die with the old connection — the contract
+                # is that *retried* sends get through once the dialer's
+                # backoff loop re-establishes the mesh, with no
+                # orchestration beyond restarting the process.
+                deadline = asyncio.get_running_loop().time() + 20.0
+                while not reborn.inbox:
+                    assert asyncio.get_running_loop().time() < deadline
+                    a.transport.send(1, "after restart")
+                    await asyncio.sleep(0.2)
+                assert ("after restart" in {m for _, m in reborn.inbox}) or (
+                    "into the void" in {m for _, m in reborn.inbox}
+                )
+                assert reborn.inbox[0][0] == 0
+                assert a.counter("peer_reconnects") >= 1
+            finally:
+                await reborn.transport.stop()
+        finally:
+            await a.transport.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,220 @@
+"""Tests: the versioned wire codec (repro.net.wire).
+
+Round-trips every registered stack type — including deeply nested
+signed/certified messages — and then attacks the decoder the way a
+Byzantine peer would: truncation, oversizing, version skew, bit flips,
+random garbage. The contract under attack is exactly one of two
+outcomes per input: a clean :class:`WireError` (counted rejection) or a
+valid decode. Never another exception type, never a hang.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.certificates import Certificate, CertificationAuthority, SignedMessage
+from repro.crypto.keys import KeyAuthority
+from repro.crypto.signatures import Signature, SignatureScheme
+from repro.errors import ReproError
+from repro.messages.consensus import NULL, VCurrent, VDecide
+from repro.net.messages import Hello, ReadReply, ReadRequest, StatusReply, StatusRequest
+from repro.net.wire import (
+    HEADER,
+    MAGIC,
+    MAX_DEPTH,
+    MAX_FRAME,
+    VERSION,
+    FrameAssembler,
+    WireError,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    register_wire_type,
+)
+from repro.replication.kvstore import Command
+from repro.service.messages import (
+    Checkpoint,
+    ClientReply,
+    ClientRequest,
+    StateRequest,
+    StateResponse,
+)
+
+
+def signed_vdecide(slot: int = 3) -> SignedMessage:
+    """A realistic certified message: signed VDecide over signed VCurrents."""
+    keys = KeyAuthority(4, seed=11 * 1_000_003 + slot)
+    scheme = SignatureScheme(keys)
+    vect = ("a", "b", NULL, "d")
+    entries = tuple(
+        CertificationAuthority(scheme, keys.signer_for(pid)).make(
+            VCurrent(sender=pid, round=1, est_vect=vect)
+        )
+        for pid in range(3)
+    )
+    return CertificationAuthority(scheme, keys.signer_for(0)).make(
+        VDecide(sender=0, est_vect=vect), cert=Certificate(entries)
+    )
+
+
+SAMPLES = [
+    None,
+    True,
+    0,
+    -(2**70),
+    3.25,
+    "héllo",
+    b"\x00\xff",
+    (1, 2, ("nested", b"x")),
+    {"k": (1, 2), "j": None},
+    frozenset({1, "two"}),
+    Command("set", "k1", "v1"),
+    ClientRequest(client=4, req_id=9, command=Command("set", "k", "v")),
+    ClientReply(replica=1, client=4, req_id=9, slot=2),
+    Checkpoint(sender=2, count=4, digest="ab" * 32),
+    StateRequest(replica=3, applied=7),
+    Hello(cluster="deadbeef", peer=2, role="replica", mac=b"\x01" * 8),
+    ReadRequest(client=5, req_id=1, key="k1"),
+    ReadReply(replica=0, client=5, req_id=1, key="k1", found=False,
+              value=None, applied=3),
+    StatusRequest(client=5, req_id=2),
+    StatusReply(replica=1, client=5, req_id=2, applied=4, committed=9,
+                store_applied=9, digest="ff" * 32, stable_count=4,
+                transfers=1, suffix_rejections=0),
+    Signature(signer=2, mac=b"\x99" * 16),
+    signed_vdecide(),
+    StateResponse(
+        replica=1,
+        count=4,
+        snapshot=(("k1", "v1"),),
+        executed=((4, 1), (5, 2)),
+        store_applied=4,
+        certificate=None,
+        suffix=((4, ("a", NULL, NULL, "d"), signed_vdecide(4)),),
+    ),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("value", SAMPLES, ids=lambda v: type(v).__name__)
+    def test_payload_roundtrip(self, value):
+        assert decode_payload(encode_payload(value)) == value
+
+    @pytest.mark.parametrize("value", SAMPLES, ids=lambda v: type(v).__name__)
+    def test_frame_roundtrip(self, value):
+        assert decode_frame(encode_frame(value)) == value
+
+    def test_certificate_survives_canonical_ordering(self):
+        message = signed_vdecide()
+        decoded = decode_frame(encode_frame(message))
+        assert decoded.cert.entries == message.cert.entries
+        assert decoded.signature == message.signature
+
+    def test_assembler_reassembles_byte_dribble(self):
+        stream = b"".join(encode_frame(value) for value in SAMPLES)
+        assembler = FrameAssembler()
+        out = []
+        for i in range(0, len(stream), 7):
+            out.extend(assembler.feed(stream[i : i + 7]))
+        assert out == SAMPLES
+
+    def test_register_rejects_duplicate_names(self):
+        class Fresh:
+            pass
+
+        with pytest.raises(WireError):
+            register_wire_type(Fresh, name="Command")
+
+
+class TestHostileFrames:
+    """Satellite: fuzzed malformed frames are rejections, never crashes."""
+
+    def assert_rejected_or_decoded(self, data: bytes) -> None:
+        try:
+            decode_frame(data)
+        except WireError:
+            pass  # the only acceptable exception type
+
+    def test_truncated_frames(self):
+        frame = encode_frame(SAMPLES[-1])
+        for cut in range(len(frame)):
+            with pytest.raises(WireError):
+                decode_frame(frame[:cut])
+
+    def test_trailing_garbage(self):
+        frame = encode_frame((1, 2, 3))
+        with pytest.raises(WireError):
+            decode_frame(frame + b"\x00")
+
+    def test_wrong_magic(self):
+        frame = bytearray(encode_frame(1))
+        frame[0] ^= 0xFF
+        with pytest.raises(WireError):
+            decode_frame(bytes(frame))
+
+    def test_wrong_version(self):
+        frame = bytearray(encode_frame(1))
+        frame[2] = VERSION + 1
+        with pytest.raises(WireError):
+            decode_frame(bytes(frame))
+
+    def test_oversized_declared_length(self):
+        header = HEADER.pack(MAGIC, VERSION, MAX_FRAME + 1)
+        with pytest.raises(WireError):
+            decode_frame(header + b"\x00" * 16)
+        with pytest.raises(WireError):
+            FrameAssembler().feed(header)
+
+    def test_depth_bomb(self):
+        value = "leaf"
+        for _ in range(MAX_DEPTH + 2):
+            value = (value,)
+        with pytest.raises(WireError):
+            encode_payload(value)
+
+    def test_unregistered_type_is_unencodable(self):
+        class Alien:
+            pass
+
+        with pytest.raises(WireError):
+            encode_payload(Alien())
+
+    def test_every_single_bitflip_is_contained(self):
+        frame = bytearray(encode_frame(SAMPLES[-1]))
+        for pos in range(len(frame)):
+            for bit in (0x01, 0x80):
+                mutated = bytearray(frame)
+                mutated[pos] ^= bit
+                self.assert_rejected_or_decoded(bytes(mutated))
+
+    def test_random_tampering_fuzz(self):
+        rng = random.Random(42)
+        frames = [bytearray(encode_frame(value)) for value in SAMPLES]
+        for trial in range(400):
+            frame = bytearray(rng.choice(frames))
+            for _ in range(rng.randint(1, 9)):
+                frame[rng.randrange(len(frame))] = rng.randrange(256)
+            self.assert_rejected_or_decoded(bytes(frame))
+
+    def test_random_garbage_fuzz(self):
+        rng = random.Random(7)
+        for trial in range(400):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randint(0, 64)))
+            self.assert_rejected_or_decoded(blob)
+            self.assert_rejected_or_decoded(
+                HEADER.pack(MAGIC, VERSION, len(blob)) + blob
+            )
+
+    def test_assembler_survives_tampered_stream_then_raises(self):
+        good = encode_frame("before")
+        bad = bytearray(encode_frame("after"))
+        bad[0] ^= 0xFF  # corrupt the magic of the second frame
+        assembler = FrameAssembler()
+        with pytest.raises(WireError):
+            assembler.feed(good + bytes(bad))
+
+    def test_wire_error_is_a_repro_error(self):
+        assert issubclass(WireError, ReproError)
