@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test campaign-smoke lossy-smoke service-smoke net-smoke docs-check benchmarks experiments
+.PHONY: test campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke smoke docs-check benchmarks experiments
 
 # -W error promotes every warning to a failure; the lone ignore shields
 # the suite from a deprecation raised inside third-party plugin hooks.
@@ -37,6 +37,19 @@ service-smoke:
 # convergence and exactly-once at every replica.
 net-smoke:
 	$(PYTHON) -m repro net cluster --replicas 4 --requests 100 --kill 2
+
+# The performance smoke (docs/PERFORMANCE.md): a short deterministic
+# saturation run plus the cached/uncached equivalence check, run twice —
+# the canonical JSON records must be byte-identical (cache counters are
+# deterministic functions of the seeded event order).
+perf-smoke:
+	$(PYTHON) -m repro perf smoke --out /tmp/perf-smoke-a.json
+	$(PYTHON) -m repro perf smoke --out /tmp/perf-smoke-b.json
+	cmp /tmp/perf-smoke-a.json /tmp/perf-smoke-b.json
+	rm -f /tmp/perf-smoke-a.json /tmp/perf-smoke-b.json
+
+# Every smoke target in one call.
+smoke: campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke
 
 # Execute every ```python snippet in README.md and docs/*.md
 # (tests/test_docs_snippets.py); keeps the documented examples honest.

@@ -12,6 +12,10 @@ human (or the ``python -m repro report`` command) wants:
   certificates checked per round, ...) as one row per (round, module,
   metric);
 * **event counts** — the trace compressed to one row per event type;
+* **gauges and histograms** — rendered per label (never summed across
+  pids: a gauge is a point-in-time value and a histogram already
+  aggregates), so batch occupancy, latency spreads and queue depths
+  survive into the report instead of being dropped;
 * **link health** — the per-link ``drop[src->dst]`` / ``dup[...]`` /
   ``retransmit[...]`` / ``ack[...]`` counters the network and transport
   layers emit, pivoted into one row per directed link.
@@ -44,6 +48,11 @@ class RunReport:
     )
     #: trace event type -> occurrence count.
     event_counts: dict[str, int] = field(default_factory=dict)
+    #: gauge rows: {"module", "name", "pid", "round", "value"}.
+    gauges: list[dict[str, Any]] = field(default_factory=list)
+    #: histogram rows: {"module", "name", "pid", "round", "count",
+    #: "sum", "min", "max", "mean"}.
+    histograms: list[dict[str, Any]] = field(default_factory=list)
 
     # -- construction --------------------------------------------------------
 
@@ -58,6 +67,22 @@ class RunReport:
         counts: dict[str, int] = {}
         for event in events or []:
             counts[event["type"]] = counts.get(event["type"], 0) + 1
+        # Gauges and histograms are kept per label, not summed: a gauge
+        # is a point-in-time value and a histogram already aggregates —
+        # collapsing either across pids would fabricate numbers no
+        # module ever reported.
+        gauges = [
+            {"module": module, "name": name, "pid": pid, "round": rnd,
+             "value": value}
+            for (module, name, pid, rnd), value in metrics.iter_gauges()
+        ]
+        histograms = [
+            {"module": module, "name": name, "pid": pid, "round": rnd,
+             "count": int(count), "sum": total, "min": low, "max": high,
+             "mean": total / count if count else 0.0}
+            for (module, name, pid, rnd), (count, total, low, high)
+            in metrics.iter_histograms()
+        ]
         return cls(
             meta=dict(meta or {}),
             module_totals=metrics.totals_by_module(),
@@ -66,6 +91,8 @@ class RunReport:
                 for rnd in metrics.rounds_observed()
             },
             event_counts=dict(sorted(counts.items())),
+            gauges=gauges,
+            histograms=histograms,
         )
 
     @classmethod
@@ -155,6 +182,33 @@ class RunReport:
                     ],
                 )
             )
+        if self.gauges:
+            sections.append(
+                render_table(
+                    "gauges",
+                    ["module", "metric", "pid", "value"],
+                    [
+                        [row["module"], row["name"],
+                         "-" if row["pid"] is None else row["pid"],
+                         row["value"]]
+                        for row in self.gauges
+                    ],
+                )
+            )
+        if self.histograms:
+            sections.append(
+                render_table(
+                    "histograms",
+                    ["module", "metric", "pid", "count", "mean", "min", "max"],
+                    [
+                        [row["module"], row["name"],
+                         "-" if row["pid"] is None else row["pid"],
+                         row["count"], round(row["mean"], 4),
+                         row["min"], row["max"]]
+                        for row in self.histograms
+                    ],
+                )
+            )
         link_health = self.link_health()
         if link_health:
             kinds = sorted({kind for counters in link_health.values() for kind in counters})
@@ -194,6 +248,8 @@ class RunReport:
                 for (module, name), value in sorted(pairs.items())
             ],
             "event_counts": self.event_counts,
+            "gauges": self.gauges,
+            "histograms": self.histograms,
             "paper_module_activity": self.paper_module_activity(),
             "link_health": [
                 {"src": src, "dst": dst, **counters}

@@ -18,7 +18,10 @@ Usage (``python -m repro <command> ...``):
   (``run`` / ``campaign``; see ``docs/SERVICE.md``);
 * ``net`` — the deployed runtime: the same replica stack as real OS
   processes over TCP (``keygen`` / ``replica`` / ``client`` /
-  ``cluster``; see ``docs/NET.md``).
+  ``cluster``; see ``docs/NET.md``);
+* ``perf`` — the deterministic performance smoke: a short saturation
+  run plus a cached/uncached equivalence check, exported as canonical
+  JSON for byte-identity pinning (``smoke``; see docs/PERFORMANCE.md).
 
 Invalid configurations (unknown attacks, malformed ``PID:VALUE`` pairs,
 fault plans beyond the resilience bounds, ...) exit with status 2 via
@@ -379,6 +382,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--workdir", help="keep genesis/logs/metrics here (default: temp)"
     )
     n_cluster.add_argument("--concurrency", type=int, default=8)
+
+    perf = sub.add_parser(
+        "perf",
+        help="deterministic performance smoke (docs/PERFORMANCE.md)",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    p_smoke = perf_sub.add_parser(
+        "smoke",
+        help="short saturation run + cached/uncached equivalence check",
+    )
+    p_smoke.add_argument(
+        "--out",
+        help="write the canonical JSON record to this file (default: stdout)",
+    )
 
     experiments = sub.add_parser(
         "experiments",
@@ -1000,6 +1017,26 @@ def cmd_net(args: argparse.Namespace) -> int:
     return 0 if verdict["ok"] else 1
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.analysis.perf import smoke_json, smoke_ok, smoke_record
+
+    record = smoke_record()
+    text = smoke_json(record) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text, end="")
+    ok = smoke_ok(record)
+    print(
+        f"perf smoke: {'ok' if ok else 'FAILED'} "
+        f"({len(record['cells'])} cells, equivalence "
+        f"{'held' if record['equivalence']['equivalent'] else 'BROKEN'})",
+        file=sys.stderr,
+    )
+    return 0 if ok else 1
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import print_table as table
     from repro.analysis.suite import discover, run_experiments
@@ -1045,6 +1082,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "campaign": cmd_campaign,
         "service": cmd_service,
         "net": cmd_net,
+        "perf": cmd_perf,
         "experiments": cmd_experiments,
     }
     try:

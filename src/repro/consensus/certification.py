@@ -32,10 +32,71 @@ from repro.consensus.hurfin_raynal import coordinator_of
 from repro.core.certificates import Certificate, SignedMessage
 from repro.core.specs import SystemParameters
 from repro.core.vector_certification import certified_vector_problems
+from repro.crypto.cache import caching_enabled
 from repro.messages.consensus import Init, VCurrent, VDecide, VNext, Vector
+from repro.observability.registry import ModuleMetrics, NULL_METRICS
 
 #: Verifier callback: validates one signed message's signature + identity.
 SignatureCheck = Callable[[SignedMessage], bool]
+
+
+class PredicateCache:
+    """Memo of *clean* PF verdicts, keyed by envelope digest.
+
+    The envelope digest (:meth:`SignedMessage.envelope_digest`) pins the
+    body, the certificate digest and the signature, so two envelopes with
+    equal digests certify identical content. Once a process has fully
+    analysed a CURRENT or DECIDE and found it well-formed, re-deriving
+    the same verdict for the same envelope — a quorum certificate's
+    entries get re-analysed by every DECIDE that embeds them — is pure
+    waste; the cache answers instead.
+
+    Only clean verdicts are stored, and the asymmetry is deliberate: a
+    full envelope and its pruned variant share one digest (pruning
+    preserves the light canonical form), but only the full variant can
+    be analysed to a clean verdict. Caching "clean" lets the pruned
+    sibling ride on the full expansion this process has already checked
+    (exactly the once-per-process semantics we want); caching "dirty"
+    would let a pruned sibling's "cannot be analysed" verdict wrongly
+    condemn the full one. Verdict kinds ("current", "decide") are part
+    of the key so a clean DECIDE can never answer for a CURRENT check.
+
+    One cache serves exactly one ``verify`` callback (one key domain):
+    banks own their cache and never share it across slot engines, since
+    a verdict is only meaningful under the authority that produced it.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_clean", "_metrics")
+
+    def __init__(self, max_entries: int = 1 << 16) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._clean: dict[tuple[str, str], None] = {}
+        self._metrics: ModuleMetrics = NULL_METRICS
+
+    def attach_metrics(self, metrics: ModuleMetrics) -> None:
+        """Export hit/miss counters through ``metrics`` (first bind wins)."""
+        if self._metrics is NULL_METRICS:
+            self._metrics = metrics
+
+    def seen_clean(self, kind: str, digest: str) -> bool:
+        """True iff ``(kind, digest)`` was recorded clean by this process."""
+        if (kind, digest) in self._clean:
+            self.hits += 1
+            self._metrics.inc("pf_cache_hits")
+            return True
+        self.misses += 1
+        self._metrics.inc("pf_cache_misses")
+        return False
+
+    def record_clean(self, kind: str, digest: str) -> None:
+        if len(self._clean) >= self.max_entries:
+            self._clean.pop(next(iter(self._clean)))
+        self._clean[(kind, digest)] = None
+
+    def __len__(self) -> int:
+        return len(self._clean)
 
 
 def _entry_signature_problems(
@@ -164,6 +225,7 @@ def current_message_problems(
     params: SystemParameters,
     verify: SignatureCheck,
     _depth: int = 0,
+    cache: PredicateCache | None = None,
 ) -> list[str]:
     """The ``PF`` predicate for a ``CURRENT`` message (both forms).
 
@@ -180,6 +242,9 @@ def current_message_problems(
     body = message.body
     if not isinstance(body, VCurrent):
         return [f"expected a CURRENT body, found {type(body).__name__}"]
+    use_cache = cache is not None and caching_enabled()
+    if use_cache and cache.seen_clean("current", message.envelope_digest()):
+        return []
     problems: list[str] = []
     if body.round < 1:
         problems.append(f"CURRENT carries invalid round {body.round}")
@@ -218,6 +283,8 @@ def current_message_problems(
         problems.extend(
             next_set_problems(fresh_nexts, body.round - 1, params, verify)
         )
+        if not problems and use_cache:
+            cache.record_clean("current", message.envelope_digest())
         return problems
     # Relay form.
     currents = cert.of_type(VCurrent)
@@ -248,8 +315,10 @@ def current_message_problems(
     if inner.body.sender == body.sender:
         problems.append("a CURRENT cannot be certified by its own sender")
     problems.extend(
-        current_message_problems(inner, params, verify, _depth + 1)
+        current_message_problems(inner, params, verify, _depth + 1, cache=cache)
     )
+    if not problems and use_cache:
+        cache.record_clean("current", message.envelope_digest())
     return problems
 
 
@@ -257,6 +326,7 @@ def next_message_problems(
     message: SignedMessage,
     params: SystemParameters,
     verify: SignatureCheck,
+    cache: PredicateCache | None = None,
 ) -> list[str]:
     """The ``PF`` predicate for a ``NEXT`` message.
 
@@ -276,6 +346,11 @@ def next_message_problems(
     All embedded entries must be correctly signed and refer to the NEXT's
     own round (INIT entries excepted).
     """
+    # NEXT verdicts are not memoized: their shapes depend on per-entry
+    # round arithmetic that is cheap next to the (already sig-cached)
+    # entry verifications, and NEXTs are never embedded quorum-deep the
+    # way CURRENTs are. The kwarg exists for call-site uniformity.
+    del cache
     body = message.body
     if not isinstance(body, VNext):
         return [f"expected a NEXT body, found {type(body).__name__}"]
@@ -333,6 +408,7 @@ def decide_message_problems(
     message: SignedMessage,
     params: SystemParameters,
     verify: SignatureCheck,
+    cache: PredicateCache | None = None,
 ) -> list[str]:
     """The ``PF`` predicate for a ``DECIDE`` message.
 
@@ -341,10 +417,19 @@ def decide_message_problems(
     distinct senders, each itself passing the CURRENT predicate — this
     witnesses that the sender's decision condition (line 20) was evaluated
     correctly and grounds the decided vector in certified initial values.
+
+    With a :class:`PredicateCache` the quorum's per-entry deep checks are
+    *lazy*: a CURRENT entry this process already analysed (on its sender's
+    channel, or inside an earlier DECIDE) is accepted by digest lookup, so
+    a quorum certificate costs one full analysis per process, not one per
+    embedding message.
     """
     body = message.body
     if not isinstance(body, VDecide):
         return [f"expected a DECIDE body, found {type(body).__name__}"]
+    use_cache = cache is not None and caching_enabled()
+    if use_cache and cache.seen_clean("decide", message.envelope_digest()):
+        return []
     if not message.has_full_cert:
         return ["DECIDE certificate was pruned; cannot be analysed"]
     cert = message.full_cert()
@@ -377,11 +462,13 @@ def decide_message_problems(
     if problems:
         return problems
     for sm in currents:
-        inner_problems = current_message_problems(sm, params, verify)
+        inner_problems = current_message_problems(sm, params, verify, cache=cache)
         if inner_problems:
             problems.extend(
                 f"CURRENT entry from {sm.body.sender}: {p}" for p in inner_problems
             )
+    if not problems and use_cache:
+        cache.record_clean("decide", message.envelope_digest())
     return problems
 
 
@@ -389,6 +476,7 @@ def init_message_problems(
     message: SignedMessage,
     params: SystemParameters,
     verify: SignatureCheck,
+    cache: PredicateCache | None = None,
 ) -> list[str]:
     """The ``PF`` predicate for an ``INIT`` message: empty certificate."""
     body = message.body
@@ -396,5 +484,5 @@ def init_message_problems(
         return [f"expected an INIT body, found {type(body).__name__}"]
     if message.has_full_cert and len(message.full_cert()) != 0:
         return ["INIT messages must carry an empty certificate"]
-    del params, verify  # signature already checked upstream; no content rule
+    del params, verify, cache  # signature checked upstream; no content rule
     return []

@@ -29,9 +29,8 @@ from typing import Callable, Protocol
 from repro.consensus import certification as certs
 from repro.core.automaton import FAULTY, BehaviorViolation, StateMachine, Step
 from repro.core.certificates import SignedMessage
-from repro.crypto.encoding import canonical_bytes
 from repro.core.specs import SystemParameters
-from repro.consensus.certification import SignatureCheck
+from repro.consensus.certification import PredicateCache, SignatureCheck
 from repro.consensus.hurfin_raynal import coordinator_of
 from repro.messages.consensus import Init, VCurrent, VDecide, VNext
 from repro.observability.registry import (
@@ -84,11 +83,15 @@ class PeerMonitor:
         verify: SignatureCheck,
         check_certificates: bool = True,
         initial_state: str = START,
+        pf_cache: PredicateCache | None = None,
     ) -> None:
         self.peer = peer
         self.params = params
         self.verify = verify
         self.check_certificates = check_certificates
+        # Clean-verdict memo, shared with the sibling monitors of one
+        # bank (same verify, same key domain — docs/PERFORMANCE.md).
+        self.pf_cache = pf_cache
         # Streams normally open with the peer's INIT; variants that move
         # the INIT phase off-channel (echo-INIT over reliable broadcast)
         # start the stream directly in round 1 / q0.
@@ -207,7 +210,7 @@ class PeerMonitor:
     def _analyse(self, predicate, message: SignedMessage) -> list[str]:
         """Run one PF predicate under the certification span timer."""
         with self.cert_metrics.span("pf_predicate"):
-            return predicate(message, self.params, self.verify)
+            return predicate(message, self.params, self.verify, cache=self.pf_cache)
 
     def _require_clean(self, problems: list[str]) -> None:
         if not self.check_certificates:
@@ -260,7 +263,7 @@ class EquivocationLedger:
             return
         body = message.body
         key = (body.sender, type(body).__name__, getattr(body, "round", None))
-        fingerprint = canonical_bytes(message.light_canonical())
+        fingerprint = message.light_bytes()
         previous = self._seen.get(key)
         if previous is None:
             self._seen[key] = fingerprint
@@ -298,6 +301,11 @@ class MonitorBank:
     ) -> None:
         self.own_pid = own_pid
         self.params = params
+        # One clean-verdict memo for the whole bank: every monitor runs
+        # the same verify under the same key domain, so a CURRENT checked
+        # on one channel needs no re-analysis when it reappears inside a
+        # certificate on another.
+        self.pf_cache = PredicateCache()
         if monitor_factory is None:
             def monitor_factory(peer: int):  # the Figure 4 default
                 return PeerMonitor(
@@ -306,6 +314,7 @@ class MonitorBank:
                     verify,
                     check_certificates=check_certificates,
                     initial_state=initial_state,
+                    pf_cache=self.pf_cache,
                 )
         self.monitors: dict[int, "PeerMonitorLike"] = {
             peer: monitor_factory(peer)
@@ -329,6 +338,7 @@ class MonitorBank:
         """
         self.metrics = registry.scope(MODULE_MONITOR, pid)
         self.cert_metrics = registry.scope(MODULE_CERTIFICATION, pid)
+        self.pf_cache.attach_metrics(self.cert_metrics)
         for monitor in self.monitors.values():
             attach = getattr(monitor, "attach_metrics", None)
             if attach is not None:

@@ -120,6 +120,11 @@ class TransformedConsensusProcess(ConsensusProcess):
         self._cert_metrics = env.metrics.scope(MODULE_CERTIFICATION, self.pid)
         self._proto_metrics = env.metrics.scope(MODULE_PROTOCOL, self.pid)
         self.monitor_bank.attach_metrics(env.metrics, self.pid)
+        # Export the signature-verdict cache's hit/miss counters. The
+        # scheme (and hence its cache) may be shared by several processes
+        # of one simulated world; attach is first-bind-wins, so the
+        # counters land on one scope instead of being split.
+        self.authority.scheme.cache.attach_metrics(self._sig_metrics)
 
     # -- derived views -------------------------------------------------------
 

@@ -42,7 +42,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Type, TypeVar
 
-from repro.crypto.encoding import canonical_bytes
+from repro.crypto.cache import caching_enabled
+from repro.crypto.encoding import canonical_bytes, tuple_bytes
 from repro.crypto.keys import Signer
 from repro.crypto.signatures import Signature, SignatureScheme
 from repro.errors import CertificateError
@@ -74,7 +75,7 @@ class Certificate:
     def __init__(self, entries: tuple["SignedMessage", ...] = ()) -> None:
         unique: dict[bytes, SignedMessage] = {}
         for entry in entries:
-            unique[canonical_bytes(entry.light_canonical())] = entry
+            unique[entry.light_bytes()] = entry
         self._entries = tuple(
             entry for _key, entry in sorted(unique.items(), key=lambda kv: kv[0])
         )
@@ -89,10 +90,8 @@ class Certificate:
         return iter(self._entries)
 
     def __contains__(self, item: "SignedMessage") -> bool:
-        key = canonical_bytes(item.light_canonical())
-        return any(
-            canonical_bytes(e.light_canonical()) == key for e in self._entries
-        )
+        key = item.light_bytes()
+        return any(e.light_bytes() == key for e in self._entries)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Certificate):
@@ -135,9 +134,9 @@ class Certificate:
     def digest(self) -> CertificateDigest:
         """Digest invariant under pruning of the entries' own certificates."""
         if self._digest is None:
-            payload = canonical_bytes(
-                tuple(entry.light_canonical() for entry in self._entries)
-            )
+            # Byte-identical to encoding the tuple of light_canonical()
+            # forms, but reuses each entry's memoized encoding.
+            payload = tuple_bytes(entry.light_bytes() for entry in self._entries)
             self._digest = CertificateDigest(hashlib.sha256(payload).hexdigest())
         return self._digest
 
@@ -155,7 +154,13 @@ class Certificate:
 EMPTY_CERTIFICATE = Certificate(())
 
 
-@dataclass(frozen=True, slots=True)
+# No ``slots=True`` here, deliberately: the instance __dict__ carries
+# memoized encodings/digests (sound because the dataclass is frozen and
+# its fields immutable), which is what makes repeat verification of one
+# envelope a dict lookup instead of a re-encode + MAC. The memo fields
+# never participate in __eq__/__hash__ — dataclass comparison only sees
+# the declared fields.
+@dataclass(frozen=True)
 class SignedMessage:
     """A signed protocol message with its (possibly pruned) certificate."""
 
@@ -193,6 +198,52 @@ class SignedMessage:
 
     def canonical(self) -> Any:
         return self.light_canonical()
+
+    # -- memoized encodings (performance; see docs/PERFORMANCE.md) -----------
+
+    def _memo(self, attr: str, compute: Callable[[], Any]) -> Any:
+        if not caching_enabled():
+            return compute()
+        value = self.__dict__.get(attr)
+        if value is None:
+            value = compute()
+            self.__dict__[attr] = value
+        return value
+
+    def payload_bytes(self) -> bytes:
+        """Canonical encoding of :meth:`signed_payload` (what the MAC covers)."""
+        return self._memo(
+            "_payload_bytes", lambda: canonical_bytes(self.signed_payload())
+        )
+
+    def payload_digest(self) -> bytes:
+        """SHA-256 of :meth:`payload_bytes` — the verification-cache key part."""
+        return self._memo(
+            "_payload_digest",
+            lambda: hashlib.sha256(self.payload_bytes()).digest(),
+        )
+
+    def light_bytes(self) -> bytes:
+        """Canonical encoding of :meth:`light_canonical`.
+
+        Pruning-invariant, hence the envelope's fingerprint everywhere a
+        certificate sorts, deduplicates or compares entries.
+        """
+        return self._memo(
+            "_light_bytes", lambda: canonical_bytes(self.light_canonical())
+        )
+
+    def envelope_digest(self) -> str:
+        """SHA-256 hex of :meth:`light_bytes` — the envelope's identity.
+
+        Keys the clean-verdict predicate cache
+        (:class:`repro.consensus.certification.PredicateCache`): identical
+        digest means identical body, certificate digest and signature.
+        """
+        return self._memo(
+            "_envelope_digest",
+            lambda: hashlib.sha256(self.light_bytes()).hexdigest(),
+        )
 
     # -- pruning -------------------------------------------------------------
 
@@ -258,10 +309,17 @@ class CertificationAuthority:
         return SignedMessage(body=body, cert=cert, signature=signature)
 
     def signature_valid(self, message: SignedMessage) -> bool:
-        """True iff the signature verifies *and* matches the identity field."""
+        """True iff the signature verifies *and* matches the identity field.
+
+        Verification goes through the scheme's verdict cache keyed by the
+        envelope's memoized payload digest, so re-checking an already-seen
+        envelope costs a dict lookup (docs/PERFORMANCE.md).
+        """
         if message.signature.signer != message.body.sender:
             return False
-        return self._scheme.verify(message.signed_payload(), message.signature)
+        return self._scheme.verify_digest(
+            message.payload_bytes(), message.payload_digest(), message.signature
+        )
 
 
 _PLACEHOLDER = Signature(signer=-1, mac=b"")

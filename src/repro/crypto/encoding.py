@@ -7,13 +7,33 @@ vocabulary of types that protocol messages are built from.
 
 Objects may participate by implementing ``canonical()`` returning a value
 built from that vocabulary; dataclass-based messages do this generically.
+
+Performance (docs/PERFORMANCE.md): this function dominates the simulator
+profile — every signature check and certificate fingerprint re-encodes
+nested message trees. Two optimizations keep it off the flame graph
+without changing a single output byte:
+
+* object dispatch via ``getattr(value, "canonical", ...)`` instead of an
+  ``isinstance`` check against a ``runtime_checkable`` Protocol (the
+  protocol instance check walks ``typing`` internals on every call and
+  alone accounted for ~30% of a certificate-heavy run);
+* a per-object memo of the finished encoding, stored in the instance
+  ``__dict__`` of objects that have one (immutable envelopes opt in by
+  not declaring ``__slots__``). The memo is sound because participating
+  objects are frozen: equal object, equal bytes, forever. The global
+  kill-switch in :mod:`repro.crypto.cache` disables the memo for honest
+  benchmark baselines.
 """
 
 from __future__ import annotations
 
-from typing import Any, Protocol, runtime_checkable
+from typing import Any, Iterable, Protocol, runtime_checkable
 
+from repro.crypto import cache as _cache
 from repro.errors import EncodingError
+
+#: Instance-dict key of the per-object encoding memo.
+_MEMO_ATTR = "_canonical_memo"
 
 
 @runtime_checkable
@@ -33,6 +53,15 @@ def canonical_bytes(value: Any) -> bytes:
     object exposing ``canonical()``.
     """
     return _encode(value)
+
+
+def tuple_bytes(payloads: Iterable[bytes]) -> bytes:
+    """The encoding of a tuple whose items are already encoded.
+
+    ``tuple_bytes(map(canonical_bytes, items)) == canonical_bytes(tuple(items))``
+    — lets certificate fingerprints reuse per-entry memoized encodings.
+    """
+    return _tlv(b"T", b"".join(payloads))
 
 
 def _tlv(tag: bytes, payload: bytes) -> bytes:
@@ -61,9 +90,19 @@ def _encode(value: Any) -> bytes:
         return _tlv(b"D", b"".join(key + val for key, val in items))
     if isinstance(value, (set, frozenset)):
         return _tlv(b"E", b"".join(sorted(_encode(item) for item in value)))
-    if isinstance(value, Canonicalizable):
+    canonical = getattr(value, "canonical", None)
+    if canonical is not None and callable(canonical):
+        memo = getattr(value, "__dict__", None) if _cache.caching_enabled() else None
+        if memo is not None:
+            cached = memo.get(_MEMO_ATTR)
+            if cached is not None:
+                return cached
         # Tag with the class name so structurally-equal values of distinct
         # message types never collide.
         name = type(value).__qualname__.encode("utf-8")
-        return _tlv(b"O", _tlv(b"S", name) + _encode(value.canonical()))
+        encoded = _tlv(b"O", _tlv(b"S", name) + _encode(canonical()))
+        if memo is not None:
+            # Direct __dict__ store: works on frozen dataclasses too.
+            memo[_MEMO_ATTR] = encoded
+        return encoded
     raise EncodingError(f"cannot canonically encode {type(value).__name__}: {value!r}")

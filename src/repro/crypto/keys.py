@@ -30,6 +30,7 @@ class KeyAuthority:
 
     def __init__(self, n: int, seed: int = 0) -> None:
         self._n = n
+        self._seed = seed
         self._keys: dict[int, bytes] = {
             pid: hashlib.sha256(f"key/{seed}/{pid}".encode("utf-8")).digest()
             for pid in range(n)
@@ -38,6 +39,17 @@ class KeyAuthority:
     @property
     def n(self) -> int:
         return self._n
+
+    @property
+    def domain(self) -> tuple[int, int]:
+        """The key-derivation domain ``(n, seed)``.
+
+        Two authorities with the same domain derive identical keys, so
+        the domain is the correct namespace for cached verification
+        verdicts (:mod:`repro.crypto.cache`): a verdict cached under one
+        slot's authority must never answer for another slot's.
+        """
+        return (self._n, self._seed)
 
     def signer_for(self, pid: int) -> "Signer":
         """Hand out the signing capability of process ``pid``."""

@@ -12,6 +12,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any
 
+from repro.crypto.cache import SignatureCache, caching_enabled
 from repro.crypto.encoding import canonical_bytes
 from repro.crypto.keys import KeyAuthority, Signer
 
@@ -30,12 +31,20 @@ class Signature:
 class SignatureScheme:
     """Signs and verifies canonicalizable values for a fixed process set."""
 
-    def __init__(self, authority: KeyAuthority) -> None:
+    def __init__(
+        self, authority: KeyAuthority, cache: SignatureCache | None = None
+    ) -> None:
         self._authority = authority
+        self._cache = cache if cache is not None else SignatureCache()
 
     @property
     def authority(self) -> KeyAuthority:
         return self._authority
+
+    @property
+    def cache(self) -> SignatureCache:
+        """The verdict cache consulted by :meth:`verify_digest`."""
+        return self._cache
 
     def sign(self, signer: Signer, value: Any) -> Signature:
         """Sign ``value`` with the capability ``signer``."""
@@ -46,6 +55,27 @@ class SignatureScheme:
         return self._authority.verify(
             signature.signer, canonical_bytes(value), signature.mac
         )
+
+    def verify_digest(
+        self, data: bytes, digest: bytes, signature: Signature
+    ) -> bool:
+        """Cached :meth:`verify` over pre-encoded bytes and their digest.
+
+        ``digest`` must be the SHA-256 of ``data``; callers that memoize
+        it per envelope (:class:`~repro.core.certificates.SignedMessage`)
+        turn every repeat verification into a dict lookup. The cache key
+        includes the authority's key domain, the claimed signer and the
+        MAC, so a hit is exactly as discriminating as the real check
+        (safety argument: :mod:`repro.crypto.cache`).
+        """
+        if not caching_enabled():
+            return self._authority.verify(signature.signer, data, signature.mac)
+        key = (self._authority.domain, signature.signer, digest, signature.mac)
+        verdict = self._cache.lookup(key)
+        if verdict is None:
+            verdict = self._authority.verify(signature.signer, data, signature.mac)
+            self._cache.store(key, verdict)
+        return verdict
 
     def forge(self, claimed_signer: int, value: Any, nonce: int = 0) -> Signature:
         """Produce a *bogus* signature claiming ``claimed_signer`` signed ``value``.

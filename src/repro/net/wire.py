@@ -16,12 +16,28 @@ Frame layout::
     |  2 B   |   1 B   |     big-endian       |   ...   |
     +--------+---------+----------------------+---------+
 
+Two payload versions live behind that header (docs/PERFORMANCE.md):
+
+* **v1** — the original TLV payload: one-letter ASCII tags, u64 lengths,
+  integers as decimal strings. Verbose but directly mirrors the
+  canonical signing encoding. Kept as the compatibility fallback.
+* **v2** — the compact binary payload (the default): single-byte tags,
+  zigzag-varint integers, raw IEEE-754 doubles, varint length prefixes,
+  count-prefixed containers. Typically 2–3× smaller than v1 on signed
+  certificate traffic, and decoded by slicing one shared
+  :class:`memoryview` cursor — no per-node buffer copies.
+
+A receiver accepts every version in :data:`SUPPORTED_VERSIONS`
+regardless of what it sends, so mixed-version clusters interoperate;
+:class:`FrameAssembler` counts decoded frames per version for the
+``frames_v1``/``frames_v2`` transport metrics.
+
 Robustness contract: **every** malformed input — truncated, oversized,
 wrong magic, wrong version, tampered payload, unknown type, hostile
 nesting depth — raises :class:`WireError` (a :class:`~repro.errors.
 ReproError`) and nothing else. Transports count these as rejections;
 nothing on the wire may crash or hang a node
-(``tests/test_net_wire.py`` fuzzes exactly this).
+(``tests/test_net_wire.py`` fuzzes exactly this, for both versions).
 """
 
 from __future__ import annotations
@@ -38,9 +54,16 @@ class WireError(ReproError):
     """A frame or payload violates the wire format (always a rejection)."""
 
 
-#: Frame magic + codec version; bump the version on any layout change.
+#: Frame magic; the byte after it selects the payload version.
 MAGIC = b"RB"
+#: The original TLV payload version (historical name kept for callers).
 VERSION = 1
+#: The compact binary payload version.
+VERSION_BINARY = 2
+#: Payload versions this node decodes.
+SUPPORTED_VERSIONS = (VERSION, VERSION_BINARY)
+#: Payload version used for encoding unless a caller pins one.
+DEFAULT_VERSION = VERSION_BINARY
 HEADER = struct.Struct(">2sBI")
 #: Ceiling on one frame's payload: bounds memory against hostile length
 #: prefixes while leaving room for full state-transfer snapshots.
@@ -50,6 +73,9 @@ MAX_FRAME = 8 * 1024 * 1024
 MAX_DEPTH = 64
 #: Ceiling on the decimal-digit length of one encoded integer.
 MAX_INT_DIGITS = 4096
+#: Ceiling on one v2 varint's byte length (≈ 4700 decimal digits —
+#: the same order of magnitude as MAX_INT_DIGITS bounds for v1).
+MAX_VARINT_BYTES = 2048
 
 #: name -> (class, to_fields, from_fields); class -> (name, to_fields).
 _BY_NAME: dict[str, tuple[type, Callable[[Any], tuple], Callable[[tuple], Any]]] = {}
@@ -216,32 +242,277 @@ def _decode(buf: memoryview, pos: int, end: int, depth: int) -> tuple[Any, int]:
     raise WireError(f"unknown TLV tag {tag!r}")
 
 
-def encode_payload(value: Any) -> bytes:
+# -- the v2 compact binary payload ------------------------------------------
+#
+# Single-byte tags; varint(n) is base-128 little-endian with the high bit
+# as the continuation flag; zigzag maps signed to unsigned before the
+# varint. Containers are count-prefixed (not byte-length-prefixed), so
+# the decoder walks a single cursor over one memoryview of the receive
+# buffer and copies bytes only at str/bytes leaves.
+
+_T2_NONE = 0x00
+_T2_FALSE = 0x01
+_T2_TRUE = 0x02
+_T2_INT = 0x03
+_T2_FLOAT = 0x04
+_T2_STR = 0x05
+_T2_BYTES = 0x06
+_T2_TUPLE = 0x07
+_T2_DICT = 0x08
+_T2_SET = 0x09
+_T2_REG = 0x0A
+
+_F64 = struct.Struct(">d")
+
+
+def _write_varint(out: bytearray, n: int) -> None:
+    while True:
+        low = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(low | 0x80)
+        else:
+            out.append(low)
+            return
+
+
+def _read_varint(buf: memoryview, pos: int, end: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    count = 0
+    while True:
+        if pos >= end:
+            raise WireError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        count += 1
+        if count > MAX_VARINT_BYTES:
+            raise WireError("varint exceeds the byte ceiling")
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def _unzigzag(value: int) -> int:
+    return value // 2 if value % 2 == 0 else -(value // 2) - 1
+
+
+def _encode_v2(out: bytearray, value: Any, depth: int) -> None:
+    if depth > MAX_DEPTH:
+        raise WireError("payload nesting exceeds the depth ceiling")
+    if value is None:
+        out.append(_T2_NONE)
+        return
+    if isinstance(value, bool):  # must precede int: bool is an int subclass
+        out.append(_T2_TRUE if value else _T2_FALSE)
+        return
+    if isinstance(value, int):
+        if value.bit_length() > 7 * MAX_VARINT_BYTES - 1:
+            raise WireError("integer exceeds the varint ceiling")
+        out.append(_T2_INT)
+        _write_varint(out, _zigzag(value))
+        return
+    if isinstance(value, float):
+        out.append(_T2_FLOAT)
+        out += _F64.pack(value)
+        return
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(_T2_STR)
+        _write_varint(out, len(encoded))
+        out += encoded
+        return
+    if isinstance(value, bytes):
+        out.append(_T2_BYTES)
+        _write_varint(out, len(value))
+        out += value
+        return
+    registered = _BY_TYPE.get(type(value))
+    if registered is not None:
+        wire_name, to_fields = registered
+        name = wire_name.encode("utf-8")
+        out.append(_T2_REG)
+        _write_varint(out, len(name))
+        out += name
+        fields = tuple(to_fields(value))
+        _write_varint(out, len(fields))
+        for field in fields:
+            _encode_v2(out, field, depth + 1)
+        return
+    if isinstance(value, (tuple, list)):
+        out.append(_T2_TUPLE)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_v2(out, item, depth + 1)
+        return
+    if isinstance(value, dict):
+        # Canonically sorted by encoded key, exactly like v1's D tag.
+        items = []
+        for key, val in value.items():
+            key_out = bytearray()
+            _encode_v2(key_out, key, depth + 1)
+            val_out = bytearray()
+            _encode_v2(val_out, val, depth + 1)
+            items.append((bytes(key_out), bytes(val_out)))
+        out.append(_T2_DICT)
+        _write_varint(out, len(items))
+        for key_bytes, val_bytes in sorted(items):
+            out += key_bytes
+            out += val_bytes
+        return
+    if isinstance(value, (set, frozenset)):
+        members = []
+        for item in value:
+            item_out = bytearray()
+            _encode_v2(item_out, item, depth + 1)
+            members.append(bytes(item_out))
+        out.append(_T2_SET)
+        _write_varint(out, len(members))
+        for member in sorted(members):
+            out += member
+        return
+    raise WireError(f"type {type(value).__name__} is not wire-encodable")
+
+
+def _read_count(buf: memoryview, pos: int, end: int) -> tuple[int, int]:
+    """A container/length prefix, sanity-bounded by the remaining bytes."""
+    count, pos = _read_varint(buf, pos, end)
+    if count > end - pos:
+        # Every item/byte needs at least one payload byte, so a count
+        # beyond the remainder is a hostile prefix, not a short read.
+        raise WireError("declared length exceeds the enclosing payload")
+    return count, pos
+
+
+def _decode_v2(buf: memoryview, pos: int, end: int, depth: int) -> tuple[Any, int]:
+    if depth > MAX_DEPTH:
+        raise WireError("payload nesting exceeds the depth ceiling")
+    if pos >= end:
+        raise WireError("truncated payload")
+    tag = buf[pos]
+    pos += 1
+    if tag == _T2_NONE:
+        return None, pos
+    if tag == _T2_FALSE:
+        return False, pos
+    if tag == _T2_TRUE:
+        return True, pos
+    if tag == _T2_INT:
+        raw, pos = _read_varint(buf, pos, end)
+        return _unzigzag(raw), pos
+    if tag == _T2_FLOAT:
+        if pos + 8 > end:
+            raise WireError("truncated float")
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _T2_STR:
+        length, pos = _read_count(buf, pos, end)
+        try:
+            return bytes(buf[pos : pos + length]).decode("utf-8"), pos + length
+        except UnicodeDecodeError as exc:
+            raise WireError(f"malformed str: {exc}") from exc
+    if tag == _T2_BYTES:
+        length, pos = _read_count(buf, pos, end)
+        return bytes(buf[pos : pos + length]), pos + length
+    if tag == _T2_TUPLE:
+        count, pos = _read_count(buf, pos, end)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_v2(buf, pos, end, depth + 1)
+            items.append(item)
+        return tuple(items), pos
+    if tag == _T2_DICT:
+        count, pos = _read_count(buf, pos, end)
+        mapping: dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _decode_v2(buf, pos, end, depth + 1)
+            value, pos = _decode_v2(buf, pos, end, depth + 1)
+            try:
+                mapping[key] = value
+            except TypeError as exc:
+                raise WireError(f"unhashable dict key: {exc}") from exc
+        return mapping, pos
+    if tag == _T2_SET:
+        count, pos = _read_count(buf, pos, end)
+        members = []
+        for _ in range(count):
+            member, pos = _decode_v2(buf, pos, end, depth + 1)
+            members.append(member)
+        try:
+            return frozenset(members), pos
+        except TypeError as exc:
+            raise WireError(f"unhashable set member: {exc}") from exc
+    if tag == _T2_REG:
+        length, pos = _read_count(buf, pos, end)
+        try:
+            wire_name = bytes(buf[pos : pos + length]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"malformed type name: {exc}") from exc
+        pos += length
+        entry = _BY_NAME.get(wire_name)
+        if entry is None:
+            raise WireError(f"unknown wire type {wire_name!r}")
+        count, pos = _read_count(buf, pos, end)
+        fields = []
+        for _ in range(count):
+            field, pos = _decode_v2(buf, pos, end, depth + 1)
+            fields.append(field)
+        _cls, _to_fields, from_fields = entry
+        try:
+            return from_fields(tuple(fields)), pos
+        except WireError:
+            raise
+        except Exception as exc:
+            raise WireError(f"cannot rebuild {wire_name}: {exc}") from exc
+    raise WireError(f"unknown v2 tag {tag:#04x}")
+
+
+def encode_payload(value: Any, version: int = VERSION) -> bytes:
     """Encode one message to payload bytes (no frame header)."""
-    return _encode(value, 0)
+    if version == VERSION:
+        return _encode(value, 0)
+    if version == VERSION_BINARY:
+        out = bytearray()
+        _encode_v2(out, value, 0)
+        return bytes(out)
+    raise WireError(f"unsupported wire version {version}")
 
 
-def decode_payload(data: bytes) -> Any:
+def decode_payload(data: bytes | memoryview, version: int = VERSION) -> Any:
     """Decode one payload; any malformation raises :class:`WireError`."""
+    buf = data if isinstance(data, memoryview) else memoryview(data)
     try:
-        value, pos = _decode(memoryview(data), 0, len(data), 0)
+        if version == VERSION:
+            value, pos = _decode(buf, 0, len(buf), 0)
+        elif version == VERSION_BINARY:
+            value, pos = _decode_v2(buf, 0, len(buf), 0)
+        else:
+            raise WireError(f"unsupported wire version {version}")
     except WireError:
         raise
     except Exception as exc:  # belt and braces: hostile input never crashes
         raise WireError(f"undecodable payload: {exc}") from exc
-    if pos != len(data):
+    if pos != len(buf):
         raise WireError("trailing bytes after payload")
     return value
 
 
-def encode_frame(value: Any) -> bytes:
-    """Encode one message to a complete wire frame."""
-    payload = encode_payload(value)
+def encode_frame(value: Any, version: int = DEFAULT_VERSION) -> bytes:
+    """Encode one message to a complete wire frame.
+
+    ``version`` selects the payload encoding (default: the compact
+    binary v2); any supported receiver decodes either.
+    """
+    payload = encode_payload(value, version=version)
     if len(payload) > MAX_FRAME:
         raise WireError(
             f"frame payload of {len(payload)} bytes exceeds MAX_FRAME"
         )
-    return HEADER.pack(MAGIC, VERSION, len(payload)) + payload
+    return HEADER.pack(MAGIC, version, len(payload)) + payload
 
 
 def decode_frame(data: bytes) -> Any:
@@ -267,11 +538,13 @@ class FrameAssembler:
     stream is not attempted).
     """
 
-    __slots__ = ("_buffer", "_max_frame")
+    __slots__ = ("_buffer", "_max_frame", "decoded_by_version")
 
     def __init__(self, max_frame: int = MAX_FRAME) -> None:
         self._buffer = bytearray()
         self._max_frame = max_frame
+        #: version -> frames successfully decoded (transport metrics).
+        self.decoded_by_version: dict[int, int] = {}
 
     @property
     def buffered(self) -> int:
@@ -284,16 +557,29 @@ class FrameAssembler:
             magic, version, length = HEADER.unpack_from(self._buffer)
             if magic != MAGIC:
                 raise WireError(f"bad frame magic {magic!r}")
-            if version != VERSION:
+            if version not in SUPPORTED_VERSIONS:
                 raise WireError(f"unsupported wire version {version}")
             if length > self._max_frame:
                 raise WireError(f"oversized frame: {length} bytes declared")
             frame_end = HEADER.size + length
             if len(self._buffer) < frame_end:
                 break  # partial frame: wait for more bytes
-            payload = bytes(self._buffer[HEADER.size : frame_end])
+            # Zero-copy decode: slice a memoryview of the receive buffer
+            # instead of copying the payload out. The view must be
+            # released before the bytearray can shrink, so decode first,
+            # then drop the consumed prefix.
+            view = memoryview(self._buffer)
+            try:
+                message = decode_payload(
+                    view[HEADER.size : frame_end], version=version
+                )
+            finally:
+                view.release()
             del self._buffer[:frame_end]
-            messages.append(decode_payload(payload))
+            self.decoded_by_version[version] = (
+                self.decoded_by_version.get(version, 0) + 1
+            )
+            messages.append(message)
         return messages
 
 

@@ -21,7 +21,9 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.core.certificates import Certificate, CertificationAuthority
+from repro.crypto.cache import caching_enabled
 from repro.crypto.encoding import canonical_bytes
+from repro.observability.registry import NULL_METRICS
 from repro.replication.kvstore import KeyValueStore
 from repro.service.messages import Checkpoint
 
@@ -57,10 +59,56 @@ class CheckpointCertificate:
                 self.certificate.canonical())
 
 
+class CheckpointCertCache:
+    """Memo of fully verified checkpoint certificates (one per process).
+
+    State-transfer retries and repeated responders re-ship the same
+    certificate; once :func:`certificate_valid` has walked its votes the
+    verdict is pinned by ``(count, digest, certificate digest)`` — the
+    certificate digest covers every vote body and signature — so the
+    re-verification is a set lookup. Only accepts are recorded: rejects
+    are cheap (first bad vote short-circuits) and an attacker should not
+    be able to fill the memo with garbage keys.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_seen", "_metrics")
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._seen: dict[tuple[int, str, str], None] = {}
+        self._metrics = NULL_METRICS
+
+    def attach_metrics(self, metrics) -> None:
+        """Export hit/miss counters through ``metrics`` (first bind wins)."""
+        if self._metrics is NULL_METRICS:
+            self._metrics = metrics
+
+    def seen(self, key: tuple[int, str, str]) -> bool:
+        if key in self._seen:
+            self.hits += 1
+            self._metrics.inc("ckpt_cert_cache_hits")
+            return True
+        self.misses += 1
+        self._metrics.inc("ckpt_cert_cache_misses")
+        return False
+
+    def record(self, key: tuple[int, str, str]) -> None:
+        if len(self._seen) >= self.max_entries:
+            self._seen.pop(next(iter(self._seen)))
+        self._seen[key] = None
+
+    def clear(self) -> None:
+        """Forget everything (a restarting replica loses volatile memos)."""
+        self._seen.clear()
+
+
 def certificate_valid(
     cert: CheckpointCertificate,
     authority: CertificationAuthority,
     f: int,
+    cache: CheckpointCertCache | None = None,
 ) -> bool:
     """Full verification of a checkpoint certificate.
 
@@ -69,7 +117,18 @@ def certificate_valid(
     *distinct* replicas signed — the majority test guaranteeing a correct
     attester. ``authority`` supplies the service signature domain (any
     replica's authority verifies; signing capability is not used).
+
+    ``cache`` (if given) must be private to one verifying process and one
+    authority domain; see :class:`CheckpointCertCache`.
     """
+    key: tuple[int, str, str] | None = None
+    if cache is not None and caching_enabled():
+        try:
+            key = (cert.count, cert.digest, cert.certificate.digest().hex)
+        except Exception:
+            return False  # malformed enough that even hashing fails
+        if cache.seen(key):
+            return True
     signers: set[int] = set()
     try:
         for entry in cert.certificate:
@@ -85,4 +144,7 @@ def certificate_valid(
         # Structurally malformed entries (a Byzantine responder can ship
         # anything here) are a rejection, never a crash.
         return False
-    return len(signers) >= f + 1
+    valid = len(signers) >= f + 1
+    if valid and key is not None:
+        cache.record(key)
+    return valid

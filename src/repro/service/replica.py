@@ -37,11 +37,12 @@ from repro.core.certificates import (
 )
 from repro.core.modules import ModuleConfig
 from repro.core.specs import SystemParameters
+from repro.crypto.cache import SignatureCache
 from repro.crypto.keys import KeyAuthority
 from repro.crypto.signatures import SignatureScheme
 from repro.detectors.diamond_m import MutenessDetector
 from repro.messages.consensus import NULL, VCurrent, VDecide
-from repro.observability.registry import MODULE_SERVICE
+from repro.observability.registry import MODULE_SERVICE, MODULE_SIGNATURE
 from repro.replication.kvstore import Command, KeyValueStore
 from repro.replication.log import (
     NOOP,
@@ -51,6 +52,7 @@ from repro.replication.log import (
     default_engine,
 )
 from repro.service.checkpoint import (
+    CheckpointCertCache,
     CheckpointCertificate,
     certificate_valid,
     service_digest,
@@ -204,6 +206,16 @@ class ServiceReplicaProcess(Process):
         self._probe_apply = 0
         #: (virtual time, installed count, applied frontier) per transfer.
         self.state_transfers_completed: list[tuple[float, int, int]] = []
+        # -- verification memos (volatile; cleared on restart) ---------------
+        #: One signature-verdict cache for every domain this replica
+        #: verifies in — slot engines, checkpoint votes, transfer
+        #: re-checks. Keys carry the domain, so sharing is sound.
+        self._sig_cache = SignatureCache()
+        #: Fully-verified checkpoint certificates (state transfer).
+        self._ckpt_cert_cache = CheckpointCertCache()
+        #: slot -> verifying authority for suffix re-checks; rebuilding
+        #: one per entry per response dominated transfer cost.
+        self._transfer_authorities: dict[int, CertificationAuthority] = {}
 
     # -- wiring -------------------------------------------------------------
 
@@ -211,13 +223,17 @@ class ServiceReplicaProcess(Process):
         super().bind(env)
         self._view = _ReplicaEnvView(self, env, self.config.n_replicas)
         self._metrics = env.metrics.scope(MODULE_SERVICE, env.pid)
+        self._sig_cache.attach_metrics(
+            env.metrics.scope(MODULE_SIGNATURE, env.pid)
+        )
+        self._ckpt_cert_cache.attach_metrics(self._metrics)
         # The checkpoint signature domain is separated from every slot
         # domain (slots use seed*1_000_003 + slot for slot >= 0).
         keys = KeyAuthority(
             self.config.n_replicas, seed=self.config.seed * 1_000_003 - 1
         )
         self._ckpt_authority = CertificationAuthority(
-            SignatureScheme(keys), keys.signer_for(env.pid)
+            SignatureScheme(keys, cache=self._sig_cache), keys.signer_for(env.pid)
         )
 
     def send(self, dst: int, payload: Any) -> None:
@@ -373,7 +389,8 @@ class ServiceReplicaProcess(Process):
             self.config.n_replicas, seed=self.config.seed * 1_000_003 + slot
         )
         authority = CertificationAuthority(
-            SignatureScheme(keys), keys.signer_for(self.pid)
+            SignatureScheme(keys, cache=self._sig_cache),
+            keys.signer_for(self.pid),
         )
         detector = MutenessDetector(initial_timeout=self.config.muteness_timeout)
         engine = self.engine_factory(
@@ -619,6 +636,11 @@ class ServiceReplicaProcess(Process):
         self.log.clear()
         self._local_snapshots.clear()
         self._ckpt_votes.clear()
+        # Verification memos live in process memory: a restarted replica
+        # starts cold (re-verifies everything it is shown again).
+        self._sig_cache.clear()
+        self._ckpt_cert_cache.clear()
+        self._transfer_authorities.clear()
         self.store = KeyValueStore()
         self.executed = set()
         self.stable = None
@@ -736,12 +758,21 @@ class ServiceReplicaProcess(Process):
                 return False
             if not 0 <= body.sender < self.config.n_replicas:
                 return False
-            keys = KeyAuthority(
-                self.config.n_replicas, seed=self.config.seed * 1_000_003 + slot
-            )
-            authority = CertificationAuthority(
-                SignatureScheme(keys), keys.signer_for(self.pid)
-            )
+            authority = self._transfer_authorities.get(slot)
+            if authority is None:
+                keys = KeyAuthority(
+                    self.config.n_replicas,
+                    seed=self.config.seed * 1_000_003 + slot,
+                )
+                authority = CertificationAuthority(
+                    SignatureScheme(keys, cache=self._sig_cache),
+                    keys.signer_for(self.pid),
+                )
+                if len(self._transfer_authorities) >= 256:
+                    self._transfer_authorities.pop(
+                        next(iter(self._transfer_authorities))
+                    )
+                self._transfer_authorities[slot] = authority
             if not authority.signature_valid(justification):
                 return False
             cert = justification.cert
@@ -778,7 +809,10 @@ class ServiceReplicaProcess(Process):
                 not isinstance(certificate, CheckpointCertificate)
                 or certificate.count != response.count
                 or not certificate_valid(
-                    certificate, self._ckpt_authority, self.params.f
+                    certificate,
+                    self._ckpt_authority,
+                    self.params.f,
+                    cache=self._ckpt_cert_cache,
                 )
             ):
                 self._metrics.inc("state_responses_rejected")

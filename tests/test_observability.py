@@ -217,6 +217,24 @@ class TestRunReport:
         assert document["module_totals"]["protocol"]["decisions"] == 4
         json.dumps(document)  # JSON-ready end to end
 
+    def test_gauges_and_histograms_render(self):
+        # Regression: RunReport used to drop gauges and histograms on
+        # the floor — only counters made it into the tables/JSON.
+        report = RunReport.from_system(run_system(seed=7))
+        text = report.render()
+        assert "gauges" in text
+        assert "histograms" in text
+        assert "queue_depth_max" in text
+        assert "certificate_entries" in text
+        document = report.to_json()
+        gauge_names = {row["name"] for row in document["gauges"]}
+        histo_names = {row["name"] for row in document["histograms"]}
+        assert "queue_depth_max" in gauge_names
+        assert "certificate_entries" in histo_names
+        for row in document["histograms"]:
+            assert row["min"] <= row["mean"] <= row["max"] or row["count"] == 0
+        json.dumps(document)
+
     def test_from_artifact_matches_from_system(self, tmp_path):
         system = run_system(seed=9)
         path = tmp_path / "run.jsonl"
@@ -226,6 +244,8 @@ class TestRunReport:
         assert from_file.module_totals == from_live.module_totals
         assert from_file.round_counters == from_live.round_counters
         assert from_file.event_counts == from_live.event_counts
+        assert from_file.gauges == from_live.gauges
+        assert from_file.histograms == from_live.histograms
 
 
 class TestCli:
