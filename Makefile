@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke smoke docs-check benchmarks experiments
+.PHONY: test campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke smoke docs-check benchmarks experiments
 
 # -W error promotes every warning to a failure; the lone ignore shields
 # the suite from a deprecation raised inside third-party plugin hooks.
@@ -48,8 +48,24 @@ perf-smoke:
 	cmp /tmp/perf-smoke-a.json /tmp/perf-smoke-b.json
 	rm -f /tmp/perf-smoke-a.json /tmp/perf-smoke-b.json
 
+# The model-checking smoke (docs/MODELCHECK.md): a bounded breadth-first
+# sweep of the real stack run twice — the repro.mc/v1 artifacts must be
+# byte-identical — plus the checker self-test: a depth-first hunt under
+# the known-bad mutation must find a counterexample (exit 1).
+mc-smoke:
+	$(PYTHON) -m repro mc run --max-depth 3 --out /tmp/mc-smoke-a.jsonl
+	$(PYTHON) -m repro mc run --max-depth 3 --out /tmp/mc-smoke-b.jsonl
+	cmp /tmp/mc-smoke-a.jsonl /tmp/mc-smoke-b.jsonl
+	rm -f /tmp/mc-smoke-a.jsonl /tmp/mc-smoke-b.jsonl
+	! $(PYTHON) -m repro mc run --strategy dfs --adversary 0 \
+		--alphabet equivocate-current --mutation accept-any-current-quorum \
+		--stop-on-violation --max-depth 40 --max-rounds 3 \
+		--out /tmp/mc-smoke-hunt.jsonl
+	$(PYTHON) -m repro mc replay /tmp/mc-smoke-hunt.jsonl --shrink
+	rm -f /tmp/mc-smoke-hunt.jsonl
+
 # Every smoke target in one call.
-smoke: campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke
+smoke: campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke
 
 # Execute every ```python snippet in README.md and docs/*.md
 # (tests/test_docs_snippets.py); keeps the documented examples honest.

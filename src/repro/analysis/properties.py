@@ -96,21 +96,29 @@ def check_vector_consensus(system: ConsensusSystem) -> PropertyReport:
     )
 
 
-def _vector_valid(
+def vector_valid(
     vector: Any,
-    system: ConsensusSystem,
+    correct_proposals: dict[int, Any],
     params: SystemParameters,
     violations: list[str],
 ) -> bool:
-    if not isinstance(vector, tuple) or len(vector) != system.n:
+    """The paper's Vector Validity predicate on a single decided vector.
+
+    ``correct_proposals`` maps each *correct* pid to its initial value
+    (ground truth the harness knows). Appends human-readable findings to
+    ``violations`` and returns whether the vector satisfies the
+    specification. Public so state-level checkers (the ``repro.mc``
+    explorer) can evaluate it mid-run without a finished
+    :class:`~repro.systems.ConsensusSystem`.
+    """
+    if not isinstance(vector, tuple) or len(vector) != params.n:
         violations.append(f"vector validity: malformed decision {vector!r}")
         return False
     ok = True
-    correct = system.correct_pids
     correct_entries = 0
     for pid, entry in enumerate(vector):
-        if pid in correct:
-            proposal = system.processes[pid].proposal
+        if pid in correct_proposals:
+            proposal = correct_proposals[pid]
             if entry == proposal:
                 correct_entries += 1
             elif entry != NULL:
@@ -127,6 +135,18 @@ def _vector_valid(
         )
         ok = False
     return ok
+
+
+def _vector_valid(
+    vector: Any,
+    system: ConsensusSystem,
+    params: SystemParameters,
+    violations: list[str],
+) -> bool:
+    correct_proposals = {
+        pid: system.processes[pid].proposal for pid in system.correct_pids
+    }
+    return vector_valid(vector, correct_proposals, params, violations)
 
 
 @dataclass(slots=True)

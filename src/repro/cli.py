@@ -19,6 +19,11 @@ Usage (``python -m repro <command> ...``):
 * ``net`` — the deployed runtime: the same replica stack as real OS
   processes over TCP (``keygen`` / ``replica`` / ``client`` /
   ``cluster``; see ``docs/NET.md``);
+* ``mc`` — small-scope model checking: drive the real module stack
+  through *all* interleavings of a bounded world, check the paper's
+  safety properties in every reachable state, and emit counterexamples
+  as shrinkable campaign scenarios (``run`` / ``resume`` / ``replay``;
+  see docs/MODELCHECK.md);
 * ``perf`` — the deterministic performance smoke: a short saturation
   run plus a cached/uncached equivalence check, exported as canonical
   JSON for byte-identity pinning (``smoke``; see docs/PERFORMANCE.md).
@@ -382,6 +387,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--workdir", help="keep genesis/logs/metrics here (default: temp)"
     )
     n_cluster.add_argument("--concurrency", type=int, default=8)
+
+    mc = sub.add_parser(
+        "mc",
+        help="small-scope model checking of the real stack (docs/MODELCHECK.md)",
+    )
+    mc_sub = mc.add_subparsers(dest="mc_command", required=True)
+
+    m_run = mc_sub.add_parser(
+        "run",
+        help="explore all interleavings of a bounded world, export an artifact",
+    )
+    m_run.add_argument(
+        "--out",
+        required=True,
+        metavar="FILE",
+        help="write the exploration artifact (JSONL, repro.mc/v1) here",
+    )
+    m_run.add_argument(
+        "--strategy", choices=("bfs", "dfs"), default="bfs",
+        help="bfs sweeps layer by layer; dfs dives (counterexample hunts)",
+    )
+    m_run.add_argument("--max-depth", type=int, default=6)
+    m_run.add_argument("--max-states", type=int, default=20_000)
+    m_run.add_argument(
+        "--max-rounds", type=int, default=2,
+        help="states past this protocol round are not expanded",
+    )
+    m_run.add_argument("--seed", type=int, default=0)
+    m_run.add_argument(
+        "--adversary", type=int, metavar="SEAT",
+        help="seat of the scripted adversary (requires --alphabet)",
+    )
+    m_run.add_argument(
+        "--alphabet", metavar="A,B,...",
+        help="comma-separated adversary actions: mute, equivocate-current, "
+        "forge-attempt, drop-delivery",
+    )
+    m_run.add_argument(
+        "--mutation", metavar="NAME",
+        help="inject a known-bad protocol mutation (checker self-test)",
+    )
+    m_run.add_argument(
+        "--stop-on-violation", action="store_true",
+        help="stop at the first counterexample instead of sweeping on",
+    )
+    m_run.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    m_resume = mc_sub.add_parser(
+        "resume", help="continue an interrupted exploration from its artifact"
+    )
+    m_resume.add_argument("artifact", help="repro.mc/v1 artifact to resume")
+    m_resume.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    m_replay = mc_sub.add_parser(
+        "replay",
+        help="re-check a recorded counterexample and map it onto a "
+        "campaign scenario",
+    )
+    m_replay.add_argument("artifact", help="repro.mc/v1 artifact with violations")
+    m_replay.add_argument(
+        "--index", type=int, default=0,
+        help="which recorded violation to replay (default: first)",
+    )
+    m_replay.add_argument(
+        "--shrink", action="store_true",
+        help="hand the mapped scenario to the campaign shrinker",
+    )
+    m_replay.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
 
     perf = sub.add_parser(
         "perf",
@@ -1017,6 +1096,122 @@ def cmd_net(args: argparse.Namespace) -> int:
     return 0 if verdict["ok"] else 1
 
 
+def cmd_mc(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.mc import (
+        Explorer,
+        McConfig,
+        Stepper,
+        check_state,
+        counterexample_scenario,
+        load_artifact,
+    )
+    from repro.mc.mutations import apply_mutation
+
+    def summarize(result) -> int:
+        record = {
+            "config_id": result.config.config_id,
+            "states_explored": result.states_explored,
+            "states_pruned": result.states_pruned,
+            "frontier_depth": result.frontier_depth,
+            "transitions": result.transitions,
+            "stop_reason": result.stop_reason,
+            "violations": [
+                {"path": [list(l) for l in v.path], "violations": list(v.violations)}
+                for v in result.violations
+            ],
+        }
+        if args.json:
+            print(json_module.dumps(record, indent=2, sort_keys=True))
+        else:
+            print_table(
+                f"mc exploration {result.config.config_id} "
+                f"({result.config.strategy}, depth <= {result.config.max_depth})",
+                ["metric", "value"],
+                [
+                    ["states explored", result.states_explored],
+                    ["states pruned", result.states_pruned],
+                    ["frontier depth", result.frontier_depth],
+                    ["transitions", result.transitions],
+                    ["stop reason", result.stop_reason],
+                    ["violations", len(result.violations)],
+                ],
+            )
+            for violation in result.violations:
+                print(f"counterexample ({len(violation.path)} steps):")
+                for problem in violation.violations:
+                    print(f"  {problem}")
+        return 1 if result.violations else 0
+
+    if args.mc_command == "run":
+        alphabet = tuple(
+            part.strip() for part in (args.alphabet or "").split(",") if part.strip()
+        )
+        config = McConfig(
+            adversary=args.adversary,
+            alphabet=alphabet,
+            max_depth=args.max_depth,
+            max_states=args.max_states,
+            max_rounds=args.max_rounds,
+            strategy=args.strategy,
+            mutation=args.mutation,
+            seed=args.seed,
+            stop_on_violation=args.stop_on_violation,
+        )
+        config.validate()
+        return summarize(Explorer(config, args.out).run())
+
+    if args.mc_command == "resume":
+        return summarize(Explorer.resume(args.artifact))
+
+    # replay: re-check the recorded counterexample against the live stack,
+    # then map it onto a campaign scenario (optionally shrinking it).
+    config, records = load_artifact(args.artifact)
+    violations = [r for r in records if r["type"] == "violation"]
+    if not violations:
+        raise ConfigurationError(f"{args.artifact} records no violations")
+    if not 0 <= args.index < len(violations):
+        raise ConfigurationError(
+            f"--index {args.index} out of range; artifact has "
+            f"{len(violations)} violation(s)"
+        )
+    chosen = violations[args.index]
+    path = tuple(tuple(label) for label in chosen["path"])
+    with apply_mutation(config.mutation):
+        stepper = Stepper.replay(config, path)
+        reproduced = check_state(stepper.system)
+        scenario = counterexample_scenario(config, path)
+        shrink_record = None
+        if args.shrink:
+            from repro.campaign import shrink_scenario
+
+            shrink_record = shrink_scenario(scenario).to_record()
+    record = {
+        "path": [list(label) for label in path],
+        "recorded": list(chosen["violations"]),
+        "reproduced": reproduced,
+        "reproduces": sorted(reproduced) == sorted(chosen["violations"]),
+        "scenario": scenario.to_config(),
+        "scenario_id": scenario.scenario_id,
+        "shrink": shrink_record,
+    }
+    if args.json:
+        print(json_module.dumps(record, indent=2, sort_keys=True))
+    else:
+        status = "reproduces" if record["reproduces"] else "DIVERGED"
+        print(f"counterexample replay ({len(path)} steps): {status}")
+        for problem in reproduced:
+            print(f"  {problem}")
+        print(f"campaign scenario: {scenario.scenario_id}")
+        if shrink_record is not None:
+            print(
+                f"shrunk in {len(shrink_record['steps'])} step(s) to "
+                f"scenario {shrink_record['minimal_id']}"
+            )
+    return 0 if record["reproduces"] else 1
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     from repro.analysis.perf import smoke_json, smoke_ok, smoke_record
 
@@ -1082,6 +1277,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "campaign": cmd_campaign,
         "service": cmd_service,
         "net": cmd_net,
+        "mc": cmd_mc,
         "perf": cmd_perf,
         "experiments": cmd_experiments,
     }

@@ -247,6 +247,22 @@ class EquivocationLedger:
         self._verify = verify
         self._seen: dict[tuple[int, str, int | None], bytes] = {}
 
+    def snapshot(self) -> tuple[tuple[int, str, int, str], ...]:
+        """Canonical view of every recorded signing slot.
+
+        One ``(sender, type, round, fingerprint-hex)`` tuple per
+        ``(sender, type, round)`` slot seen so far (round ``-1`` for
+        unrounded bodies), sorted — the model checker's state digest
+        includes this so two states that differ only in recorded
+        equivocation evidence are not conflated.
+        """
+        return tuple(
+            sorted(
+                (sender, kind, -1 if rnd is None else rnd, fingerprint.hex())
+                for (sender, kind, rnd), fingerprint in self._seen.items()
+            )
+        )
+
     def conflicts(self, message: SignedMessage) -> list[tuple[int, str]]:
         """Record ``message`` and everything embedded in its certificate.
 

@@ -46,6 +46,11 @@ class CertifiedVectorBuilder:
         return len(self._collected)
 
     @property
+    def collected(self) -> dict[int, SignedMessage]:
+        """Read-only copy of the INITs collected so far (sender -> INIT)."""
+        return dict(self._collected)
+
+    @property
     def ready(self) -> bool:
         return len(self._collected) >= self._params.quorum
 

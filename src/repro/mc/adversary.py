@@ -1,0 +1,178 @@
+"""The explorer-controlled Byzantine seat.
+
+The campaign gallery (:mod:`repro.byzantine.transformed_attacks`) fixes
+each attacker's behaviour at construction time; the model checker instead
+needs an adversary whose misbehaviour is *scheduled* — the explorer picks
+adversary actions from the bounded alphabet exactly like it picks message
+deliveries, so "equivocate now or two deliveries later" are different
+explored branches.
+
+A :class:`ScriptedAdversary` therefore behaves as a perfectly correct
+:class:`~repro.consensus.transformed.TransformedConsensusProcess` until
+the explorer activates a mode:
+
+* ``mute`` — every later send is suppressed (the signed message is still
+  produced, mirroring :class:`TMuteAttacker`, so local state stays
+  consistent);
+* ``equivocate-current`` — the INIT phase over-collects past the quorum
+  and, as round-1 coordinator, certifies two distinct ``n - F`` INIT
+  subsets, sending branch A to even pids and branch B to odd pids (the
+  :class:`TEquivocatingCurrentAttacker` construction);
+* ``forge-attempt`` — a one-shot broadcast of a DECIDE whose signature
+  bytes are forged garbage, a genuine attempt against the
+  unforgeable-signature assumption.
+
+``drop-delivery`` lives in the stepper, not here: withholding an
+in-flight message is an action on the network state, applied by
+cancelling the pending delivery event.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.transformed import (
+    PHASE_INIT,
+    PHASE_ROUNDS,
+    TransformedConsensusProcess,
+)
+from repro.core.certificates import (
+    Certificate,
+    CertificationAuthority,
+    EMPTY_CERTIFICATE,
+    SignedMessage,
+)
+from repro.core.modules import ModuleConfig
+from repro.core.specs import SystemParameters
+from repro.detectors.base import FailureDetector
+from repro.errors import ProtocolError
+from repro.messages.base import Message
+from repro.messages.consensus import Init, NULL, VCurrent, VDecide
+
+#: Entry values no honest INIT set can witness (forged traffic only).
+POISON = "<mc-poison>"
+
+
+class ScriptedAdversary(TransformedConsensusProcess):
+    """One Byzantine process whose misbehaviour the explorer schedules."""
+
+    def __init__(
+        self,
+        proposal: Any,
+        params: SystemParameters,
+        authority: CertificationAuthority,
+        detector: FailureDetector,
+        suspicion_poll: float = 0.5,
+        config: ModuleConfig | None = None,
+    ) -> None:
+        super().__init__(
+            proposal=proposal,
+            params=params,
+            authority=authority,
+            detector=detector,
+            suspicion_poll=suspicion_poll,
+            config=config,
+        )
+        #: Modes activated so far (part of the canonical state digest).
+        self.modes: set[str] = set()
+        #: Every INIT seen, kept past the quorum for equivocation.
+        self._all_inits: dict[int, SignedMessage] = {}
+        self.equivocated = False
+        self.forged = False
+
+    # -- explorer controls ---------------------------------------------------
+
+    def activate_mute(self) -> None:
+        self.modes.add("mute")
+
+    def arm_equivocation(self) -> None:
+        """Commit to equivocating the round-1 CURRENT.
+
+        Only meaningful while the INIT phase is still open (the stepper
+        enables the label exactly then): from here on INITs are stashed
+        past the quorum until the surplus INIT needed to certify two
+        distinct subsets has arrived.
+        """
+        if self.phase != PHASE_INIT:
+            raise ProtocolError(
+                "equivocation armed after the INIT phase closed"
+            )
+        self.modes.add("equivocate-current")
+
+    def forge_once(self) -> None:
+        """Broadcast a DECIDE with forged (invalid) signature bytes."""
+        if self.forged:
+            raise ProtocolError("forge-attempt is a one-shot action")
+        self.forged = True
+        self.modes.add("forge-attempt")
+        body = VDecide(
+            sender=self.pid,
+            est_vect=tuple(f"{POISON}{k}" for k in range(self.n)),
+        )
+        draft = SignedMessage(
+            body=body,
+            cert=EMPTY_CERTIFICATE,
+            signature=self.authority.scheme.forge(self.pid, None),
+        )
+        forged = SignedMessage(
+            body=body,
+            cert=EMPTY_CERTIFICATE,
+            signature=self.authority.scheme.forge(
+                self.pid, draft.signed_payload()
+            ),
+        )
+        self._send_all(forged)
+
+    # -- mode-aware egress ---------------------------------------------------
+
+    def _send_all(self, message: Any) -> None:
+        if "mute" in self.modes:
+            return
+        self.broadcast(message)
+
+    def _broadcast_signed(self, body: Message, cert: Certificate) -> SignedMessage:
+        message = self.authority.make(body, cert)
+        self._send_all(message)
+        return message
+
+    # -- mode-aware INIT phase ----------------------------------------------
+
+    def _on_init(self, message: SignedMessage) -> None:
+        assert isinstance(message.body, Init)
+        self._all_inits.setdefault(message.body.sender, message)
+        if "equivocate-current" not in self.modes or self.equivocated:
+            super()._on_init(message)
+            return
+        # Armed: hold the vector open past the quorum until a surplus
+        # INIT allows two distinct (n - F) subsets to be certified.
+        if len(self._all_inits) <= self._quorum():
+            return
+        self._equivocate_round_one()
+
+    def _equivocate_round_one(self) -> None:
+        self.equivocated = True
+        self.phase = PHASE_ROUNDS
+        self.round = 1
+        self.sent_current = True
+        self.sent_next = False
+        senders = sorted(self._all_inits)
+        subset_a = senders[: self._quorum()]
+        subset_b = senders[-self._quorum():]
+        branches = []
+        for subset in (subset_a, subset_b):
+            vector = [NULL] * self.n
+            for pid in subset:
+                init = self._all_inits[pid]
+                assert isinstance(init.body, Init)
+                vector[pid] = init.body.value
+            cert = Certificate(tuple(self._all_inits[pid] for pid in subset))
+            body = VCurrent(sender=self.pid, round=1, est_vect=tuple(vector))
+            branches.append(self.authority.make(body, cert))
+        # Adopt branch A locally so later rounds stay runnable.
+        self.est_vect = branches[0].body.est_vect  # type: ignore[union-attr]
+        self.est_cert = branches[0].full_cert()
+        if "mute" not in self.modes:
+            for dst in range(self.n):
+                self.send(dst, branches[0] if dst % 2 == 0 else branches[1])
+        self.next_cert = EMPTY_CERTIFICATE
+        self.current_cert = EMPTY_CERTIFICATE

@@ -1,0 +1,137 @@
+"""Canonical state digests for memoized pruning.
+
+Replay-based exploration identifies a state with the path that produced
+it; the digest is what lets two different paths be recognised as having
+*converged* so the subtree is explored once. The digest must therefore
+cover everything that can influence future behaviour and nothing that
+cannot:
+
+**Included** — per-process protocol state (phase, round, vector,
+certificate digests, vote booleans, buffered futures, the INIT
+builder), the decision slots, each monitor bank (automaton states,
+``faulty`` sets, the equivocation ledger), each ◇M detector's
+``suspected`` set, the adversary's activated modes, the FIFO contents of
+every network channel, and the multiset of pending non-delivery events
+(timers, detector polls).
+
+**Excluded** — the virtual clock, event timestamps and sequence
+numbers, metrics, traces, and decision times. Two interleavings that
+reach the same protocol/network state at different virtual times behave
+identically from there on (the protocol never reads the clock; timers
+fire relative to *pending events*, which are covered), so folding them
+is sound. docs/MODELCHECK.md spells the argument out; the
+cache-equivalence test (tests/test_mc_explorer.py) guards the related
+claim that the crypto verdict caches never leak into digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.consensus.transformed import TransformedConsensusProcess
+from repro.core.certificates import SignedMessage
+from repro.errors import ProtocolError
+from repro.mc.adversary import ScriptedAdversary
+from repro.systems import ConsensusSystem
+
+
+def payload_id(payload: Any) -> str:
+    """Stable identity of one in-flight message payload.
+
+    Signed envelopes hash by their pruning-invariant encoding; anything
+    else (raw bodies sent by unsigned attackers) falls back to its
+    ``repr``, which is deterministic for the frozen message dataclasses.
+    """
+    if isinstance(payload, SignedMessage):
+        return payload.envelope_digest()[:16]
+    return "raw:" + repr(payload)
+
+
+def _vector(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def _process_state(process: TransformedConsensusProcess) -> dict[str, Any]:
+    if not isinstance(process, TransformedConsensusProcess):
+        raise ProtocolError(
+            f"repro.mc digests transformed processes only, got "
+            f"{type(process).__name__}"
+        )
+    bank = process.monitor_bank
+    state: dict[str, Any] = {
+        "phase": process.phase,
+        "round": process.round,
+        "est_vect": _vector(process.est_vect),
+        "est_cert": process.est_cert.digest().hex,
+        "next_cert": process.next_cert.digest().hex,
+        "current_cert": process.current_cert.digest().hex,
+        "sent_current": process.sent_current,
+        "sent_next": process.sent_next,
+        "decided": process.decided,
+        "decision": _vector(process.decision),
+        "decision_round": process.decision_round,
+        "justification": (
+            None
+            if process.decision_justification is None
+            else process.decision_justification.envelope_digest()[:16]
+        ),
+        "inits": sorted(
+            (sender, payload_id(message))
+            for sender, message in process._vector_builder.collected.items()
+        ),
+        "future": {
+            str(rnd): [payload_id(m) for m in messages]
+            for rnd, messages in sorted(process._future.items())
+        },
+        "faulty": sorted(bank.faulty),
+        "monitors": {
+            str(peer): [monitor.state, getattr(monitor, "round", -1)]
+            for peer, monitor in sorted(bank.monitors.items())
+        },
+        "ledger": (
+            [] if bank.ledger is None else [list(t) for t in bank.ledger.snapshot()]
+        ),
+        "suspected": (
+            []
+            if process.detector is None
+            else sorted(process.detector.suspected)
+        ),
+    }
+    if isinstance(process, ScriptedAdversary):
+        state["modes"] = sorted(process.modes)
+        state["equivocated"] = process.equivocated
+        state["stash"] = sorted(process._all_inits)
+    return state
+
+
+def canonical_state(system: ConsensusSystem) -> dict[str, Any]:
+    """The complete digestable view of one explored state."""
+    channels: dict[str, list[str]] = {}
+    timers: dict[str, int] = {}
+    for event in system.world.scheduler.pending():
+        meta = event.meta
+        if meta is not None and meta[0] == "deliver":
+            _kind, src, dst, payload = meta
+            channels.setdefault(f"{src}->{dst}", []).append(payload_id(payload))
+        else:
+            timers[event.kind] = timers.get(event.kind, 0) + 1
+    return {
+        "processes": [
+            _process_state(process)  # type: ignore[arg-type]
+            for process in system.processes
+        ],
+        "channels": {key: channels[key] for key in sorted(channels)},
+        "timers": {key: timers[key] for key in sorted(timers)},
+    }
+
+
+def state_digest(system: ConsensusSystem) -> str:
+    """SHA-256 hex over the canonical JSON rendering of the state."""
+    canonical = json.dumps(
+        canonical_state(system), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

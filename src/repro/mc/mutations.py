@@ -1,0 +1,96 @@
+"""Known-bad protocol mutations for checking the checker.
+
+A model checker that never finds anything proves nothing: it may be
+exploring too little, or its predicates may be vacuous. Each entry here
+is a *deliberately wrong* variant of the transformed protocol, applied
+as a reversible monkey-patch so the very same module stack the library
+ships is explored — not a re-model of it. The tier-1 suite asserts that
+the explorer finds a counterexample for every mutation and that the
+counterexample shrinks to a small campaign scenario
+(tests/test_mc_explorer.py).
+
+The patch is process-wide while the context manager is held, which is
+exactly what the counterexample workflow needs: the same mutation must
+be active when the campaign shrinker re-runs the emitted scenario, or
+the scenario would not fail and there would be nothing to shrink.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.consensus.transformed import TransformedConsensusProcess
+from repro.errors import ConfigurationError
+from repro.messages.consensus import VDecide, VNext
+
+#: The shipped known-bad mutation: the decision guard accepts *any*
+#: (n - F) CURRENT quorum, dropping the same-vector filter of Figure 3
+#: line 20. Under an equivocating round-1 coordinator this decides on a
+#: certificate without n - F distinct signers of the decided vector —
+#: the exact bug class the certificate-validity predicate exists for.
+ACCEPT_ANY_CURRENT_QUORUM = "accept-any-current-quorum"
+
+
+def _check_progress_accept_any(self: TransformedConsensusProcess) -> None:
+    """Figure 3 lines 20-31 with the same-vector filter removed (BUG)."""
+    if self.decided:
+        return
+    matching = self.current_cert  # BUG: no est_vect filter on the quorum
+    if len(matching.senders()) >= self._quorum():
+        decide_cert = matching.union(self.est_cert)
+        self.decision_justification = self._broadcast_signed(
+            VDecide(sender=self.pid, est_vect=self.est_vect), decide_cert
+        )
+        self.decide_value(self.est_vect, round_number=self.round)
+        return
+    current_senders = self.current_cert.senders()
+    rec_from = current_senders | self.next_cert.senders()
+    if (
+        self.sent_current
+        and not self.sent_next
+        and len(rec_from) >= self._quorum()
+    ):
+        self._broadcast_signed(
+            VNext(sender=self.pid, round=self.round),
+            self.current_cert.union(self.next_cert),
+        )
+        self.sent_next = True
+    if len(self.next_cert.senders()) >= self._quorum():
+        if not self.sent_next:
+            self._broadcast_signed(
+                VNext(sender=self.pid, round=self.round), self.next_cert
+            )
+            self.sent_next = True
+        self._begin_round(self.round + 1)
+
+
+#: name -> replacement for ``TransformedConsensusProcess._check_progress``.
+MUTATIONS: dict[str, Callable[[TransformedConsensusProcess], None]] = {
+    ACCEPT_ANY_CURRENT_QUORUM: _check_progress_accept_any,
+}
+
+
+@contextmanager
+def apply_mutation(name: str | None) -> Iterator[None]:
+    """Temporarily install the named mutation (None is a no-op).
+
+    The patch lands on :class:`TransformedConsensusProcess` itself so
+    every subclass — the scripted model-checking adversary and the
+    campaign attack gallery alike — runs the mutated guard, and is
+    restored on exit even if the exploration raises.
+    """
+    if name is None:
+        yield
+        return
+    replacement = MUTATIONS.get(name)
+    if replacement is None:
+        raise ConfigurationError(
+            f"unknown mutation {name!r}; known: {sorted(MUTATIONS)}"
+        )
+    original = TransformedConsensusProcess._check_progress
+    TransformedConsensusProcess._check_progress = replacement  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        TransformedConsensusProcess._check_progress = original  # type: ignore[method-assign]

@@ -1,0 +1,139 @@
+"""Safety predicates evaluated in every reachable state.
+
+Unlike the end-of-run property checkers (:mod:`repro.analysis.properties`),
+these run *mid-execution*: a state where only some correct processes have
+decided must already satisfy every safety property over the decisions
+that exist. Termination is deliberately absent — it is a liveness
+property, meaningless on a bounded prefix.
+
+The predicates, each yielding violations prefixed with a stable kind
+(the text before the first ``:``), are:
+
+* ``agreement`` — no two decided correct processes hold different vectors;
+* ``vector validity`` — every decided vector satisfies the paper's
+  Vector Validity (via :func:`repro.analysis.properties.vector_valid`);
+* ``certificate validity`` — every correct decider's
+  ``decision_justification`` carries ``n - F`` distinct-sender,
+  correctly-signed CURRENTs for the decided vector (Figure 3 line 20's
+  guard, re-checked from the evidence);
+* ``proposition 1`` — every certified vector a correct process built
+  holds that process's own proposal in its own slot;
+* ``proposition 2`` — any two certified vectors built by correct
+  processes are compatible (equal or null on every entry);
+* ``detection soundness`` — no correct process ever declares another
+  correct process faulty.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.properties import vector_valid
+from repro.consensus.transformed import TransformedConsensusProcess
+from repro.core.vector_certification import vectors_compatible
+from repro.messages.consensus import VCurrent
+from repro.systems import ConsensusSystem
+
+
+def check_state(system: ConsensusSystem) -> list[str]:
+    """All safety-predicate violations in the current state (empty = safe)."""
+    params = system.params
+    assert params is not None, "repro.mc explores transformed systems only"
+    correct = sorted(system.correct_pids)
+    correct_proposals = {
+        pid: system.processes[pid].proposal for pid in correct
+    }
+    violations: list[str] = []
+
+    decisions: dict[int, Any] = {
+        pid: system.processes[pid].decision
+        for pid in correct
+        if system.processes[pid].decided
+    }
+    _check_agreement(decisions, violations)
+    for vector in decisions.values():
+        vector_valid(vector, correct_proposals, params, violations)
+    for pid in decisions:
+        process = system.processes[pid]
+        assert isinstance(process, TransformedConsensusProcess)
+        _check_justification(process, violations)
+    _check_propositions(system, correct, correct_proposals, violations)
+    for pid in correct:
+        process = system.processes[pid]
+        assert isinstance(process, TransformedConsensusProcess)
+        wrongly = sorted(process.monitor_bank.faulty & set(correct))
+        if wrongly:
+            violations.append(
+                f"detection soundness: correct p{pid} declared correct "
+                f"processes {wrongly} faulty"
+            )
+    return violations
+
+
+def _check_agreement(decisions: dict[int, Any], violations: list[str]) -> None:
+    distinct = {tuple(v) if isinstance(v, list) else v for v in decisions.values()}
+    if len(distinct) > 1:
+        detail = ", ".join(
+            f"p{pid}={decisions[pid]!r}" for pid in sorted(decisions)
+        )
+        violations.append(
+            f"agreement: decided correct processes disagree ({detail})"
+        )
+
+
+def _check_justification(
+    process: TransformedConsensusProcess, violations: list[str]
+) -> None:
+    justification = process.decision_justification
+    if justification is None:
+        violations.append(
+            f"certificate validity: correct p{process.pid} decided without "
+            "a decision justification"
+        )
+        return
+    if not justification.has_full_cert:
+        violations.append(
+            f"certificate validity: p{process.pid}'s justification "
+            "certificate was pruned away"
+        )
+        return
+    matching_signers = {
+        entry.body.sender
+        for entry in justification.full_cert()
+        if isinstance(entry.body, VCurrent)
+        and entry.body.est_vect == process.decision
+        and process.authority.signature_valid(entry)
+    }
+    quorum = process.params.quorum
+    if len(matching_signers) < quorum:
+        violations.append(
+            f"certificate validity: p{process.pid}'s decision is justified "
+            f"by only {len(matching_signers)} distinct correctly-signed "
+            f"CURRENT(s) for the decided vector, needs n - F = {quorum}"
+        )
+
+
+def _check_propositions(
+    system: ConsensusSystem,
+    correct: list[int],
+    correct_proposals: dict[int, Any],
+    violations: list[str],
+) -> None:
+    built: dict[int, tuple] = {}
+    for event in system.world.trace.of_kind("vector-built"):
+        if event.process in correct and event.process not in built:
+            built[event.process] = event.detail["vector"]
+    for pid, vector in sorted(built.items()):
+        if vector[pid] != correct_proposals[pid]:
+            violations.append(
+                f"proposition 1: p{pid} built a vector whose own entry is "
+                f"{vector[pid]!r}, not its proposal {correct_proposals[pid]!r}"
+            )
+    pids = sorted(built)
+    for i, a in enumerate(pids):
+        for b in pids[i + 1:]:
+            if not vectors_compatible(built[a], built[b]):
+                violations.append(
+                    f"proposition 2: vectors built by p{a} and p{b} "
+                    f"disagree on a present entry"
+                )

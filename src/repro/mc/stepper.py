@@ -1,0 +1,228 @@
+"""The step function: one real module stack under explorer control.
+
+A :class:`Stepper` owns one freshly-built transformed system (the very
+same :func:`~repro.systems.build_transformed_system` world the tests and
+campaigns run — *not* a re-model) and exposes it as a labelled
+transition system:
+
+* ``("deliver", src, dst)`` — dispatch the oldest in-flight message on
+  channel ``src -> dst`` (FIFO heads only, so channel order is
+  preserved on every interleaving);
+* ``("tick",)`` — dispatch the earliest pending non-delivery event
+  (a timer or detector poll);
+* ``("mute",)`` / ``("equivocate-current",)`` / ``("forge-attempt",)``
+  — activate the corresponding :class:`ScriptedAdversary` mode;
+* ``("drop", dst)`` — withhold (cancel) the oldest in-flight message
+  from the adversary to ``dst``.
+
+State identity is the label path from the initial state: snapshotting a
+live world is impossible (event callbacks are closures over it), so the
+explorer *replays* paths through fresh steppers instead — which is sound
+because a fixed config builds a bit-identical world every time.
+
+Scope bound: self-channel deliveries are drained eagerly after every
+transition (a process always hears its own broadcast first). This
+removes the n self-channels from the interleaving space; no cross-process
+race is hidden because only the sender itself observes the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.consensus.transformed import PHASE_INIT
+from repro.errors import ProtocolError
+from repro.mc.adversary import ScriptedAdversary
+from repro.mc.config import McConfig
+from repro.sim.events import Event
+from repro.sim.network import FixedDelay
+from repro.systems import ConsensusSystem, build_transformed_system
+
+#: A transition label (see module docstring for the grammar).
+Label = tuple
+
+#: Wire delay of the explored world. The explorer chooses delivery
+#: *order* explicitly, so the delay only spaces FIFO timestamps.
+_WIRE_DELAY = 1.0
+
+
+def _adversary_factory(pid, proposal, params, authority, detector, cfg):
+    return ScriptedAdversary(
+        proposal=proposal,
+        params=params,
+        authority=authority,
+        detector=detector,
+        config=cfg,
+    )
+
+
+class Stepper:
+    """One controlled execution of the real stack along one label path."""
+
+    def __init__(self, config: McConfig) -> None:
+        self.config = config
+        self.system = self._build()
+        self.scheduler = self.system.world.scheduler
+        self.adversary: ScriptedAdversary | None = None
+        if config.adversary is not None:
+            process = self.system.processes[config.adversary]
+            assert isinstance(process, ScriptedAdversary)
+            self.adversary = process
+        self.path: tuple[Label, ...] = ()
+        self.dropped = 0
+        self._preamble()
+
+    @classmethod
+    def replay(cls, config: McConfig, path: Iterable[Label]) -> "Stepper":
+        """A fresh stepper driven through ``path`` from the initial state."""
+        stepper = cls(config)
+        for label in path:
+            stepper.apply(tuple(label))
+        return stepper
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> ConsensusSystem:
+        byzantine = {}
+        if self.config.adversary is not None:
+            byzantine[self.config.adversary] = _adversary_factory
+        return build_transformed_system(
+            [f"v{i}" for i in range(self.config.n)],
+            byzantine=byzantine,
+            f=self.config.f,
+            seed=self.config.seed,
+            delay_model=FixedDelay(_WIRE_DELAY),
+        )
+
+    def _preamble(self) -> None:
+        """Fire every start event, then drain the self-channels."""
+        self.system.world.start()
+        for event in self.scheduler.pending():
+            if event.kind == "start":
+                self.scheduler.dispatch_event(event)
+        self._drain_self_deliveries()
+
+    # -- views ---------------------------------------------------------------
+
+    def channels(self) -> dict[tuple[int, int], list[Event]]:
+        """Pending delivery events per (src, dst), in FIFO order."""
+        channels: dict[tuple[int, int], list[Event]] = {}
+        for event in self.scheduler.pending():
+            meta = event.meta
+            if meta is not None and meta[0] == "deliver":
+                channels.setdefault((meta[1], meta[2]), []).append(event)
+        return channels
+
+    def _pending_non_delivery(self) -> Event | None:
+        for event in self.scheduler.pending():
+            if event.meta is None or event.meta[0] != "deliver":
+                return event
+        return None
+
+    def enabled(self) -> list[Label]:
+        """Every transition enabled in the current state.
+
+        Adversary actions come first (so depth-first hunts commit to an
+        attack before exploring delivery orders), then deliveries —
+        channels *into* the adversary seat ahead of the rest, each group
+        in (src, dst) order — then the timer tick. Feeding the adversary
+        first matters for depth-first hunts: scripted attacks trigger on
+        what the adversary has received, so the first dive reaches the
+        attack behaviour within a few steps instead of after an
+        exponential detour. The order is deterministic — it is part of
+        the artifact's byte-identity contract.
+        """
+        labels: list[Label] = []
+        adversary = self.adversary
+        alphabet = self.config.alphabet
+        channels = self.channels()
+        if adversary is not None:
+            if "mute" in alphabet and "mute" not in adversary.modes:
+                labels.append(("mute",))
+            if (
+                "equivocate-current" in alphabet
+                and "equivocate-current" not in adversary.modes
+                and adversary.phase == PHASE_INIT
+            ):
+                labels.append(("equivocate-current",))
+            if "forge-attempt" in alphabet and not adversary.forged:
+                labels.append(("forge-attempt",))
+            if "drop-delivery" in alphabet:
+                for (src, dst) in sorted(channels):
+                    if src == adversary.pid and dst != adversary.pid:
+                        labels.append(("drop", dst))
+        adversary_pid = None if adversary is None else adversary.pid
+        for (src, dst) in sorted(
+            channels, key=lambda pair: (pair[1] != adversary_pid, pair)
+        ):
+            if src != dst:
+                labels.append(("deliver", src, dst))
+        if self._pending_non_delivery() is not None:
+            labels.append(("tick",))
+        return labels
+
+    def rounds_exceeded(self) -> bool:
+        """True when any correct process passed the round bound."""
+        return any(
+            self.system.processes[pid].round > self.config.max_rounds  # type: ignore[attr-defined]
+            for pid in self.system.correct_pids
+        )
+
+    # -- the step function ---------------------------------------------------
+
+    def apply(self, label: Label) -> None:
+        """Take one transition; raises :class:`ProtocolError` if disabled."""
+        kind = label[0]
+        if kind == "deliver":
+            self._dispatch_head(label[1], label[2])
+        elif kind == "tick":
+            event = self._pending_non_delivery()
+            if event is None:
+                raise ProtocolError("tick applied with no pending timer")
+            self.scheduler.dispatch_event(event)
+        elif kind == "drop":
+            adversary = self._require_adversary(kind)
+            head = self.channels().get((adversary.pid, label[1]))
+            if not head:
+                raise ProtocolError(f"drop on empty channel to {label[1]}")
+            head[0].cancelled.cancel()
+            self.dropped += 1
+        elif kind == "mute":
+            self._require_adversary(kind).activate_mute()
+        elif kind == "equivocate-current":
+            self._require_adversary(kind).arm_equivocation()
+        elif kind == "forge-attempt":
+            self._require_adversary(kind).forge_once()
+        else:
+            raise ProtocolError(f"unknown transition label {label!r}")
+        self._drain_self_deliveries()
+        self.path = self.path + (tuple(label),)
+
+    def _require_adversary(self, kind: str) -> ScriptedAdversary:
+        if self.adversary is None:
+            raise ProtocolError(f"{kind!r} needs an adversary seat")
+        return self.adversary
+
+    def _dispatch_head(self, src: int, dst: int) -> None:
+        for event in self.scheduler.pending():
+            meta = event.meta
+            if meta is not None and meta[0] == "deliver" and meta[1] == src and meta[2] == dst:
+                self.scheduler.dispatch_event(event)
+                return
+        raise ProtocolError(f"deliver on empty channel {src} -> {dst}")
+
+    def _drain_self_deliveries(self) -> None:
+        while True:
+            head = next(
+                (
+                    event
+                    for event in self.scheduler.pending()
+                    if event.meta is not None
+                    and event.meta[0] == "deliver"
+                    and event.meta[1] == event.meta[2]
+                ),
+                None,
+            )
+            if head is None:
+                return
+            self.scheduler.dispatch_event(head)

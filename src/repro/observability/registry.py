@@ -42,6 +42,9 @@ MODULE_SERVICE = "service"
 #: The real-socket deployment runtime (wire codec, peer transport,
 #: replica nodes — docs/NET.md).
 MODULE_NET = "net"
+#: The small-scope model checker driving the stack through all
+#: interleavings (docs/MODELCHECK.md).
+MODULE_MC = "mc"
 
 PAPER_MODULES = (
     MODULE_SIGNATURE,

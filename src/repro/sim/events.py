@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.errors import SchedulerError
 
@@ -30,6 +30,11 @@ class Event:
             ``"timer"``, ...).
         callback: zero-argument callable executed when the event fires.
         cancelled: cooperative cancellation flag (see :meth:`EventQueue.cancel`).
+        meta: optional structured tag identifying what the event *is*
+            (e.g. ``("deliver", src, dst)`` for a network delivery) so
+            external drivers — the model checker above all — can
+            enumerate and select pending events without inspecting
+            opaque callbacks.
     """
 
     time: float
@@ -37,6 +42,7 @@ class Event:
     kind: str
     callback: EventCallback = field(compare=False)
     cancelled: "CancellationToken" = field(compare=False)
+    meta: Any = field(compare=False, default=None)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -64,7 +70,13 @@ class EventQueue:
     def __len__(self) -> int:
         return len(self._heap)
 
-    def push(self, time: float, kind: str, callback: EventCallback) -> CancellationToken:
+    def push(
+        self,
+        time: float,
+        kind: str,
+        callback: EventCallback,
+        meta: Any = None,
+    ) -> CancellationToken:
         """Schedule ``callback`` at virtual ``time``; returns a cancel token."""
         if time < 0.0:
             raise SchedulerError(f"cannot schedule event at negative time {time!r}")
@@ -75,9 +87,18 @@ class EventQueue:
             kind=kind,
             callback=callback,
             cancelled=token,
+            meta=meta,
         )
         heapq.heappush(self._heap, event)
         return token
+
+    def live_events(self) -> list[Event]:
+        """Every pending non-cancelled event in dispatch order.
+
+        A read-only snapshot for external drivers (the model checker);
+        the queue itself is untouched.
+        """
+        return sorted(e for e in self._heap if not e.cancelled.cancelled)
 
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.

@@ -455,6 +455,7 @@ class Network:
             deliver_at,
             "deliver",
             lambda: self._deliver(src, dst, payload, duplicate),
+            meta=("deliver", src, dst, payload),
         )
         return deliver_at
 

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Any
+
 from repro.errors import SchedulerError
 from repro.observability.registry import MODULE_SCHEDULER, MetricsRegistry
 from repro.sim.clock import VirtualClock
-from repro.sim.events import CancellationToken, EventCallback, EventQueue
+from repro.sim.events import CancellationToken, Event, EventCallback, EventQueue
 from repro.sim.rng import SeededRng
 
 
@@ -61,26 +63,54 @@ class Scheduler:
     # -- scheduling ---------------------------------------------------------
 
     def schedule_at(
-        self, time: float, kind: str, callback: EventCallback
+        self, time: float, kind: str, callback: EventCallback, meta: Any = None
     ) -> CancellationToken:
         """Schedule ``callback`` at absolute virtual ``time`` (>= now)."""
         if time < self.clock.now:
             raise SchedulerError(
                 f"cannot schedule event in the past: now={self.clock.now}, at={time}"
             )
-        return self._queue.push(time, kind, callback)
+        return self._queue.push(time, kind, callback, meta=meta)
 
     def schedule_after(
-        self, delay: float, kind: str, callback: EventCallback
+        self, delay: float, kind: str, callback: EventCallback, meta: Any = None
     ) -> CancellationToken:
         """Schedule ``callback`` after a non-negative virtual ``delay``."""
         if delay < 0.0:
             raise SchedulerError(f"negative delay {delay!r}")
-        return self._queue.push(self.clock.now + delay, kind, callback)
+        return self._queue.push(self.clock.now + delay, kind, callback, meta=meta)
 
     def stop(self) -> None:
         """Request that the current :meth:`run` loop stop after this event."""
         self._stopped = True
+
+    # -- controlled dispatch (the model checker's step function) -------------
+
+    def pending(self) -> list[Event]:
+        """Snapshot of every live pending event in ``(time, seq)`` order."""
+        return self._queue.live_events()
+
+    def dispatch_event(self, event: Event) -> None:
+        """Dispatch one chosen pending event out of queue order.
+
+        This is the step function of the ``repro.mc`` explorer: the
+        driver picks *which* enabled event fires next instead of letting
+        virtual time decide, which is exactly the asynchronous
+        adversary's scheduling power. The clock is clamped forward only
+        (dispatching an event whose timestamp is older than ``now``
+        leaves the clock in place — its causal moment already passed on
+        this interleaving), and the event is cancelled in the queue so a
+        later :meth:`run` never fires it twice.
+        """
+        if event.cancelled.cancelled:
+            raise SchedulerError("dispatch_event() on a cancelled event")
+        event.cancelled.cancel()
+        if event.time > self.clock.now:
+            self.clock.advance_to(event.time)
+        if self.metrics is not None:
+            self.metrics.inc(MODULE_SCHEDULER, f"events_{event.kind}")
+        event.callback()
+        self._dispatched += 1
 
     # -- execution ----------------------------------------------------------
 

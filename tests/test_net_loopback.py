@@ -225,3 +225,81 @@ class TestLoopbackDeployment:
             bare.start()  # no transport attached
         with pytest.raises(TransportError):
             deployment.hub.register(1, lambda src, message: None)
+
+
+class TestDrainOrdering:
+    """Regression: the scheduler-deferred drain keeps broadcasts atomic.
+
+    ``LoopbackHub.submit`` defers delivery to a zero-delay drain timer
+    instead of dispatching synchronously. The observable contract — the
+    reason the protocol is safe over this fabric — is that a broadcast
+    enqueues *every* copy before any destination's handler runs, so a
+    receiver can never observe a reaction to a message (a CURRENT) ahead
+    of the message that caused it (its sender's INIT). A synchronous
+    drain regression would let the first recipient's cascade overtake
+    the second copy; these tests pin the exact order so that refactor
+    shows up as a diff, not a heisenbug.
+    """
+
+    def _wired_hub(self, n=3):
+        scheduler = ManualScheduler()
+        hub = LoopbackHub(scheduler)
+        log: list[tuple[int, int, str]] = []  # (src, dst, payload)
+        transports = {}
+
+        def make_handler(pid):
+            def handler(src, message):
+                log.append((src, pid, message))
+                # INIT triggers an immediate broadcast reaction: the
+                # cascade that a synchronous drain would let overtake
+                # the original broadcast's remaining copies.
+                if message == "init-0" and pid == 1:
+                    for dst in range(n):
+                        if dst != pid:
+                            transports[pid].send(dst, "current-1")
+            return handler
+
+        for pid in range(n):
+            transports[pid] = hub.register(pid, make_handler(pid))
+        return scheduler, hub, transports, log
+
+    def test_receiver_never_sees_the_reaction_before_its_cause(self):
+        scheduler, hub, transports, log = self._wired_hub()
+        # Node 0 broadcasts INIT; node 1 reacts with a CURRENT broadcast.
+        transports[0].send(1, "init-0")
+        transports[0].send(2, "init-0")
+        scheduler.advance(0.0)
+        seen_at_2 = [payload for src, dst, payload in log if dst == 2]
+        assert seen_at_2.index("init-0") < seen_at_2.index("current-1"), (
+            "node 2 observed node 1's CURRENT before the INIT that "
+            f"caused it: {seen_at_2}"
+        )
+
+    def test_exact_drain_trace_is_pinned(self):
+        scheduler, hub, transports, log = self._wired_hub()
+        transports[0].send(1, "init-0")
+        transports[0].send(2, "init-0")
+        transports[2].send(0, "init-2")
+        scheduler.advance(0.0)
+        # FIFO over enqueue order: the whole first broadcast, then the
+        # unrelated send, then node 1's reaction broadcast (enqueued
+        # while draining, delivered by the same iterative drain).
+        assert log == [
+            (0, 1, "init-0"),
+            (0, 2, "init-0"),
+            (2, 0, "init-2"),
+            (1, 0, "current-1"),
+            (1, 2, "current-1"),
+        ]
+        assert hub.frames_delivered == 5
+
+    def test_trace_is_identical_across_runs(self):
+        def run():
+            scheduler, hub, transports, log = self._wired_hub()
+            transports[0].send(1, "init-0")
+            transports[0].send(2, "init-0")
+            transports[2].send(0, "init-2")
+            scheduler.advance(0.0)
+            return log
+
+        assert run() == run()

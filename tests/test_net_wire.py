@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.core.certificates import Certificate, CertificationAuthority, SignedMessage
 from repro.crypto.keys import KeyAuthority
@@ -39,6 +40,10 @@ from repro.net.wire import (
     encode_frame,
     encode_payload,
     register_wire_type,
+    _read_varint,
+    _unzigzag,
+    _write_varint,
+    _zigzag,
 )
 from repro.replication.kvstore import Command
 from repro.service.messages import (
@@ -299,3 +304,85 @@ class TestHostileFrames:
 
     def test_wire_error_is_a_repro_error(self):
         assert issubclass(WireError, ReproError)
+
+
+def _payloads() -> st.SearchStrategy:
+    """Arbitrary codec-supported values: scalars nested in containers."""
+    scalars = (
+        st.none()
+        | st.booleans()
+        | st.integers()
+        | st.floats(allow_nan=False)
+        | st.text(max_size=16)
+        | st.binary(max_size=16)
+    )
+    return st.recursive(
+        scalars,
+        lambda children: st.lists(children, max_size=3).map(tuple)
+        | st.dictionaries(st.text(max_size=8), children, max_size=3),
+        max_leaves=8,
+    )
+
+
+class TestCodecProperties:
+    """Hypothesis properties of the v2 binary primitives.
+
+    The fuzz classes above throw *random* bytes at the decoder; these
+    pin the algebraic contracts of the primitives themselves — zigzag
+    and varint are total bijections on their domains, and the decoder
+    never reads past a declared length no matter what follows it.
+    """
+
+    @given(st.integers())
+    def test_zigzag_round_trips_and_is_non_negative(self, value):
+        coded = _zigzag(value)
+        assert coded >= 0
+        assert _unzigzag(coded) == value
+
+    @given(st.integers(), st.integers())
+    def test_zigzag_is_injective(self, a, b):
+        if a != b:
+            assert _zigzag(a) != _zigzag(b)
+
+    @given(st.integers(min_value=0))
+    def test_varint_round_trips_consuming_exactly_its_encoding(self, value):
+        out = bytearray()
+        _write_varint(out, value)
+        decoded, pos = _read_varint(memoryview(bytes(out)), 0, len(out))
+        assert decoded == value
+        assert pos == len(out)
+
+    @given(st.integers(min_value=0), st.integers(min_value=0))
+    def test_varint_is_injective(self, a, b):
+        out_a, out_b = bytearray(), bytearray()
+        _write_varint(out_a, a)
+        _write_varint(out_b, b)
+        assert (bytes(out_a) == bytes(out_b)) == (a == b)
+
+    @given(st.integers(min_value=0), st.binary(max_size=32))
+    def test_varint_read_never_passes_the_encoding_boundary(self, value, junk):
+        out = bytearray()
+        _write_varint(out, value)
+        buf = bytes(out) + junk
+        decoded, pos = _read_varint(memoryview(buf), 0, len(buf))
+        assert decoded == value
+        assert pos == len(out)  # the junk suffix is never touched
+
+    @given(_payloads(), st.binary(min_size=1, max_size=64))
+    def test_payload_decode_flags_bytes_past_the_declared_value(
+        self, value, junk
+    ):
+        payload = encode_payload(value, version=VERSION_BINARY)
+        with pytest.raises(WireError):
+            decode_payload(payload + junk, version=VERSION_BINARY)
+
+    @given(_payloads(), st.binary(max_size=HEADER.size - 1))
+    def test_frame_decode_never_reads_past_the_declared_length(
+        self, value, junk
+    ):
+        frame = encode_frame(value, version=VERSION_BINARY)
+        assembler = FrameAssembler()
+        messages = assembler.feed(frame + junk)
+        assert len(messages) == 1
+        assert messages[0] == value
+        assert assembler.buffered == len(junk)
