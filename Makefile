@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke smoke docs-check benchmarks experiments
+.PHONY: test campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke faults-smoke smoke docs-check benchmarks experiments
 
 # -W error promotes every warning to a failure; the lone ignore shields
 # the suite from a deprecation raised inside third-party plugin hooks.
@@ -64,8 +64,25 @@ mc-smoke:
 	$(PYTHON) -m repro mc replay /tmp/mc-smoke-hunt.jsonl --shrink
 	rm -f /tmp/mc-smoke-hunt.jsonl
 
+# The cross-fidelity fault campaign (docs/FAULTS.md): the smoke plan
+# matrix (muteness, partition-then-heal, kill/rejoin, bit-flip) run at
+# the two deterministic fidelities twice — the reports must be
+# byte-identical — then once across all three fidelities, subprocess
+# clusters included (SIGSTOP muteness, SIGKILL + --join rejoin,
+# socket-level link faults), asserting identical verdicts everywhere.
+# The net fidelity sits under a hard per-plan wall-clock timeout.
+faults-smoke:
+	$(PYTHON) -m repro campaign faults --preset smoke --fidelity sim,loopback \
+		--out /tmp/faults-smoke-a.json
+	$(PYTHON) -m repro campaign faults --preset smoke --fidelity sim,loopback \
+		--out /tmp/faults-smoke-b.json
+	cmp /tmp/faults-smoke-a.json /tmp/faults-smoke-b.json
+	rm -f /tmp/faults-smoke-a.json /tmp/faults-smoke-b.json
+	$(PYTHON) -m repro campaign faults --preset smoke \
+		--fidelity sim,loopback,net --timeout 120
+
 # Every smoke target in one call.
-smoke: campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke
+smoke: campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke faults-smoke
 
 # Execute every ```python snippet in README.md and docs/*.md
 # (tests/test_docs_snippets.py); keeps the documented examples honest.

@@ -124,6 +124,18 @@ def parse_campaign_lines(lines: Iterable[str]) -> CampaignArtifact:
             schema = record.get("schema", "")
             if not schema.startswith("repro.campaign/"):
                 raise CampaignArtifactError(f"unsupported schema {schema!r}")
+            try:
+                version = int(schema.rpartition("/v")[2])
+            except ValueError:
+                raise CampaignArtifactError(
+                    f"unsupported schema {schema!r}"
+                ) from None
+            if version > 1:
+                raise CampaignArtifactError(
+                    f"artifact schema {schema!r} is newer than the installed "
+                    f"code (supports {CAMPAIGN_SCHEMA}); upgrade before "
+                    f"replaying"
+                )
             artifact.schema = schema
             artifact.meta = record.get("meta", {})
             saw_header = True

@@ -247,6 +247,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifact", required=True, help="campaign artifact holding the id"
     )
 
+    c_faults = campaign_sub.add_parser(
+        "faults",
+        help="run fault plans at several fidelities and cross-check the "
+        "verdicts (docs/FAULTS.md)",
+    )
+    c_faults.add_argument(
+        "--preset",
+        default="smoke",
+        help="fault-plan preset: smoke or extended (docs/FAULTS.md)",
+    )
+    c_faults.add_argument(
+        "--plan",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="run this saved plan JSON instead of the preset (repeatable)",
+    )
+    c_faults.add_argument(
+        "--fidelity",
+        default="sim,loopback",
+        metavar="F1,F2,...",
+        help="comma-separated fidelities: sim, loopback, net",
+    )
+    c_faults.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the cross-fidelity report (canonical JSON) here",
+    )
+    c_faults.add_argument(
+        "--workdir",
+        help="keep net-fidelity cluster state here (default: temp dirs)",
+    )
+    c_faults.add_argument(
+        "--timeout", type=float, default=180.0,
+        help="hard wall-clock cap per plan at the net fidelity (seconds)",
+    )
+    c_faults.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
+    c_service = campaign_sub.add_parser(
+        "service",
+        help="run a service scenario preset with oracles (same engine as "
+        "`service campaign`)",
+    )
+    c_service.add_argument("--preset", default="smoke")
+    c_service.add_argument(
+        "--out", metavar="FILE", help="write the records as JSON to FILE"
+    )
+    c_service.add_argument(
+        "--json", action="store_true", help="emit the records as JSON"
+    )
+
     service = sub.add_parser(
         "service",
         help="run the BFT replicated key-value service (docs/SERVICE.md)",
@@ -354,6 +407,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-dir",
         metavar="DIR",
         help="periodically export this node's JSONL metrics artifact here",
+    )
+    n_replica.add_argument(
+        "--faults",
+        metavar="FILE",
+        help="execute this fault plan's link faults on outbound peer sends "
+        "(docs/FAULTS.md)",
+    )
+    n_replica.add_argument(
+        "--faults-origin",
+        type=float,
+        metavar="EPOCH",
+        help="wall-clock epoch that maps to plan time zero (default: now)",
+    )
+    n_replica.add_argument(
+        "--attack",
+        metavar="NAME",
+        help="run a Byzantine transformed-attack engine on this replica",
     )
 
     n_client = net_sub.add_parser(
@@ -741,6 +811,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     )
     from repro.campaign.matrix import campaign_spec
 
+    if args.campaign_command == "faults":
+        return _faults_campaign(args)
+
+    if args.campaign_command == "service":
+        return _service_campaign(args.preset, args.out, args.json)
+
     if args.campaign_command == "list":
         spec = campaign_spec(args.preset)
         scenarios = enumerate_scenarios(spec, master_seed=args.master_seed)
@@ -918,11 +994,7 @@ def _print_service_record(record: dict) -> None:
 def cmd_service(args: argparse.Namespace) -> int:
     import json
 
-    from repro.service import (
-        ServiceScenario,
-        run_service_scenario,
-        service_preset,
-    )
+    from repro.service import ServiceScenario, run_service_scenario
 
     if args.service_command == "run":
         attack_names = _parse_pairs(args.attack, "attack")
@@ -956,20 +1028,28 @@ def cmd_service(args: argparse.Namespace) -> int:
             print(f"run record exported to {args.json}")
         return 0 if record["verdict"] == "pass" else 1
 
-    # campaign
+    # campaign (also reachable as `repro campaign service`)
+    return _service_campaign(args.preset, args.out, args.json)
+
+
+def _service_campaign(preset: str, out: str | None, as_json: bool) -> int:
+    """The service campaign engine behind both CLI spellings."""
+    import json
+
+    from repro.service import run_service_scenario, service_preset
+
     records = [
-        run_service_scenario(scenario)
-        for scenario in service_preset(args.preset)
+        run_service_scenario(scenario) for scenario in service_preset(preset)
     ]
     payload = json.dumps(records, indent=2, sort_keys=True) + "\n"
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
             handle.write(payload)
-    if args.json:
+    if as_json:
         print(payload, end="")
     else:
         print_table(
-            f"service campaign {args.preset!r} ({len(records)} scenarios)",
+            f"service campaign {preset!r} ({len(records)} scenarios)",
             ["scenario", "verdict", "commands", "checkpoints", "transfers",
              "p50", "p99"],
             [
@@ -985,8 +1065,8 @@ def cmd_service(args: argparse.Namespace) -> int:
                 for record in records
             ],
         )
-        if args.out:
-            print(f"campaign records exported to {args.out}")
+        if out:
+            print(f"campaign records exported to {out}")
     failures = [r for r in records if r["verdict"] != "pass"]
     for record in failures:
         print(
@@ -994,6 +1074,74 @@ def cmd_service(args: argparse.Namespace) -> int:
             f"{'; '.join(record['violations'])}"
         )
     return 1 if failures else 0
+
+
+def _faults_campaign(args: argparse.Namespace) -> int:
+    """`repro campaign faults`: the cross-fidelity fault-plan engine."""
+    from repro.faults import FAULT_PRESETS, FaultPlan, run_cross_fidelity
+
+    if args.plan:
+        plans = tuple(FaultPlan.load(path) for path in args.plan)
+    else:
+        preset = FAULT_PRESETS.get(args.preset)
+        if preset is None:
+            raise ConfigurationError(
+                f"unknown fault preset {args.preset!r}; "
+                f"known: {sorted(FAULT_PRESETS)}"
+            )
+        plans = preset
+    fidelities = tuple(
+        part.strip() for part in args.fidelity.split(",") if part.strip()
+    )
+    if not fidelities:
+        raise ConfigurationError("--fidelity needs at least one fidelity")
+    report = run_cross_fidelity(
+        plans,
+        fidelities,
+        workdir=args.workdir,
+        timeout=args.timeout,
+        progress=lambda line: print(f"  running {line}", file=sys.stderr),
+    )
+    if args.out:
+        report.save(args.out)
+    if args.json:
+        print(report.dumps(), end="")
+    else:
+        print_table(
+            f"cross-fidelity fault campaign ({len(report.results)} plans "
+            f"@ {', '.join(fidelities)})",
+            ["plan", "id", "expect"]
+            + list(fidelities)
+            + ["agree", "expected"],
+            [
+                [
+                    result.plan.name,
+                    result.plan.plan_id,
+                    result.plan.expect,
+                ]
+                + [
+                    result.verdicts.get(fidelity, "-")
+                    for fidelity in fidelities
+                ]
+                + [
+                    "yes" if result.agree else "NO",
+                    "yes" if result.expected else "NO",
+                ]
+                for result in report.results
+            ],
+        )
+        if args.out:
+            print(f"cross-fidelity report exported to {args.out}")
+    for result in report.results:
+        for fidelity, (verdict, violations, _obs) in sorted(
+            result.outcomes.items()
+        ):
+            if verdict == "fail":
+                print(
+                    f"FAIL {result.plan.name} @ {fidelity}: "
+                    f"{'; '.join(violations)}"
+                )
+    return 0 if report.ok else 1
 
 
 def cmd_net(args: argparse.Namespace) -> int:
@@ -1039,6 +1187,9 @@ def cmd_net(args: argparse.Namespace) -> int:
                 args.pid,
                 join=args.join,
                 metrics_dir=args.metrics_dir,
+                fault_plan=args.faults,
+                fault_origin=args.faults_origin,
+                attack=args.attack,
             )
         )
 

@@ -1,0 +1,47 @@
+"""One campaign engine, three fidelities: unified fault plans from pure
+simulation to real TCP clusters (docs/FAULTS.md)."""
+
+from repro.faults.injector import LinkFaultInjector, flip_signed_payload
+from repro.faults.loopback_runner import run_loopback_plan
+from repro.faults.oracle import FidelityObservation, judge, live_correct
+from repro.faults.plan import (
+    EXPECTATIONS,
+    FAULTS_SCHEMA,
+    FIDELITIES,
+    FIDELITY_LOOPBACK,
+    FIDELITY_NET,
+    FIDELITY_SIM,
+    FaultPlan,
+    check_faults_schema,
+)
+from repro.faults.report import (
+    FAULT_PRESETS,
+    CrossFidelityReport,
+    PlanResult,
+    run_cross_fidelity,
+    run_plan,
+)
+from repro.faults.sim_runner import run_sim_plan
+
+__all__ = [
+    "CrossFidelityReport",
+    "EXPECTATIONS",
+    "FAULTS_SCHEMA",
+    "FAULT_PRESETS",
+    "FIDELITIES",
+    "FIDELITY_LOOPBACK",
+    "FIDELITY_NET",
+    "FIDELITY_SIM",
+    "FaultPlan",
+    "FidelityObservation",
+    "LinkFaultInjector",
+    "PlanResult",
+    "check_faults_schema",
+    "flip_signed_payload",
+    "judge",
+    "live_correct",
+    "run_cross_fidelity",
+    "run_loopback_plan",
+    "run_plan",
+    "run_sim_plan",
+]

@@ -1,0 +1,281 @@
+"""Fidelity 3: execute a fault plan against a real subprocess cluster.
+
+Replicas are real OS processes over real TCP sockets
+(:class:`~repro.net.cluster.LocalCluster`). Fault realisation needs no
+privileges:
+
+* **muteness** is ``SIGSTOP`` — the frozen process keeps its sockets
+  open but neither reads, writes nor fires timers;
+* **crash / rejoin** is ``SIGKILL`` plus a respawn with ``--join``
+  (certified state transfer over sockets is the only way back);
+* **link faults** (loss, duplication, reorder, partitions, bit-flips)
+  run inside each replica's :class:`~repro.net.faulty.FaultyPeerTransport`,
+  seeded per directed link from the same plan so every replica owns its
+  own outbound decisions.
+
+All replica processes measure plan time from one shared wall-clock
+``origin`` epoch passed on the command line, so partition windows and
+flip activation agree across the cluster. The run is verdict-stable, not
+byte-stable: wall clocks, socket scheduling and ``NetClient``'s random
+request-id base all vary, so the cross-fidelity contract only asserts
+the *verdict* (docs/FAULTS.md), and the whole scenario sits under a hard
+wall-clock timeout — a hung cluster becomes a failing observation, never
+a hung make target.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.faults.oracle import FidelityObservation, live_correct
+from repro.faults.plan import FIDELITY_NET, FaultPlan
+from repro.net.client import NetClient, NetClientError
+from repro.net.cluster import LocalCluster, make_genesis, wait_cluster_ready
+from repro.observability.export import read_run_jsonl
+from repro.observability.registry import MODULE_FAULTS, MODULE_SIGNATURE
+
+#: Lead time between spawning the cluster and the plan's t=0: replicas
+#: must be connected and ready before the first scheduled fault.
+ORIGIN_GRACE = 3.0
+
+#: Extra wall-clock seconds the run may settle past the plan window.
+SETTLE_BUDGET = 45.0
+
+
+class _NetRun:
+    """One plan execution against a local subprocess cluster."""
+
+    def __init__(self, plan: FaultPlan, workdir: Path) -> None:
+        plan.validate()
+        self.plan = plan
+        self.workdir = workdir
+        self.genesis = make_genesis(
+            plan.n_replicas,
+            seed=plan.seed,
+            name=f"faults-{plan.plan_id}",
+            request_timeout=0.6,
+            stall_probe=2.0,
+        )
+        self.plan_path = plan.save(workdir / "plan.json")
+        self.origin = time.time() + ORIGIN_GRACE
+        self.cluster = LocalCluster(
+            self.genesis,
+            workdir,
+            replica_args=(
+                "--faults", str(self.plan_path),
+                "--faults-origin", repr(self.origin),
+            ),
+        )
+        self.client = NetClient(self.genesis, 0)
+        self.completed_workload = 0
+        self.statuses: dict[int, Any] = {}
+        self._attacks = dict(plan.collusion)
+
+    def _spawn(self, pid: int, *, join: bool = False) -> None:
+        extra: tuple[str, ...] = ()
+        if pid in self._attacks:
+            extra = ("--attack", self._attacks[pid])
+        self.cluster.spawn(pid, join=join, extra_args=extra)
+
+    async def _sleep_until(self, plan_time: float) -> None:
+        delay = self.origin + plan_time - time.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    async def _workload(self) -> None:
+        """Paced sets over the first ~70% of the plan window."""
+        plan = self.plan
+        span = 0.7 * plan.duration
+        tasks = []
+
+        async def one(index: int) -> None:
+            await self._sleep_until((index / plan.requests) * span)
+            try:
+                await self.client.set(f"k{index % 8}", f"v{index}")
+            except NetClientError:
+                return
+            self.completed_workload += 1
+
+        for index in range(plan.requests):
+            tasks.append(asyncio.ensure_future(one(index)))
+        await asyncio.gather(*tasks)
+
+    async def _fire_events(self) -> None:
+        """Mutes, kills and rejoins, in plan order, as real signals."""
+        events: list[tuple[float, str, int]] = []
+        for pid, at in self.plan.mutes:
+            events.append((at, "mute", pid))
+        for pid, at, rejoin_at in self.plan.kills:
+            events.append((at, "kill", pid))
+            if rejoin_at is not None:
+                events.append((rejoin_at, "rejoin", pid))
+        for at, action, pid in sorted(events):
+            await self._sleep_until(at)
+            if action == "mute":
+                self.cluster.stop(pid)
+            elif action == "kill":
+                self.cluster.kill(pid)
+            else:
+                self._spawn(pid, join=True)
+
+    async def _settle(self) -> None:
+        """Nudge-and-probe until the live correct replicas agree."""
+        plan = self.plan
+        live = live_correct(plan)
+        deadline = time.monotonic() + SETTLE_BUDGET
+        nudge = 0
+        while time.monotonic() < deadline:
+            replies = await self.client.status(timeout=1.0)
+            self.statuses = {
+                pid: status for pid, status in replies.items() if pid in live
+            }
+            if len(self.statuses) == len(live):
+                digests = {s.digest for s in self.statuses.values()}
+                committed_ok = all(
+                    s.committed >= self.client.sets_completed
+                    for s in self.statuses.values()
+                )
+                transfers_ok = all(
+                    self.statuses[pid].transfers >= 1
+                    for pid in plan.rejoining_pids
+                    if pid in self.statuses
+                )
+                if len(digests) == 1 and committed_ok and transfers_ok:
+                    return
+            # New commits circulate fresh checkpoints, whose certificates
+            # reveal a laggard's gap and trigger its certified transfer.
+            try:
+                await self.client.set("nudge", f"n{nudge}")
+            except NetClientError:
+                pass
+            nudge += 1
+            await asyncio.sleep(0.3)
+
+    async def execute(self) -> None:
+        for pid in range(self.plan.n_replicas):
+            self._spawn(pid)
+        await wait_cluster_ready(self.client, timeout=30.0)
+        await self._sleep_until(0.0)
+        await asyncio.gather(self._workload(), self._fire_events())
+        await self._sleep_until(self.plan.duration)
+        await self._settle()
+
+    # -- post-teardown harvest ----------------------------------------------
+
+    def observe(self) -> FidelityObservation:
+        """Reduce the run (status replies + exported JSONL) for the judge.
+
+        Called *after* ``terminate_all``: SIGTERM flushes a final metrics
+        export from every thawed replica, and the per-node JSONL files
+        are the durable source for declarations and counters — the
+        in-memory bounded traces died with the processes.
+        """
+        plan = self.plan
+        correct = frozenset(range(plan.n_replicas)) - plan.faulty_pids
+        declared: list[tuple[int, int, str]] = []
+        flips_injected = 0
+        signature_rejections = 0
+        for pid in range(plan.n_replicas):
+            path = self.cluster.metrics_dir / f"node-{pid}.jsonl"
+            if not path.exists():
+                continue
+            try:
+                artifact = read_run_jsonl(path)
+            except Exception:
+                continue
+            flips_injected += int(
+                artifact.metrics.counter_total(
+                    MODULE_FAULTS, "arb_faults_injected"
+                )
+            )
+            if pid in correct:
+                signature_rejections += int(
+                    artifact.metrics.counter_total(
+                        MODULE_SIGNATURE, "messages_rejected"
+                    )
+                )
+                for event in artifact.events_of_type("declare_faulty"):
+                    declared.append(
+                        (
+                            pid,
+                            event["detail"]["target"],
+                            event["detail"]["reason"],
+                        )
+                    )
+        declared.sort()
+        live = live_correct(plan)
+        return FidelityObservation(
+            fidelity=FIDELITY_NET,
+            completed=self.completed_workload,
+            committed={
+                pid: status.committed
+                for pid, status in self.statuses.items()
+                if pid in live
+            },
+            digests={
+                pid: status.digest
+                for pid, status in self.statuses.items()
+                if pid in live
+            },
+            transfers={
+                pid: self.statuses[pid].transfers
+                for pid in sorted(plan.rejoining_pids)
+                if pid in self.statuses
+            },
+            declared=tuple(declared),
+            flips_injected=flips_injected,
+            signature_rejections=signature_rejections,
+            extras={
+                "workdir": str(self.workdir),
+                "resubmissions": self.client.resubmissions,
+            },
+        )
+
+
+async def run_net_plan_async(
+    plan: FaultPlan,
+    *,
+    workdir: str | Path | None = None,
+    timeout: float = 180.0,
+) -> FidelityObservation:
+    """Execute ``plan`` at fidelity 3 under a hard wall-clock ``timeout``."""
+    owned_tmp = None
+    if workdir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-faults-")
+        workdir = owned_tmp.name
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    run = _NetRun(plan, workdir)
+    timed_out = False
+    try:
+        try:
+            await asyncio.wait_for(run.execute(), timeout)
+        except asyncio.TimeoutError:
+            timed_out = True
+    finally:
+        await run.client.close()
+        exit_codes = run.cluster.terminate_all()
+    observation = run.observe()
+    observation.extras["exit_codes"] = {
+        str(pid): code for pid, code in sorted(exit_codes.items())
+    }
+    observation.extras["timed_out"] = timed_out
+    if owned_tmp is not None:
+        observation.extras.pop("workdir", None)
+        owned_tmp.cleanup()
+    return observation
+
+
+def run_net_plan(
+    plan: FaultPlan,
+    *,
+    workdir: str | Path | None = None,
+    timeout: float = 180.0,
+) -> FidelityObservation:
+    return asyncio.run(
+        run_net_plan_async(plan, workdir=workdir, timeout=timeout)
+    )

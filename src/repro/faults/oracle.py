@@ -1,0 +1,166 @@
+"""The fidelity-neutral verdict: one judge for all three runners.
+
+Every runner reduces its run to a :class:`FidelityObservation` — the
+same handful of facts regardless of whether they came from a simulated
+world's trace, a loopback node's registry, or a subprocess cluster's
+exported JSONL — and :func:`judge` turns (plan, observation) into the
+``pass`` / ``expected-vulnerability`` / ``fail`` verdict plus the list
+of violated oracles. The cross-fidelity contract (docs/FAULTS.md) is
+that this verdict agrees across fidelities for the same plan.
+
+The bit-flip attribution oracle closes the loop on the first
+arbitrary-fault family: at least one flip must have been injected, the
+corruption must be *detected* by the signature/certification side
+(declarations classified via
+:func:`repro.campaign.oracles.classify_fault_reason`, with the raw
+signature-rejection counter as the fidelity-3 fallback when the bounded
+trace has rolled over), and — on plans without probabilistic link noise,
+whose stream gaps could legitimately trip Figure 4 — the behaviour
+automaton must never convict the innocent flipped sender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.byzantine.faults import DetectingModule
+from repro.campaign.oracles import (
+    VERDICT_EXPECTED_VULNERABILITY,
+    VERDICT_FAIL,
+    VERDICT_PASS,
+    classify_fault_reason,
+)
+from repro.faults.plan import FaultPlan
+
+#: Modules allowed to flag a flipped-bit corruption (the verification
+#: side of the receive path; never the behaviour automaton).
+FLIP_MODULES = frozenset(
+    {DetectingModule.SIGNATURE, DetectingModule.CERTIFICATION}
+)
+
+
+@dataclass(slots=True)
+class FidelityObservation:
+    """What one runner saw, reduced to the judge's vocabulary."""
+
+    fidelity: str
+    #: Client requests that completed end-to-end.
+    completed: int = 0
+    #: pid -> commands committed at that replica (live replicas only).
+    committed: dict[int, int] = field(default_factory=dict)
+    #: pid -> application-state digest at the end of the run.
+    digests: dict[int, str] = field(default_factory=dict)
+    #: pid -> certified state transfers completed (rejoin evidence).
+    transfers: dict[int, int] = field(default_factory=dict)
+    #: ``(observer, target, reason)`` fault declarations by correct
+    #: observers (may be truncated at fidelity 3 — see the counters).
+    declared: tuple[tuple[int, int, str], ...] = ()
+    #: Flips the injector actually performed.
+    flips_injected: int = 0
+    #: Total signature-verification rejections (durable fallback for
+    #: flip detection when the bounded event window rolled over).
+    signature_rejections: int = 0
+    #: Free-form runner extras carried into the report (never judged).
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+def live_correct(plan: FaultPlan) -> frozenset[int]:
+    """Replicas the convergence oracles may hold to account at the end:
+    correct, never muted, and not dead at the end of the plan."""
+    gone = (
+        plan.muted_pids
+        | plan.colluding_pids
+        | (plan.killed_pids - plan.rejoining_pids)
+    )
+    return frozenset(range(plan.n_replicas)) - gone
+
+
+def judge(
+    plan: FaultPlan, observation: FidelityObservation
+) -> tuple[str, list[str]]:
+    """Apply the oracle catalogue; return ``(verdict, violations)``."""
+    violations: list[str] = []
+    live = live_correct(plan)
+    floor = plan.progress_floor
+
+    # Progress: the workload completed and every live replica executed it.
+    if observation.completed < plan.requests:
+        violations.append(
+            f"progress: {observation.completed}/{plan.requests} client "
+            "requests completed"
+        )
+    for pid in sorted(live):
+        committed = observation.committed.get(pid, 0)
+        if committed < floor:
+            violations.append(
+                f"progress: replica {pid} committed {committed} < {floor} "
+                "commands"
+            )
+
+    # Convergence: one application-state digest across the live set.
+    missing = [pid for pid in sorted(live) if pid not in observation.digests]
+    if missing:
+        violations.append(
+            f"convergence: no final digest from replica(s) {missing}"
+        )
+    digests = {observation.digests[pid] for pid in live - set(missing)}
+    if len(digests) > 1:
+        violations.append(
+            "convergence: live correct replicas diverge: "
+            + ", ".join(
+                f"{pid}={observation.digests[pid][:12]}"
+                for pid in sorted(live - set(missing))
+            )
+        )
+
+    # Recovery: every rejoining replica certified at least one transfer.
+    for pid in sorted(plan.rejoining_pids):
+        if observation.transfers.get(pid, 0) < 1:
+            violations.append(
+                f"recovery: rejoined replica {pid} completed no certified "
+                "state transfer"
+            )
+
+    # Arbitrary-fault family: flips injected, detected, and attributed
+    # to the verification modules — never the behaviour automaton.
+    if plan.flips:
+        if observation.flips_injected < 1:
+            violations.append(
+                "injection: the plan schedules bit-flips but none were "
+                "injected (no eligible CURRENT traffic in the window?)"
+            )
+        else:
+            flip_srcs = plan.flip_pids
+            verification_hits = sum(
+                1
+                for _observer, target, reason in observation.declared
+                if target in flip_srcs
+                and classify_fault_reason(reason) in FLIP_MODULES
+            )
+            if verification_hits == 0 and observation.signature_rejections == 0:
+                violations.append(
+                    "detection: flipped pre-signature fields were never "
+                    "rejected by the signature/certification modules"
+                )
+        if not plan.has_link_noise:
+            automaton_hits = sorted(
+                {
+                    (observer, target)
+                    for observer, target, reason in observation.declared
+                    if target in plan.flip_pids
+                    and classify_fault_reason(reason)
+                    is DetectingModule.NON_MUTENESS_DETECTOR
+                }
+            )
+            if automaton_hits:
+                violations.append(
+                    "attribution: the behaviour automaton convicted the "
+                    f"innocent flipped sender(s): {automaton_hits}"
+                )
+
+    if not violations:
+        return VERDICT_PASS, violations
+    if plan.expect == "vulnerable":
+        return VERDICT_EXPECTED_VULNERABILITY, violations
+    return VERDICT_FAIL, violations

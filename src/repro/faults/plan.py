@@ -1,0 +1,452 @@
+"""Fault plans: one scenario schema for every fidelity (docs/FAULTS.md).
+
+A :class:`FaultPlan` describes *what goes wrong* in a run — muteness,
+collusion, per-link loss/duplication/reorder, partition-then-heal
+windows, kill/rejoin events, and seeded bit-flips in pre-signature
+message fields — in fidelity-neutral terms: event times are **plan
+seconds** and pids are replica indices. The same plan (the same JSON
+document, the same content-hash id) then executes at three fidelities:
+
+1. pure simulation (``repro.sim.world``, plan seconds scaled to virtual
+   time);
+2. the deterministic loopback twin (``repro.net`` nodes on a
+   :class:`~repro.net.clock.ManualScheduler`, plan seconds 1:1);
+3. real subprocess clusters over TCP (SIGSTOP/SIGKILL for
+   muteness/crash, socket-level injection in
+   :class:`~repro.net.faulty.FaultyPeerTransport`).
+
+Like every scenario family in this repo, a plan round-trips through
+plain JSON and hashes to a stable id (prefix ``f``), so a plan file is a
+replayable, content-addressed artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.byzantine import TRANSFORMED_ATTACKS
+from repro.core.specs import SystemParameters
+from repro.errors import ConfigurationError
+
+#: Schema tag of a serialised plan file.
+FAULTS_SCHEMA = "repro.faults/v1"
+
+#: Verdict expectations a plan may declare.
+EXPECTATIONS = ("pass", "vulnerable")
+
+#: Fidelity names, in increasing realism.
+FIDELITY_SIM = "sim"
+FIDELITY_LOOPBACK = "loopback"
+FIDELITY_NET = "net"
+FIDELITIES = (FIDELITY_SIM, FIDELITY_LOOPBACK, FIDELITY_NET)
+
+
+def _parse_groups(groups: str, n_replicas: int) -> tuple[tuple[int, ...], ...]:
+    """``"0,1|2,3"`` -> ``((0, 1), (2, 3))`` with full validation."""
+    try:
+        parsed = tuple(
+            tuple(int(pid) for pid in part.split(","))
+            for part in groups.split("|")
+        )
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"malformed partition groups {groups!r}: {exc}"
+        ) from exc
+    if len(parsed) < 2:
+        raise ConfigurationError(
+            f"a partition needs >= 2 groups, got {groups!r}"
+        )
+    seen: set[int] = set()
+    for group in parsed:
+        for pid in group:
+            if not 0 <= pid < n_replicas:
+                raise ConfigurationError(
+                    f"partition pid {pid} out of range for "
+                    f"n_replicas={n_replicas}"
+                )
+            if pid in seen:
+                raise ConfigurationError(
+                    f"partition pid {pid} appears in two groups: {groups!r}"
+                )
+            seen.add(pid)
+    return parsed
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """One fidelity-neutral fault scenario (immutable, hashable)."""
+
+    name: str = "baseline"
+    seed: int = 0
+    n_replicas: int = 4
+    #: Client commands the workload driver pushes through the cluster.
+    requests: int = 24
+    #: Active window of the plan, in plan seconds; every event time below
+    #: must fall inside ``[0, duration)``. The runners keep settling past
+    #: the duration until the oracles' convergence criterion holds.
+    duration: float = 10.0
+    #: ``(pid, at)`` — from ``at`` on, the replica is mute: it runs but
+    #: none of its traffic (in or out) is delivered. At the net fidelity
+    #: this is a real ``SIGSTOP``.
+    mutes: tuple[tuple[int, float], ...] = ()
+    #: ``(pid, at, rejoin_at | None)`` — crash (volatile state lost) at
+    #: ``at``; ``rejoin_at`` restarts the replica into certified state
+    #: transfer, ``None`` keeps it down. At the net fidelity this is a
+    #: real ``SIGKILL`` (+ respawn with ``--join``).
+    kills: tuple[tuple[int, float, float | None], ...] = ()
+    #: ``(start, heal, groups)`` partition-then-heal windows; ``groups``
+    #: is the ``"0,1|2,3"`` syntax of the consensus campaign. Severs
+    #: replica-replica links across groups, clients stay connected.
+    partitions: tuple[tuple[float, float, str], ...] = ()
+    #: Per-link Bernoulli fault probabilities on replica-replica links.
+    loss: float = 0.0
+    duplication: float = 0.0
+    reorder: float = 0.0
+    #: Extra delay (plan seconds) a reordered copy may pick up.
+    reorder_spread: float = 0.5
+    #: ``(src_pid, at, count)`` — from ``at`` on, flip one bit in the
+    #: first ``count`` eligible pre-signature message fields ``src_pid``
+    #: sends (CURRENT round numbers; docs/FAULTS.md explains why). The
+    #: sender is *correct* — this is the non-malicious arbitrary-fault
+    #: family — so the signature/certification modules must both catch
+    #: the corruption and never let the consensus automaton convict the
+    #: victim of a behaviour fault.
+    flips: tuple[tuple[int, float, int], ...] = ()
+    #: ``(pid, attack-name)`` — Byzantine consensus engines from the
+    #: transformed-attack catalogue (the collusion axis).
+    collusion: tuple[tuple[int, str], ...] = ()
+    #: Verdict the plan expects: ``"pass"`` (faults are tolerated) or
+    #: ``"vulnerable"`` (violations are the documented expected outcome).
+    expect: str = "pass"
+    #: Progress floor for the oracles (0 defaults to ``requests``).
+    min_commands: int = 0
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def plan_id(self) -> str:
+        canonical = json.dumps(
+            self.to_config(), sort_keys=True, separators=(",", ":")
+        )
+        return "f" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+    # -- config round-trip ---------------------------------------------------
+
+    def to_config(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "n_replicas": self.n_replicas,
+            "requests": self.requests,
+            "duration": self.duration,
+            "mutes": [[pid, at] for pid, at in self.mutes],
+            "kills": [
+                [pid, at, rejoin_at] for pid, at, rejoin_at in self.kills
+            ],
+            "partitions": [
+                [start, heal, groups] for start, heal, groups in self.partitions
+            ],
+            "loss": self.loss,
+            "duplication": self.duplication,
+            "reorder": self.reorder,
+            "reorder_spread": self.reorder_spread,
+            "flips": [[pid, at, count] for pid, at, count in self.flips],
+            "collusion": {str(pid): name for pid, name in self.collusion},
+            "expect": self.expect,
+            "min_commands": self.min_commands,
+        }
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "FaultPlan":
+        try:
+            return cls(
+                name=str(config.get("name", "baseline")),
+                seed=int(config.get("seed", 0)),
+                n_replicas=int(config.get("n_replicas", 4)),
+                requests=int(config.get("requests", 24)),
+                duration=float(config.get("duration", 10.0)),
+                mutes=tuple(
+                    sorted(
+                        (int(pid), float(at))
+                        for pid, at in (config.get("mutes") or ())
+                    )
+                ),
+                kills=tuple(
+                    sorted(
+                        (
+                            int(pid),
+                            float(at),
+                            None if rejoin_at is None else float(rejoin_at),
+                        )
+                        for pid, at, rejoin_at in (config.get("kills") or ())
+                    )
+                ),
+                partitions=tuple(
+                    sorted(
+                        (float(start), float(heal), str(groups))
+                        for start, heal, groups in (
+                            config.get("partitions") or ()
+                        )
+                    )
+                ),
+                loss=float(config.get("loss", 0.0)),
+                duplication=float(config.get("duplication", 0.0)),
+                reorder=float(config.get("reorder", 0.0)),
+                reorder_spread=float(config.get("reorder_spread", 0.5)),
+                flips=tuple(
+                    sorted(
+                        (int(pid), float(at), int(count))
+                        for pid, at, count in (config.get("flips") or ())
+                    )
+                ),
+                collusion=tuple(
+                    sorted(
+                        (int(pid), str(name))
+                        for pid, name in dict(
+                            config.get("collusion") or {}
+                        ).items()
+                    )
+                ),
+                expect=str(config.get("expect", "pass")),
+                min_commands=int(config.get("min_commands", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed fault plan config: {exc}"
+            ) from exc
+
+    # -- derived -------------------------------------------------------------
+
+    def params(self) -> SystemParameters:
+        return SystemParameters.for_n(self.n_replicas)
+
+    @property
+    def muted_pids(self) -> frozenset[int]:
+        return frozenset(pid for pid, _ in self.mutes)
+
+    @property
+    def killed_pids(self) -> frozenset[int]:
+        return frozenset(pid for pid, _, _ in self.kills)
+
+    @property
+    def rejoining_pids(self) -> frozenset[int]:
+        return frozenset(
+            pid for pid, _, rejoin_at in self.kills if rejoin_at is not None
+        )
+
+    @property
+    def colluding_pids(self) -> frozenset[int]:
+        return frozenset(pid for pid, _ in self.collusion)
+
+    @property
+    def flip_pids(self) -> frozenset[int]:
+        return frozenset(pid for pid, _, _ in self.flips)
+
+    @property
+    def faulty_pids(self) -> frozenset[int]:
+        """Process faults counted against F (flips are *link* corruption
+        of a correct sender, so they are deliberately not in this set)."""
+        return self.muted_pids | self.killed_pids | self.colluding_pids
+
+    @property
+    def has_link_noise(self) -> bool:
+        """Probabilistic link faults that legitimately create stream gaps."""
+        return bool(
+            self.loss or self.duplication or self.reorder or self.partitions
+        )
+
+    @property
+    def progress_floor(self) -> int:
+        return self.min_commands if self.min_commands else self.requests
+
+    def parsed_partitions(
+        self,
+    ) -> tuple[tuple[float, float, tuple[tuple[int, ...], ...]], ...]:
+        return tuple(
+            (start, heal, _parse_groups(groups, self.n_replicas))
+            for start, heal, groups in self.partitions
+        )
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on any inconsistency."""
+        params = self.params()  # raises outside the resilience arithmetic
+        if not self.name:
+            raise ConfigurationError("fault plan name must be non-empty")
+        if self.requests < 1:
+            raise ConfigurationError(
+                f"requests must be >= 1, got {self.requests}"
+            )
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration}"
+            )
+        if self.expect not in EXPECTATIONS:
+            raise ConfigurationError(
+                f"unknown expectation {self.expect!r}; known: "
+                f"{list(EXPECTATIONS)}"
+            )
+        if self.min_commands < 0:
+            raise ConfigurationError(
+                f"min_commands must be >= 0, got {self.min_commands}"
+            )
+        for label, probability in (
+            ("loss", self.loss),
+            ("duplication", self.duplication),
+            ("reorder", self.reorder),
+        ):
+            if not 0.0 <= probability < 1.0:
+                raise ConfigurationError(
+                    f"{label} probability must be in [0, 1), "
+                    f"got {probability!r}"
+                )
+        if self.reorder_spread <= 0:
+            raise ConfigurationError(
+                f"reorder_spread must be positive, got {self.reorder_spread!r}"
+            )
+        for pid, at in self.mutes:
+            self._check_pid(pid, "mute")
+            self._check_time(at, f"mute of replica {pid}")
+        for pid, at, rejoin_at in self.kills:
+            self._check_pid(pid, "kill")
+            self._check_time(at, f"kill of replica {pid}")
+            if rejoin_at is not None:
+                self._check_time(rejoin_at, f"rejoin of replica {pid}")
+                if rejoin_at <= at:
+                    raise ConfigurationError(
+                        f"replica {pid} rejoins at {rejoin_at!r}, before "
+                        f"its kill at {at!r}"
+                    )
+        for start, heal, groups in self.partitions:
+            _parse_groups(groups, self.n_replicas)
+            self._check_time(start, "partition start")
+            if heal <= start:
+                raise ConfigurationError(
+                    f"partition window [{start!r}, {heal!r}) must satisfy "
+                    "start < heal"
+                )
+            if heal > self.duration:
+                raise ConfigurationError(
+                    f"partition heals at {heal!r}, past the plan duration "
+                    f"{self.duration!r} — it would never heal"
+                )
+        for pid, at, count in self.flips:
+            self._check_pid(pid, "flip")
+            self._check_time(at, f"flips of replica {pid}")
+            if count < 1:
+                raise ConfigurationError(
+                    f"flip count of replica {pid} must be >= 1, got {count}"
+                )
+        for pid, name in self.collusion:
+            self._check_pid(pid, "collusion")
+            if name not in TRANSFORMED_ATTACKS:
+                raise ConfigurationError(
+                    f"unknown attack {name!r}; known: "
+                    f"{sorted(TRANSFORMED_ATTACKS)}"
+                )
+        for label, pids in (
+            ("mute", [pid for pid, _ in self.mutes]),
+            ("kill", [pid for pid, _, _ in self.kills]),
+            ("flip", [pid for pid, _, _ in self.flips]),
+            ("collusion", [pid for pid, _ in self.collusion]),
+        ):
+            if len(pids) != len(set(pids)):
+                raise ConfigurationError(f"duplicate {label} pid in the plan")
+        overlapping = [
+            pair
+            for pair in (
+                ("mute", "kill", self.muted_pids & self.killed_pids),
+                ("mute", "collusion", self.muted_pids & self.colluding_pids),
+                ("kill", "collusion", self.killed_pids & self.colluding_pids),
+                ("flip", "fault", self.flip_pids & self.faulty_pids),
+            )
+            if pair[2]
+        ]
+        if overlapping:
+            a, b, pids = overlapping[0]
+            raise ConfigurationError(
+                f"replica(s) {sorted(pids)} appear in both the {a} and "
+                f"the {b} plan"
+            )
+        if len(self.faulty_pids) > params.f:
+            raise ConfigurationError(
+                f"{len(self.faulty_pids)} faulty replicas exceed F="
+                f"{params.f} for n={self.n_replicas}"
+            )
+
+    def _check_pid(self, pid: int, what: str) -> None:
+        if not 0 <= pid < self.n_replicas:
+            raise ConfigurationError(
+                f"{what} pid {pid} out of range for "
+                f"n_replicas={self.n_replicas}"
+            )
+
+    def _check_time(self, at: float, what: str) -> None:
+        if not 0 <= at < self.duration:
+            raise ConfigurationError(
+                f"{what} at {at!r} outside the plan window "
+                f"[0, {self.duration!r})"
+            )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the plan as a schema-tagged JSON document."""
+        self.validate()
+        target = Path(path)
+        document = {"schema": FAULTS_SCHEMA, "config": self.to_config()}
+        target.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read fault plan: {exc}") from exc
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"fault plan is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(document, dict):
+            raise ConfigurationError("fault plan must be a JSON object")
+        schema = str(document.get("schema", ""))
+        check_faults_schema(schema)
+        plan = cls.from_config(document.get("config") or {})
+        plan.validate()
+        return plan
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+
+def check_faults_schema(schema: str) -> None:
+    """Reject documents from a newer schema than this code understands."""
+    prefix = "repro.faults/v"
+    if not schema.startswith(prefix):
+        raise ConfigurationError(
+            f"unsupported fault-plan schema {schema!r}; expected "
+            f"{FAULTS_SCHEMA!r}"
+        )
+    try:
+        version = int(schema[len(prefix):])
+    except ValueError:
+        raise ConfigurationError(
+            f"unsupported fault-plan schema {schema!r}; expected "
+            f"{FAULTS_SCHEMA!r}"
+        ) from None
+    if version > 1:
+        raise ConfigurationError(
+            f"fault-plan schema {schema!r} is newer than the installed "
+            f"code (supports {FAULTS_SCHEMA}); upgrade repro to read it"
+        )

@@ -1,0 +1,268 @@
+"""Cross-fidelity campaign: run plans at every fidelity, compare verdicts.
+
+The headline artifact of :mod:`repro.faults` is the
+:class:`CrossFidelityReport`: for each plan, the verdict (``pass`` /
+``expected-vulnerability`` / ``fail``) at every requested fidelity plus
+an ``agree`` flag per plan and ``all_agree`` overall. Fidelities 1 and 2
+are deterministic — their report sections are byte-identical across runs
+for a fixed seed (the ``make faults-smoke`` double-run ``cmp`` pins
+this); fidelity 3 is verdict-stable only, so its observation extras are
+excluded from the canonical serialisation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.faults.loopback_runner import run_loopback_plan
+from repro.faults.oracle import FidelityObservation, judge
+from repro.faults.plan import (
+    FAULTS_SCHEMA,
+    FIDELITIES,
+    FIDELITY_LOOPBACK,
+    FIDELITY_NET,
+    FIDELITY_SIM,
+    FaultPlan,
+)
+from repro.faults.sim_runner import run_sim_plan
+
+#: The deterministic fidelities whose report sections must be
+#: byte-identical across runs at a fixed seed.
+DETERMINISTIC_FIDELITIES = (FIDELITY_SIM, FIDELITY_LOOPBACK)
+
+
+def _preset_plans() -> dict[str, tuple[FaultPlan, ...]]:
+    smoke = (
+        FaultPlan(
+            name="mute-one",
+            seed=11,
+            requests=18,
+            duration=10.0,
+            mutes=((1, 3.0),),
+        ),
+        FaultPlan(
+            name="partition-heal",
+            seed=12,
+            requests=18,
+            duration=12.0,
+            partitions=((3.0, 6.0, "0,1|2,3"),),
+        ),
+        FaultPlan(
+            name="kill-rejoin",
+            seed=13,
+            requests=18,
+            duration=12.0,
+            kills=((2, 3.0, 6.0),),
+        ),
+        FaultPlan(
+            name="bit-flip",
+            seed=14,
+            requests=18,
+            duration=10.0,
+            flips=((1, 1.0, 3),),
+        ),
+    )
+    extended = smoke + (
+        FaultPlan(
+            name="link-noise",
+            seed=15,
+            requests=18,
+            duration=12.0,
+            loss=0.02,
+            duplication=0.02,
+            reorder=0.05,
+            reorder_spread=0.3,
+        ),
+        FaultPlan(
+            name="collusion-corrupt-vector",
+            seed=16,
+            requests=18,
+            duration=12.0,
+            collusion=((3, "corrupt-vector"),),
+        ),
+    )
+    return {"smoke": smoke, "extended": extended}
+
+
+#: Named plan matrices for the CLI and the make targets.
+FAULT_PRESETS = _preset_plans()
+
+
+def run_plan(
+    plan: FaultPlan,
+    fidelity: str,
+    *,
+    workdir: str | Path | None = None,
+    timeout: float = 180.0,
+) -> FidelityObservation:
+    """Execute one plan at one fidelity."""
+    if fidelity == FIDELITY_SIM:
+        return run_sim_plan(plan)
+    if fidelity == FIDELITY_LOOPBACK:
+        return run_loopback_plan(plan)
+    if fidelity == FIDELITY_NET:
+        # Imported lazily: the deterministic fidelities must not depend
+        # on subprocess/socket machinery.
+        from repro.faults.net_runner import run_net_plan
+
+        return run_net_plan(plan, workdir=workdir, timeout=timeout)
+    raise ConfigurationError(
+        f"unknown fidelity {fidelity!r}; known: {list(FIDELITIES)}"
+    )
+
+
+@dataclass(slots=True)
+class PlanResult:
+    """One plan's verdicts and observations across fidelities."""
+
+    plan: FaultPlan
+    #: fidelity -> (verdict, violations, observation)
+    outcomes: dict[str, tuple[str, list[str], FidelityObservation]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def verdicts(self) -> dict[str, str]:
+        return {
+            fidelity: verdict
+            for fidelity, (verdict, _v, _o) in self.outcomes.items()
+        }
+
+    @property
+    def agree(self) -> bool:
+        return len(set(self.verdicts.values())) == 1
+
+    @property
+    def expected(self) -> bool:
+        """Every fidelity reached the verdict the plan declares."""
+        wanted = (
+            "pass" if self.plan.expect == "pass" else "expected-vulnerability"
+        )
+        return all(v == wanted for v in self.verdicts.values())
+
+    def to_record(self) -> dict[str, Any]:
+        fidelities: dict[str, Any] = {}
+        for fidelity, (verdict, violations, observation) in sorted(
+            self.outcomes.items()
+        ):
+            entry: dict[str, Any] = {
+                "verdict": verdict,
+                "violations": list(violations),
+            }
+            # Only the deterministic fidelities expose their raw
+            # observation: fidelity 3's numbers vary run to run and
+            # would break the double-run byte-identity contract.
+            if fidelity in DETERMINISTIC_FIDELITIES:
+                entry["observation"] = {
+                    "completed": observation.completed,
+                    "committed": {
+                        str(pid): count
+                        for pid, count in sorted(observation.committed.items())
+                    },
+                    "digests": {
+                        str(pid): digest
+                        for pid, digest in sorted(observation.digests.items())
+                    },
+                    "transfers": {
+                        str(pid): count
+                        for pid, count in sorted(observation.transfers.items())
+                    },
+                    "declared": [list(entry) for entry in observation.declared],
+                    "flips_injected": observation.flips_injected,
+                    "signature_rejections": observation.signature_rejections,
+                }
+            fidelities[fidelity] = entry
+        return {
+            "plan_id": self.plan.plan_id,
+            "name": self.plan.name,
+            "expect": self.plan.expect,
+            "config": self.plan.to_config(),
+            "fidelities": fidelities,
+            "agree": self.agree,
+            "expected": self.expected,
+        }
+
+
+@dataclass(slots=True)
+class CrossFidelityReport:
+    """The campaign artifact: verdict agreement across fidelities."""
+
+    fidelities: tuple[str, ...]
+    results: list[PlanResult] = field(default_factory=list)
+
+    @property
+    def all_agree(self) -> bool:
+        return all(result.agree for result in self.results)
+
+    @property
+    def all_expected(self) -> bool:
+        return all(result.expected for result in self.results)
+
+    @property
+    def ok(self) -> bool:
+        return self.all_agree and self.all_expected
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "schema": FAULTS_SCHEMA,
+            "kind": "cross-fidelity-report",
+            "fidelities": list(self.fidelities),
+            "plans": [result.to_record() for result in self.results],
+            "all_agree": self.all_agree,
+            "all_expected": self.all_expected,
+            "ok": self.ok,
+        }
+
+    def dumps(self) -> str:
+        """Canonical JSON: byte-identical for identical deterministic runs."""
+        return (
+            json.dumps(
+                self.to_record(),
+                indent=2,
+                sort_keys=True,
+                separators=(",", ": "),
+            )
+            + "\n"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.write_text(self.dumps(), encoding="utf-8")
+        return target
+
+
+def run_cross_fidelity(
+    plans: tuple[FaultPlan, ...],
+    fidelities: tuple[str, ...],
+    *,
+    workdir: str | Path | None = None,
+    timeout: float = 180.0,
+    progress: Any = None,
+) -> CrossFidelityReport:
+    """Run every plan at every fidelity and assemble the report."""
+    for fidelity in fidelities:
+        if fidelity not in FIDELITIES:
+            raise ConfigurationError(
+                f"unknown fidelity {fidelity!r}; known: {list(FIDELITIES)}"
+            )
+    report = CrossFidelityReport(fidelities=tuple(fidelities))
+    for plan in plans:
+        plan.validate()
+        result = PlanResult(plan=plan)
+        for fidelity in fidelities:
+            if progress is not None:
+                progress(f"{plan.name} [{plan.plan_id}] @ {fidelity}")
+            subdir = None
+            if workdir is not None:
+                subdir = Path(workdir) / f"{plan.plan_id}-{fidelity}"
+            observation = run_plan(
+                plan, fidelity, workdir=subdir, timeout=timeout
+            )
+            verdict, violations = judge(plan, observation)
+            result.outcomes[fidelity] = (verdict, violations, observation)
+        report.results.append(result)
+    return report

@@ -1,0 +1,187 @@
+"""Fidelity 1: execute a fault plan in the pure simulation.
+
+The plan's fidelity-neutral timeline (plan seconds) is scaled by
+:data:`SIM_TIME_SCALE` onto the service world's virtual clock, whose
+native timeouts (``request_timeout=40``, ``muteness_timeout=10``) were
+tuned for the campaign presets. Link faults run through the shared
+:class:`~repro.faults.injector.LinkFaultInjector` via the network's
+tamper hook; kills/rejoins reuse the service runtime's recovery
+scheduling (down = volatile state lost, up = certified state transfer);
+collusion installs transformed-attack engines. The run then settles past
+the plan window until the workload drains and the live replicas agree,
+or a generous virtual-time budget expires — the oracles, not the budget,
+decide the verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.byzantine import transformed_attack
+from repro.faults.injector import LinkFaultInjector
+from repro.faults.oracle import FidelityObservation, live_correct
+from repro.faults.plan import FIDELITY_SIM, FaultPlan
+from repro.observability.registry import (
+    MODULE_FAULTS,
+    MODULE_SIGNATURE,
+)
+from repro.replication.log import EngineFactory
+from repro.service.checkpoint import service_digest
+from repro.service.config import ServiceConfig
+from repro.service.runtime import ServiceSystem, build_service_system
+
+#: Plan seconds -> simulated virtual time. The service stack's sim
+#: timeouts are an order of magnitude above the loopback/net genesis
+#: knobs, so one plan second stretches accordingly.
+SIM_TIME_SCALE = 25.0
+
+#: Extra virtual time (in plan seconds, pre-scale) the run may settle
+#: past the plan window before the oracles judge whatever state exists.
+SETTLE_BUDGET = 40.0
+
+
+def _sim_config(plan: FaultPlan) -> ServiceConfig:
+    duration = plan.duration * SIM_TIME_SCALE
+    # Open-loop workload spread over the first ~70% of the window, so
+    # post-rejoin replicas still see fresh traffic to catch up against.
+    rate = plan.requests / (0.7 * duration)
+    return ServiceConfig(
+        n_replicas=plan.n_replicas,
+        n_clients=1,
+        mode="open",
+        rate=rate,
+        requests_per_client=plan.requests,
+        batch_size=2,
+        batch_delay=1.0,
+        window=2,
+        checkpoint_interval=1,
+        request_timeout=40.0,
+        stall_probe=2.0 * SIM_TIME_SCALE,
+        seed=plan.seed,
+        key_space=16,
+    )
+
+
+def _byzantine(plan: FaultPlan) -> dict[int, EngineFactory]:
+    engines: dict[int, EngineFactory] = {}
+    for pid, name in plan.collusion:
+        engines.update(transformed_attack(pid, name))
+    return engines
+
+
+def build_sim_system(
+    plan: FaultPlan,
+) -> tuple[ServiceSystem, LinkFaultInjector]:
+    """The (not yet run) fidelity-1 world for ``plan``."""
+    plan.validate()
+    injector = LinkFaultInjector(plan)
+
+    def tamper(
+        now: float, src: int, dst: int, payload: Any
+    ) -> list[tuple[Any, float]] | None:
+        deliveries = injector.plan_deliveries(
+            now / SIM_TIME_SCALE, src, dst, payload
+        )
+        if deliveries is None:
+            return None
+        return [
+            (copy, delay * SIM_TIME_SCALE) for copy, delay in deliveries
+        ]
+
+    recoveries = tuple(
+        (pid, at * SIM_TIME_SCALE, rejoin_at * SIM_TIME_SCALE)
+        for pid, at, rejoin_at in plan.kills
+        if rejoin_at is not None
+    )
+    system = build_service_system(
+        _sim_config(plan),
+        byzantine=_byzantine(plan),
+        recoveries=recoveries,
+        tamper=tamper,
+    )
+    # Permanent kills have no recovery leg: take the replica down and
+    # leave it down (silent, volatile state lost — the crash model).
+    for pid, at, rejoin_at in plan.kills:
+        if rejoin_at is None:
+            replica = system.replicas[pid]
+            system.world.scheduler.schedule_at(
+                at * SIM_TIME_SCALE, "service-down", replica.go_down
+            )
+    return system, injector
+
+
+def run_sim_plan(plan: FaultPlan) -> FidelityObservation:
+    """Execute ``plan`` at fidelity 1 and reduce it for the judge."""
+    system, injector = build_sim_system(plan)
+    world = system.world
+    live = live_correct(plan)
+    floor = plan.progress_floor
+
+    def settled() -> bool:
+        if not system.all_clients_done():
+            return False
+        committed = {
+            pid: system.replicas[pid].committed_commands for pid in live
+        }
+        if any(count < floor for count in committed.values()):
+            return False
+        digests = {
+            service_digest(
+                system.replicas[pid].store, system.replicas[pid].executed
+            )
+            for pid in live
+        }
+        return len(digests) == 1
+
+    horizon = (plan.duration + SETTLE_BUDGET) * SIM_TIME_SCALE
+    deadline = plan.duration * SIM_TIME_SCALE
+    while True:
+        result = world.run(max_events=5_000_000, max_time=deadline)
+        if deadline >= horizon or result.reason == "quiescent":
+            break
+        if deadline >= plan.duration * SIM_TIME_SCALE and settled():
+            break
+        deadline = min(horizon, deadline + 5.0 * SIM_TIME_SCALE)
+
+    correct = frozenset(range(plan.n_replicas)) - plan.faulty_pids
+    declared = tuple(
+        (event.process, event.detail["target"], event.detail["reason"])
+        for event in world.trace.of_kind("declare_faulty")
+        if event.process in correct
+    )
+    detected = sum(
+        1
+        for _observer, target, _reason in declared
+        if target in plan.flip_pids
+    )
+    if detected:
+        world.metrics.inc(MODULE_FAULTS, "arb_faults_detected", detected)
+    return FidelityObservation(
+        fidelity=FIDELITY_SIM,
+        completed=system.completed_requests(),
+        committed={
+            pid: system.replicas[pid].committed_commands for pid in live
+        },
+        digests={
+            pid: service_digest(
+                system.replicas[pid].store, system.replicas[pid].executed
+            )
+            for pid in live
+        },
+        transfers={
+            pid: len(system.replicas[pid].state_transfers_completed)
+            for pid in sorted(plan.rejoining_pids)
+        },
+        declared=declared,
+        flips_injected=injector.flips_injected,
+        signature_rejections=int(
+            world.metrics.counter_total(MODULE_SIGNATURE, "messages_rejected")
+        ),
+        extras={
+            "end_time": world.now,
+            "drops": dict(injector.drops),
+            "partition_delays": injector.partition_delays,
+            "duplicates": injector.duplicates,
+            "reorders": injector.reorders,
+        },
+    )

@@ -83,19 +83,41 @@ def _subprocess_env() -> dict[str, str]:
 
 
 class LocalCluster:
-    """Replica subprocess supervisor bound to one genesis file."""
+    """Replica subprocess supervisor bound to one genesis file.
 
-    def __init__(self, genesis: Genesis, workdir: str | Path) -> None:
+    ``replica_args`` (plus ``spawn``'s ``extra_args``) append extra CLI
+    arguments to every replica command line — the fault-plan runner uses
+    them to hand each node its plan and time origin. :meth:`stop` /
+    :meth:`cont` drive SIGSTOP/SIGCONT, the real-process realisation of
+    a *mute* replica: frozen mid-instruction, it keeps its sockets open
+    but neither reads, writes nor fires timers.
+    """
+
+    def __init__(
+        self,
+        genesis: Genesis,
+        workdir: str | Path,
+        *,
+        replica_args: tuple[str, ...] = (),
+    ) -> None:
         self.genesis = genesis
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self.genesis_path = genesis.save(self.workdir / "genesis.json")
         self.metrics_dir = self.workdir / "metrics"
         self.metrics_dir.mkdir(exist_ok=True)
+        self.replica_args = tuple(replica_args)
         self._procs: dict[int, subprocess.Popen] = {}
         self._logs: dict[int, Any] = {}
+        self._stopped: set[int] = set()
 
-    def spawn(self, pid: int, *, join: bool = False) -> subprocess.Popen:
+    def spawn(
+        self,
+        pid: int,
+        *,
+        join: bool = False,
+        extra_args: tuple[str, ...] = (),
+    ) -> subprocess.Popen:
         if pid in self._procs and self._procs[pid].poll() is None:
             raise ClusterError(f"replica {pid} is already running")
         log = self._logs.get(pid)
@@ -110,10 +132,13 @@ class LocalCluster:
         ]
         if join:
             command.append("--join")
+        command.extend(self.replica_args)
+        command.extend(extra_args)
         process = subprocess.Popen(
             command, env=_subprocess_env(), stdout=log, stderr=log
         )
         self._procs[pid] = process
+        self._stopped.discard(pid)
         return process
 
     def start_all(self) -> None:
@@ -125,15 +150,44 @@ class LocalCluster:
         process = self._procs.get(pid)
         if process is None or process.poll() is not None:
             raise ClusterError(f"replica {pid} is not running")
+        if pid in self._stopped:
+            # A SIGSTOPped process ignores nothing — but keep the
+            # bookkeeping honest before the kill lands.
+            process.send_signal(signal.SIGCONT)
+            self._stopped.discard(pid)
         process.send_signal(signal.SIGKILL)
         process.wait(timeout=10)
 
+    def stop(self, pid: int) -> None:
+        """SIGSTOP: freeze the replica (the real-process *mute* fault)."""
+        process = self._procs.get(pid)
+        if process is None or process.poll() is not None:
+            raise ClusterError(f"replica {pid} is not running")
+        process.send_signal(signal.SIGSTOP)
+        self._stopped.add(pid)
+
+    def cont(self, pid: int) -> None:
+        """SIGCONT: thaw a replica frozen by :meth:`stop`."""
+        process = self._procs.get(pid)
+        if process is None or process.poll() is not None:
+            raise ClusterError(f"replica {pid} is not running")
+        process.send_signal(signal.SIGCONT)
+        self._stopped.discard(pid)
+
     def terminate_all(self, timeout: float = 10.0) -> dict[int, int]:
-        """SIGTERM every live replica; returns pid -> exit code."""
+        """SIGTERM every live replica; returns pid -> exit code.
+
+        Replicas left SIGSTOPped (a run that aborted mid-scenario) are
+        SIGCONTed first — a stopped process cannot act on SIGTERM, and
+        without the thaw it would outlive the supervisor as an orphan —
+        then escalated to SIGKILL like any other laggard.
+        """
         codes: dict[int, int] = {}
-        for process in self._procs.values():
+        for pid, process in self._procs.items():
             if process.poll() is None:
+                process.send_signal(signal.SIGCONT)
                 process.send_signal(signal.SIGTERM)
+        self._stopped.clear()
         deadline = time.monotonic() + timeout
         for pid, process in self._procs.items():
             remaining = max(0.1, deadline - time.monotonic())

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import signal
+import time
 from pathlib import Path
 from typing import Any
 
@@ -90,6 +91,7 @@ class NetNode:
         *,
         join: bool = False,
         metrics_path: str | Path | None = None,
+        engine_factory: Any = None,
     ) -> None:
         genesis.validate()
         if not 0 <= pid < genesis.n_replicas:
@@ -104,7 +106,14 @@ class NetNode:
         self.metrics = MetricsRegistry()
         self.trace = BoundedTrace()
         self.net_metrics = self.metrics.scope(MODULE_NET, pid)
-        self.process = ServiceReplicaProcess(genesis.service_config())
+        # A non-default engine factory turns this node Byzantine at the
+        # consensus layer (the fault-plan collusion axis, docs/FAULTS.md).
+        replica_kwargs = {}
+        if engine_factory is not None:
+            replica_kwargs["engine_factory"] = engine_factory
+        self.process = ServiceReplicaProcess(
+            genesis.service_config(), **replica_kwargs
+        )
         env = ProcessEnv(
             pid=pid,
             n=genesis.n_replicas + genesis.max_clients,
@@ -223,19 +232,59 @@ async def serve_replica(
     join: bool = False,
     metrics_dir: str | Path | None = None,
     ready_message: bool = True,
+    fault_plan: str | Path | None = None,
+    fault_origin: float | None = None,
+    attack: str | None = None,
 ) -> int:
-    """Run one replica until SIGTERM/SIGINT; the ``net replica`` command."""
+    """Run one replica until SIGTERM/SIGINT; the ``net replica`` command.
+
+    ``fault_plan``/``fault_origin`` load a :class:`repro.faults` plan and
+    install a :class:`~repro.net.faulty.FaultyPeerTransport` that injects
+    the plan's link faults on this node's *outbound* traffic, with plan
+    time measured from the shared wall-clock ``fault_origin`` epoch.
+    ``attack`` names a transformed-attack engine, turning this replica
+    Byzantine (the collusion axis).
+    """
     loop = asyncio.get_running_loop()
     scheduler = WallScheduler(loop)
     metrics_path = (
         Path(metrics_dir) / f"node-{pid}.jsonl" if metrics_dir else None
     )
+    engine_factory = None
+    if attack is not None:
+        from repro.byzantine import transformed_attack
+
+        engine_factory = transformed_attack(pid, attack)[pid]
     node = NetNode(
-        genesis, pid, scheduler, join=join, metrics_path=metrics_path
+        genesis,
+        pid,
+        scheduler,
+        join=join,
+        metrics_path=metrics_path,
+        engine_factory=engine_factory,
     )
-    transport = PeerTransport(
-        genesis, pid, node.handle_message, metrics=node.net_metrics
-    )
+    if fault_plan is not None:
+        from repro.faults.injector import LinkFaultInjector
+        from repro.faults.plan import FaultPlan
+        from repro.net.faulty import FaultyPeerTransport
+
+        plan = FaultPlan.load(fault_plan)
+        origin = fault_origin if fault_origin is not None else loop.time()
+        injector = LinkFaultInjector(
+            plan, registry=node.metrics, local_pid=pid
+        )
+        transport: PeerTransport = FaultyPeerTransport(
+            genesis,
+            pid,
+            node.handle_message,
+            metrics=node.net_metrics,
+            injector=injector,
+            plan_clock=lambda: time.time() - origin,
+        )
+    else:
+        transport = PeerTransport(
+            genesis, pid, node.handle_message, metrics=node.net_metrics
+        )
     await transport.start()
     node.attach_transport(transport)
     node.start()

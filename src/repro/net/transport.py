@@ -176,6 +176,9 @@ class PeerTransport:
         self._metrics = metrics
         self._queue_limit = queue_limit
         self._queues: dict[int, asyncio.Queue[bytes]] = {}
+        #: Live outbound writer per peer (fault injection hooks abort
+        #: these to simulate mid-stream connection resets).
+        self._peer_writers: dict[int, asyncio.StreamWriter] = {}
         self._accepted: set[asyncio.StreamWriter] = set()
         self._clients: dict[int, asyncio.StreamWriter] = {}
         self._tasks: list[asyncio.Task] = []
@@ -278,6 +281,7 @@ class PeerTransport:
                 )
                 await writer.drain()
                 self._metrics.inc("peer_connects")
+                self._peer_writers[peer] = writer
                 attempt = 0
                 while not self._closing:
                     frame = await queue.get()
@@ -289,6 +293,8 @@ class PeerTransport:
                 pass
             finally:
                 if writer is not None:
+                    if self._peer_writers.get(peer) is writer:
+                        del self._peer_writers[peer]
                     _close_quietly(writer)
             if self._closing:
                 return

@@ -45,6 +45,9 @@ MODULE_NET = "net"
 #: The small-scope model checker driving the stack through all
 #: interleavings (docs/MODELCHECK.md).
 MODULE_MC = "mc"
+#: The cross-fidelity fault-injection engine (docs/FAULTS.md): link
+#: tampering, bit-flips and the arbitrary-fault counters.
+MODULE_FAULTS = "faults"
 
 PAPER_MODULES = (
     MODULE_SIGNATURE,

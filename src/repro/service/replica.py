@@ -216,6 +216,9 @@ class ServiceReplicaProcess(Process):
         #: slot -> verifying authority for suffix re-checks; rebuilding
         #: one per entry per response dominated transfer cost.
         self._transfer_authorities: dict[int, CertificationAuthority] = {}
+        #: Senders already declared by the stale-envelope ingress check
+        #: (one declaration event per culprit, like the engines').
+        self._stale_culprits: set[int] = set()
 
     # -- wiring -------------------------------------------------------------
 
@@ -223,9 +226,8 @@ class ServiceReplicaProcess(Process):
         super().bind(env)
         self._view = _ReplicaEnvView(self, env, self.config.n_replicas)
         self._metrics = env.metrics.scope(MODULE_SERVICE, env.pid)
-        self._sig_cache.attach_metrics(
-            env.metrics.scope(MODULE_SIGNATURE, env.pid)
-        )
+        self._sig_metrics = env.metrics.scope(MODULE_SIGNATURE, env.pid)
+        self._sig_cache.attach_metrics(self._sig_metrics)
         self._ckpt_cert_cache.attach_metrics(self._metrics)
         # The checkpoint signature domain is separated from every slot
         # domain (slots use seed*1_000_003 + slot for slot >= 0).
@@ -407,9 +409,69 @@ class ServiceReplicaProcess(Process):
         engine.on_start()
         return engine
 
+    def _slot_authority(self, slot: int) -> CertificationAuthority:
+        """A verifying authority for ``slot``'s signature domain (cached).
+
+        Shared by suffix re-checks during state transfer and the
+        stale-envelope ingress check; the bounded cache keeps repeat
+        verifications of one slot's domain from re-deriving keys.
+        """
+        authority = self._transfer_authorities.get(slot)
+        if authority is None:
+            keys = KeyAuthority(
+                self.config.n_replicas,
+                seed=self.config.seed * 1_000_003 + slot,
+            )
+            authority = CertificationAuthority(
+                SignatureScheme(keys, cache=self._sig_cache),
+                keys.signer_for(self.pid),
+            )
+            if len(self._transfer_authorities) >= 256:
+                self._transfer_authorities.pop(
+                    next(iter(self._transfer_authorities))
+                )
+            self._transfer_authorities[slot] = authority
+        return authority
+
+    def _stale_ingress(self, src: int, envelope: SlotEnvelope) -> None:
+        """The signature module's check on an envelope the protocol no
+        longer needs.
+
+        Figure 1 puts the signature module upstream of the protocol
+        module: a message whose slot was checkpointed away still crosses
+        the ingress, so tampered traffic is detected and attributed to
+        the signature module even when no slot engine exists to receive
+        it. Without this, a corrupted envelope racing a checkpoint
+        truncation would vanish unexamined.
+        """
+        inner = envelope.inner
+        if not isinstance(inner, SignedMessage):
+            self._sig_metrics.inc("messages_rejected")
+            self._declare_stale(src, "signature module: unsigned payload")
+            return
+        if inner.body.sender != src:
+            self._sig_metrics.inc("messages_rejected")
+            self._declare_stale(
+                src,
+                f"signature module: identity field {inner.body.sender} "
+                f"inconsistent with the sending channel {src}",
+            )
+            return
+        if not self._slot_authority(envelope.slot).signature_valid(inner):
+            self._sig_metrics.inc("messages_rejected")
+            self._declare_stale(src, "signature module: invalid signature")
+
+    def _declare_stale(self, culprit: int, reason: str) -> None:
+        if culprit == self.pid or culprit in self._stale_culprits:
+            return
+        self._stale_culprits.add(culprit)
+        self.faulty_union.add(culprit)
+        self.record("declare_faulty", target=culprit, reason=reason)
+
     def _on_envelope(self, src: int, envelope: SlotEnvelope) -> None:
         if envelope.slot < self.base_slot:
             self._metrics.inc("stale_envelopes")
+            self._stale_ingress(src, envelope)
             return
         engine = self._ensure_engine(envelope.slot)
         if engine is None:
@@ -758,21 +820,7 @@ class ServiceReplicaProcess(Process):
                 return False
             if not 0 <= body.sender < self.config.n_replicas:
                 return False
-            authority = self._transfer_authorities.get(slot)
-            if authority is None:
-                keys = KeyAuthority(
-                    self.config.n_replicas,
-                    seed=self.config.seed * 1_000_003 + slot,
-                )
-                authority = CertificationAuthority(
-                    SignatureScheme(keys, cache=self._sig_cache),
-                    keys.signer_for(self.pid),
-                )
-                if len(self._transfer_authorities) >= 256:
-                    self._transfer_authorities.pop(
-                        next(iter(self._transfer_authorities))
-                    )
-                self._transfer_authorities[slot] = authority
+            authority = self._slot_authority(slot)
             if not authority.signature_valid(justification):
                 return False
             cert = justification.cert

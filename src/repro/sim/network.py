@@ -37,6 +37,15 @@ from repro.sim.trace import Trace
 
 DeliverCallback = Callable[[int, Any], None]
 
+#: Message-tampering hook (the fault-plan injector, docs/FAULTS.md).
+#: Called as ``tamper(now, src, dst, payload)`` for every ``src != dst``
+#: send. ``None`` means "no opinion" (the normal link handling runs); an
+#: empty iterable destroys the message (a counted ``fault`` drop); a list
+#: of ``(payload, extra_delay)`` pairs schedules each copy, where a
+#: positive ``extra_delay`` escapes the FIFO clamp exactly like a burst
+#: reordering.
+TamperHook = Callable[[float, int, int, Any], "list[tuple[Any, float]] | None"]
+
 # Minimal spacing inserted between two deliveries on the same channel so
 # FIFO order is preserved even when a sampled delay would reorder them.
 _FIFO_EPSILON = 1e-9
@@ -273,10 +282,12 @@ class Network:
         fifo: bool = True,
         metrics: MetricsRegistry | None = None,
         link_model: LinkModel | None = None,
+        tamper: TamperHook | None = None,
     ) -> None:
         self._scheduler = scheduler
         self._trace = trace
         self._metrics = metrics
+        self._tamper = tamper
         self._delay_model: DelayModel = delay_model or UniformDelay()
         self._rng = scheduler.rng.fork("network")
         self._link_rng = scheduler.rng.fork("links")
@@ -366,6 +377,32 @@ class Network:
         self._messages_sent += 1
         if self._metrics is not None:
             self._metrics.inc(MODULE_NETWORK, "messages_sent", pid=src)
+        if self._tamper is not None and src != dst:
+            deliveries = self._tamper(now, src, dst, payload)
+            if deliveries is not None:
+                deliveries = list(deliveries)
+                if not deliveries:
+                    self._drop(now, src, dst, payload, "fault")
+                    return
+                if len(deliveries) > 1:
+                    self._messages_duplicated += len(deliveries) - 1
+                    if self._metrics is not None:
+                        self._metrics.inc(
+                            MODULE_NETWORK,
+                            "messages_duplicated",
+                            len(deliveries) - 1,
+                            pid=src,
+                        )
+                for index, (copy, extra_delay) in enumerate(deliveries):
+                    self._schedule_copy(
+                        now,
+                        src,
+                        dst,
+                        copy,
+                        duplicate=index > 0,
+                        extra_delay=extra_delay,
+                    )
+                return
         links = self._link_model
         if links is not None and src != dst:
             if links.severed(now, src, dst):
@@ -410,7 +447,13 @@ class Network:
         )
 
     def _schedule_copy(
-        self, now: float, src: int, dst: int, payload: Any, duplicate: bool
+        self,
+        now: float,
+        src: int,
+        dst: int,
+        payload: Any,
+        duplicate: bool,
+        extra_delay: float = 0.0,
     ) -> float:
         """Sample a delay and schedule one delivery; returns the timestamp."""
         sample_for = getattr(self._delay_model, "sample_for", None)
@@ -428,7 +471,14 @@ class Network:
             and self._link_rng.chance(links.reorder)
         )
         channel = (src, dst)
-        if reordered:
+        if extra_delay > 0:
+            # A tamper-hook delay escapes the FIFO clamp (and does not
+            # tighten it) exactly like a burst reordering, so later
+            # traffic on the channel may overtake the delayed copy.
+            deliver_at = now + delay + extra_delay
+            if self._metrics is not None:
+                self._metrics.inc(MODULE_NETWORK, "messages_reordered", pid=src)
+        elif reordered:
             # A burst reordering: the copy escapes the FIFO clamp (and does
             # not tighten it), so later traffic on the channel may overtake.
             deliver_at = now + delay + self._link_rng.uniform(

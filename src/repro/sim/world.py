@@ -13,7 +13,7 @@ from typing import Sequence
 
 from repro.errors import ConfigurationError
 from repro.observability.registry import MetricsRegistry
-from repro.sim.network import DelayModel, LinkModel, Network
+from repro.sim.network import DelayModel, LinkModel, Network, TamperHook
 from repro.sim.process import Process, ProcessEnv
 from repro.sim.scheduler import RunResult, Scheduler
 from repro.sim.trace import Trace
@@ -43,6 +43,7 @@ class World:
         transport: str = "none",
         transport_rto: float = 4.0,
         transport_retry_limit: int = 20,
+        tamper: TamperHook | None = None,
     ) -> None:
         if not processes:
             raise ConfigurationError("a world needs at least one process")
@@ -61,6 +62,7 @@ class World:
             fifo=fifo,
             metrics=self.metrics,
             link_model=link_model,
+            tamper=tamper,
         )
         self.transport: ReliableTransport | None = None
         fabric: Network | ReliableTransport = self.network

@@ -1,0 +1,100 @@
+"""Tests: the subprocess fidelity of the fault campaign (docs/FAULTS.md).
+
+Two regressions against real OS processes: the orphan-process guard —
+``LocalCluster.terminate_all`` must SIGCONT a replica left SIGSTOPped
+by a muteness scenario before the SIGTERM, or the frozen process
+outlives the supervisor and is SIGKILLed only at the deadline — and one
+short fault plan executed end-to-end at fidelity 3 (SIGSTOP muteness on
+a real four-process TCP cluster) reaching the same ``pass`` verdict the
+deterministic fidelities reach for it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.faults import FaultPlan, judge, run_loopback_plan, run_sim_plan
+from repro.faults.net_runner import run_net_plan
+from repro.net.client import NetClient
+from repro.net.cluster import LocalCluster, make_genesis, wait_cluster_ready
+
+#: One short plan shared by the whole module: replica 1 goes mute at
+#: t=2 (SIGSTOP at fidelity 3) and the other three finish the workload.
+MUTE_PLAN = FaultPlan(
+    name="net-mute",
+    seed=31,
+    requests=8,
+    duration=6.0,
+    mutes=((1, 2.0),),
+)
+
+
+class TestOrphanGuard:
+    def test_terminate_all_reaps_a_sigstopped_replica(self, tmp_path):
+        async def scenario():
+            genesis = make_genesis(4, seed=41, name="orphan")
+            cluster = LocalCluster(genesis, tmp_path)
+            client = NetClient(genesis, 0)
+            try:
+                cluster.start_all()
+                await wait_cluster_ready(client, timeout=30.0)
+                cluster.stop(1)  # the muteness fault: frozen, not dead
+            finally:
+                await client.close()
+            started = time.monotonic()
+            codes = cluster.terminate_all(timeout=10.0)
+            elapsed = time.monotonic() - started
+            return codes, elapsed
+
+        codes, elapsed = asyncio.run(scenario())
+        # The guard SIGCONTs before SIGTERM, so the frozen replica runs
+        # its graceful shutdown (exit 0). Without it, SIGTERM is queued
+        # behind the freeze: the replica burns the whole deadline and is
+        # SIGKILLed (-9) — the orphan this test pins down.
+        assert codes[1] == 0, codes
+        assert all(code == 0 for code in codes.values()), codes
+        assert elapsed < 8.0, f"teardown took {elapsed:.1f}s"
+
+    def test_kill_thaws_a_sigstopped_replica_first(self, tmp_path):
+        async def scenario():
+            genesis = make_genesis(4, seed=42, name="thaw")
+            cluster = LocalCluster(genesis, tmp_path)
+            client = NetClient(genesis, 0)
+            try:
+                cluster.start_all()
+                await wait_cluster_ready(client, timeout=30.0)
+                cluster.stop(2)
+                started = time.monotonic()
+                cluster.kill(2)  # must SIGCONT first, then SIGKILL lands
+                elapsed = time.monotonic() - started
+            finally:
+                await client.close()
+                cluster.terminate_all(timeout=10.0)
+            return elapsed
+
+        elapsed = asyncio.run(scenario())
+        assert elapsed < 5.0, f"kill of a stopped replica took {elapsed:.1f}s"
+
+
+class TestNetFidelity:
+    def test_mute_plan_verdict_matches_the_deterministic_fidelities(
+        self, tmp_path
+    ):
+        observation = run_net_plan(
+            MUTE_PLAN, workdir=tmp_path / "net", timeout=90.0
+        )
+        verdict, violations = judge(MUTE_PLAN, observation)
+        assert verdict == "pass", (violations, observation.extras)
+        assert not observation.extras.get("timed_out")
+        # The SIGSTOPped replica is excused; the three live replicas all
+        # executed the full workload and agree on the digest.
+        assert observation.completed >= MUTE_PLAN.requests
+        assert set(observation.digests) == {0, 2, 3}
+        assert len(set(observation.digests.values())) == 1
+
+        # The same plan, same verdict, at both deterministic fidelities —
+        # the cross-fidelity contract for this scenario id.
+        for run in (run_sim_plan, run_loopback_plan):
+            twin_verdict, twin_violations = judge(MUTE_PLAN, run(MUTE_PLAN))
+            assert twin_verdict == "pass", (run.__name__, twin_violations)
