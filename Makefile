@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke faults-smoke smoke docs-check benchmarks experiments
+.PHONY: test campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke faults-smoke shard-smoke smoke docs-check benchmarks experiments
 
 # -W error promotes every warning to a failure; the lone ignore shields
 # the suite from a deprecation raised inside third-party plugin hooks.
@@ -81,8 +81,23 @@ faults-smoke:
 	$(PYTHON) -m repro campaign faults --preset smoke \
 		--fidelity sim,loopback,net --timeout 120
 
+# The sharded deployment (docs/SHARDING.md): the deterministic loopback
+# twin run twice — the JSON records must be byte-identical — then the
+# real thing: 2 shards x 4 replica OS processes over TCP absorb a
+# routed workload while one replica in one shard is SIGKILLed and
+# rejoined (per-shard certified state transfer); asserts per-shard
+# digest convergence, exactly-once against the routed counts, and zero
+# blast radius on the untouched shard.
+shard-smoke:
+	$(PYTHON) -m repro shard loopback --out /tmp/shard-smoke-a.json
+	$(PYTHON) -m repro shard loopback --out /tmp/shard-smoke-b.json
+	cmp /tmp/shard-smoke-a.json /tmp/shard-smoke-b.json
+	rm -f /tmp/shard-smoke-a.json /tmp/shard-smoke-b.json
+	$(PYTHON) -m repro shard cluster --shards 2 --replicas-per-shard 4 \
+		--requests 40 --kill-shard 1 --kill-pid 2
+
 # Every smoke target in one call.
-smoke: campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke faults-smoke
+smoke: campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke faults-smoke shard-smoke
 
 # Execute every ```python snippet in README.md and docs/*.md
 # (tests/test_docs_snippets.py); keeps the documented examples honest.

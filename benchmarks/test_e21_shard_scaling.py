@@ -1,0 +1,200 @@
+"""E21 (performance) — sharded scaling: aggregate throughput vs shard count.
+
+Two measurements, one artifact (``BENCH_shard.json``, repo root;
+methodology in docs/SHARDING.md):
+
+1. **Loopback scaling sweep** (deterministic, virtual time): the full
+   real-codec node stack per shard on one shared manual scheduler, with
+   a fixed per-hop virtual latency so protocol rounds have a cost and a
+   deliberately small per-group capacity (batch 4, window 2) so a
+   single group saturates under the open-loop burst. The sweep holds
+   the offered load and the per-shard replica count fixed while the
+   shard count doubles: 1 -> 2 -> 4. The paper-level claim under test
+   is near-linear aggregate throughput, because the groups share no
+   protocol state — the deterministic key map is the only cross-shard
+   agreement. The acceptance bar: 4 shards >= 2.5x the 1-shard
+   baseline, with per-shard convergence and exactly-once oracles green
+   in every cell.
+
+2. **TCP wall-clock variant**: 1-shard and 2-shard deployments of real
+   replica subprocesses absorbing the identical open-loop socket
+   workload end to end. Wall-clock fields are machine-dependent and
+   excluded from determinism claims; the oracle is completion plus
+   per-shard routing totals, not the measured ops/s.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.reporting import print_table
+from repro.shard import (
+    ShardedLocalCluster,
+    ShardedNetClient,
+    loopback_scaling_cell,
+    make_shard_genesis,
+    wait_shards_ready,
+)
+
+from conftest import run_once
+
+ARTIFACT = Path("BENCH_shard.json")
+
+SEED = 21
+#: Shard counts under test at fixed per-shard replica count.
+SHARDS = (1, 2, 4)
+REPLICAS_PER_SHARD = 4
+#: Open-loop burst shared by every cell: same keys, same clients, same
+#: request count — only the shard count moves.
+REQUESTS = 768
+CLIENTS = 4
+
+TCP_REQUESTS = 96
+TCP_CONCURRENCY = 12
+
+
+def run_sweep() -> list[dict]:
+    """One deterministic loopback cell per shard count."""
+    return [
+        loopback_scaling_cell(
+            shards=shards,
+            clients=CLIENTS,
+            requests=REQUESTS,
+            replicas_per_shard=REPLICAS_PER_SHARD,
+            seed=SEED,
+        )
+        for shards in SHARDS
+    ]
+
+
+async def _tcp_cell(shards: int) -> dict:
+    """One wall-clock cell: real subprocesses, real sockets."""
+    genesis = make_shard_genesis(
+        shards, REPLICAS_PER_SHARD, seed=SEED, name=f"e21-s{shards}"
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-e21-") as workdir:
+        cluster = ShardedLocalCluster(genesis, workdir)
+        client = ShardedNetClient(genesis, 0)
+        try:
+            cluster.start_all()
+            await wait_shards_ready(client, timeout=30.0)
+            start = time.perf_counter()
+            stats = await client.workload(
+                TCP_REQUESTS, concurrency=TCP_CONCURRENCY, tag="e21"
+            )
+            wall = time.perf_counter() - start
+        finally:
+            await client.close()
+            cluster.terminate_all()
+    return {
+        "shards": shards,
+        "replicas_per_shard": REPLICAS_PER_SHARD,
+        "requests": TCP_REQUESTS,
+        "concurrency": TCP_CONCURRENCY,
+        "completed": stats["completed"],
+        "sets_by_shard": stats["sets_by_shard"],
+        "resubmissions": stats["resubmissions"],
+        # Wall-clock values: machine-dependent, excluded from determinism.
+        "wall_seconds": round(wall, 4),
+        "ops_per_second": round(stats["completed"] / wall, 4),
+    }
+
+
+def run_tcp() -> list[dict]:
+    return [asyncio.run(_tcp_cell(shards)) for shards in (1, 2)]
+
+
+def _rows(cells):
+    baseline = cells[0]["throughput"]
+    return [
+        [
+            cell["shards"],
+            cell["requests"],
+            cell["completed"],
+            round(cell["virtual_time"], 2),
+            round(cell["throughput"], 1),
+            round(cell["throughput"] / baseline, 2),
+            "yes" if cell["converged"] else "NO",
+            "yes" if cell["exactly_once"] else "NO",
+        ]
+        for cell in cells
+    ]
+
+
+def run_experiment():
+    """Table rows for ``python -m repro experiments --only e21``.
+
+    Loopback sweep only: the CLI path stays subprocess-free; the TCP
+    wall-clock variant runs under pytest.
+    """
+    return _rows(run_sweep())
+
+
+def _speedup(cells, shards):
+    for cell in cells:
+        if cell["shards"] == shards:
+            return cell["throughput"] / cells[0]["throughput"]
+    raise AssertionError(shards)
+
+
+def test_e21_shard_scaling(benchmark):
+    def experiment():
+        return {"sweep": run_sweep(), "tcp": run_tcp()}
+
+    results = run_once(benchmark, experiment)
+    cells = results["sweep"]
+    print_table(
+        f"E21 - shard scaling ({REPLICAS_PER_SHARD} replicas/shard, "
+        f"{REQUESTS} requests, {CLIENTS} clients, seed {SEED})",
+        ["shards", "requests", "completed", "virtual time", "throughput",
+         "speedup", "converged", "exactly once"],
+        _rows(cells),
+    )
+    for cell in results["tcp"]:
+        print(
+            f"tcp x{cell['shards']}: {cell['completed']} commits in "
+            f"{cell['wall_seconds']:.2f}s ({cell['ops_per_second']:.0f} ops/s, "
+            f"routed {cell['sets_by_shard']})"
+        )
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "experiment": "e21_shard_scaling",
+                "seed": SEED,
+                "replicas_per_shard": REPLICAS_PER_SHARD,
+                "requests": REQUESTS,
+                "clients": CLIENTS,
+                "sweep": cells,
+                "tcp": results["tcp"],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    # Oracles: every cell commits the full burst, converges per shard,
+    # and commits exactly what the client routed to each shard.
+    for cell in cells:
+        assert cell["all_complete"], cell
+        assert cell["converged"], cell
+        assert cell["exactly_once"], cell
+        assert cell["completed"] == REQUESTS
+        # Equal offered load across shard counts: the key map just
+        # spreads the same burst.
+        assert sum(int(count) for count in cell["routed"].values()) == REQUESTS
+    # Shape: aggregate throughput grows with the shard count.
+    assert _speedup(cells, 2) > 1.4
+    # Acceptance bar: near-linear at 4 shards.
+    assert _speedup(cells, 4) >= 2.5, [cell["throughput"] for cell in cells]
+    # TCP variant: the identical workload completes at both shard counts
+    # and the 2-shard run really used both groups.
+    for cell in results["tcp"]:
+        assert cell["completed"] == TCP_REQUESTS
+    two = results["tcp"][1]["sets_by_shard"]
+    assert len(two) == 2 and all(count > 0 for count in two.values())

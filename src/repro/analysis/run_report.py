@@ -256,3 +256,74 @@ class RunReport:
                 for (src, dst), counters in self.link_health().items()
             ],
         }
+
+
+# ---------------------------------------------------------------------------
+# Multi-artifact reports: several JSONL files, one grouped view.
+# ---------------------------------------------------------------------------
+
+
+def per_pid_totals(metrics: MetricsRegistry) -> list[dict[str, Any]]:
+    """Counter totals keyed by pid (rounds summed, pids kept apart).
+
+    The single-run report sums over pids on purpose; the multi-artifact
+    view wants the opposite — one row per (pid, module, metric), so a
+    lagging or restarted replica stands out against its peers inside the
+    same artifact.
+    """
+    totals: dict[tuple[int | None, str, str], int | float] = {}
+    for (module, name, pid, _rnd), value in metrics.iter_counters():
+        key = (pid, module, name)
+        totals[key] = totals.get(key, 0) + value
+    return [
+        {"pid": pid, "module": module, "name": name, "total": value}
+        for (pid, module, name), value in sorted(
+            totals.items(),
+            key=lambda item: (
+                item[0][0] is not None,
+                item[0][0] or 0,
+                item[0][1],
+                item[0][2],
+            ),
+        )
+    ]
+
+
+def render_artifacts(items: list[tuple[str, RunArtifact]]) -> str:
+    """Several artifacts as grouped per-pid tables (one section each)."""
+    sections = []
+    for label, artifact in items:
+        report = RunReport.from_artifact(artifact)
+        if report.meta:
+            meta_text = ", ".join(
+                f"{key}={report.meta[key]!r}" for key in sorted(report.meta)
+            )
+            sections.append(f"artifact {label}: {meta_text}")
+        sections.append(
+            render_table(
+                f"per-pid counters — {label}",
+                ["pid", "module", "metric", "total"],
+                [
+                    [
+                        "-" if row["pid"] is None else row["pid"],
+                        row["module"],
+                        row["name"],
+                        row["total"],
+                    ]
+                    for row in per_pid_totals(artifact.metrics)
+                ],
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def artifacts_to_json(items: list[tuple[str, RunArtifact]]) -> list[dict[str, Any]]:
+    """The multi-artifact report as a JSON-ready list, one entry per file."""
+    return [
+        {
+            "artifact": label,
+            "per_pid": per_pid_totals(artifact.metrics),
+            "report": RunReport.from_artifact(artifact).to_json(),
+        }
+        for label, artifact in items
+    ]

@@ -19,6 +19,10 @@ Usage (``python -m repro <command> ...``):
 * ``net`` — the deployed runtime: the same replica stack as real OS
   processes over TCP (``keygen`` / ``replica`` / ``client`` /
   ``cluster``; see ``docs/NET.md``);
+* ``shard`` — the sharded multi-group service: partition the key space
+  across independent replicated groups for aggregate throughput
+  (``keygen`` / ``route`` / ``client`` / ``cluster`` / ``loopback``;
+  see ``docs/SHARDING.md``);
 * ``mc`` — small-scope model checking: drive the real module stack
   through *all* interleavings of a bounded world, check the paper's
   safety properties in every reachable state, and emit counterexamples
@@ -163,9 +167,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     report = sub.add_parser(
-        "report", help="aggregate a JSONL run artifact into tables"
+        "report", help="aggregate JSONL run artifacts into tables"
     )
-    report.add_argument("artifact", help="a .jsonl file written by --metrics-out")
+    report.add_argument(
+        "artifact",
+        nargs="+",
+        help="one or more .jsonl files written by --metrics-out / "
+        "--metrics-dir; several files render per-pid rows grouped by "
+        "artifact",
+    )
     report.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
@@ -282,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
     c_faults.add_argument(
         "--timeout", type=float, default=180.0,
         help="hard wall-clock cap per plan at the net fidelity (seconds)",
+    )
+    c_faults.add_argument(
+        "--rehunt", type=int, default=0, metavar="K",
+        help="flake hunting: re-run each verdict-disagreeing plan K more "
+        "times per fidelity and report the verdict distribution",
     )
     c_faults.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
@@ -425,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="run a Byzantine transformed-attack engine on this replica",
     )
+    n_replica.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="run on uvloop if installed (REPRO_UVLOOP=1 works too); "
+        "falls back to stock asyncio with a note when it is not",
+    )
 
     n_client = net_sub.add_parser(
         "client", help="talk to a running cluster as a client"
@@ -457,6 +478,104 @@ def build_parser() -> argparse.ArgumentParser:
         "--workdir", help="keep genesis/logs/metrics here (default: temp)"
     )
     n_cluster.add_argument("--concurrency", type=int, default=8)
+
+    shard = sub.add_parser(
+        "shard",
+        help="sharded multi-group service: partition the key space across "
+        "independent replicated groups (docs/SHARDING.md)",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    sh_keygen = shard_sub.add_parser(
+        "keygen",
+        help="write a shard genesis (per-shard addresses, derived seeds)",
+    )
+    sh_keygen.add_argument("--out", required=True, metavar="FILE")
+    sh_keygen.add_argument("--shards", type=int, default=2)
+    sh_keygen.add_argument("--replicas-per-shard", type=int, default=4)
+    sh_keygen.add_argument("--clients", type=int, default=4)
+    sh_keygen.add_argument("--seed", type=int, default=0)
+    sh_keygen.add_argument("--name", default="sharded")
+    sh_keygen.add_argument("--host", default="127.0.0.1")
+    sh_keygen.add_argument(
+        "--base-port",
+        type=int,
+        default=0,
+        help="shard s replica i listens on base + s*replicas + i; "
+        "0 allocates free ports now",
+    )
+
+    sh_route = shard_sub.add_parser(
+        "route", help="show which shard each key routes to"
+    )
+    sh_route.add_argument("keys", nargs="+", help="keys to route")
+    sh_route.add_argument(
+        "--genesis", metavar="FILE", help="read the shard count from this file"
+    )
+    sh_route.add_argument(
+        "--shards", type=int, help="shard count (instead of --genesis)"
+    )
+
+    sh_client = shard_sub.add_parser(
+        "client", help="talk to a running sharded deployment as a client"
+    )
+    sh_client.add_argument("--genesis", required=True, metavar="FILE")
+    sh_client.add_argument(
+        "--index", type=int, default=0, help="client identity index"
+    )
+    sh_client.add_argument("op", choices=("set", "get", "status", "workload"))
+    sh_client.add_argument(
+        "operands", nargs="*", help="set KEY VALUE | get KEY"
+    )
+    sh_client.add_argument(
+        "--requests", type=int, default=20, help="workload size"
+    )
+    sh_client.add_argument("--concurrency", type=int, default=8)
+
+    sh_cluster = shard_sub.add_parser(
+        "cluster",
+        help="spawn every shard as a local TCP cluster, commit a workload "
+        "through a kill+restart in one shard, assert per-shard "
+        "convergence (the shard smoke)",
+    )
+    sh_cluster.add_argument("--shards", type=int, default=2)
+    sh_cluster.add_argument("--replicas-per-shard", type=int, default=4)
+    sh_cluster.add_argument("--requests", type=int, default=40)
+    sh_cluster.add_argument(
+        "--kill-shard", type=int, default=1,
+        help="shard whose replica is SIGKILLed mid-run",
+    )
+    sh_cluster.add_argument(
+        "--kill-pid", type=int, default=2,
+        help="replica to SIGKILL and restart with --join",
+    )
+    sh_cluster.add_argument("--seed", type=int, default=7)
+    sh_cluster.add_argument(
+        "--workdir", help="keep genesis/logs/metrics here (default: temp)"
+    )
+    sh_cluster.add_argument("--concurrency", type=int, default=8)
+
+    sh_loopback = shard_sub.add_parser(
+        "loopback",
+        help="run the deterministic in-process shard twin and emit its "
+        "canonical record (byte-identical across runs)",
+    )
+    sh_loopback.add_argument("--shards", type=int, default=2)
+    sh_loopback.add_argument("--replicas-per-shard", type=int, default=4)
+    sh_loopback.add_argument("--requests", type=int, default=24)
+    sh_loopback.add_argument("--seed", type=int, default=0)
+    sh_loopback.add_argument(
+        "--kill-shard", type=int, default=1,
+        help="shard whose replica is killed and rejoined mid-run",
+    )
+    sh_loopback.add_argument("--kill-pid", type=int, default=2)
+    sh_loopback.add_argument(
+        "--no-kill", action="store_true", help="skip the kill/rejoin phase"
+    )
+    sh_loopback.add_argument(
+        "--out",
+        help="write the canonical JSON record to this file (default: stdout)",
+    )
 
     mc = sub.add_parser(
         "mc",
@@ -723,13 +842,25 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    run_report = RunReport.from_artifact(read_run_jsonl(args.artifact))
+    if len(args.artifact) == 1:
+        run_report = RunReport.from_artifact(read_run_jsonl(args.artifact[0]))
+        if args.json:
+            import json
+
+            print(json.dumps(run_report.to_json(), indent=2, sort_keys=True))
+        else:
+            print(run_report.render())
+        return 0
+
+    from repro.analysis.run_report import artifacts_to_json, render_artifacts
+
+    items = [(path, read_run_jsonl(path)) for path in args.artifact]
     if args.json:
         import json
 
-        print(json.dumps(run_report.to_json(), indent=2, sort_keys=True))
+        print(json.dumps(artifacts_to_json(items), indent=2, sort_keys=True))
     else:
-        print(run_report.render())
+        print(render_artifacts(items))
     return 0
 
 
@@ -1101,6 +1232,7 @@ def _faults_campaign(args: argparse.Namespace) -> int:
         workdir=args.workdir,
         timeout=args.timeout,
         progress=lambda line: print(f"  running {line}", file=sys.stderr),
+        rehunt=args.rehunt,
     )
     if args.out:
         report.save(args.out)
@@ -1141,6 +1273,15 @@ def _faults_campaign(args: argparse.Namespace) -> int:
                     f"FAIL {result.plan.name} @ {fidelity}: "
                     f"{'; '.join(violations)}"
                 )
+        if result.rehunt:
+            for fidelity, counts in sorted(result.rehunt.items()):
+                distribution = ", ".join(
+                    f"{verdict} x{count}"
+                    for verdict, count in sorted(counts.items())
+                )
+                print(
+                    f"rehunt {result.plan.name} @ {fidelity}: {distribution}"
+                )
     return 0 if report.ok else 1
 
 
@@ -1154,6 +1295,12 @@ def cmd_net(args: argparse.Namespace) -> int:
         free_port,
         run_cluster_smoke,
         serve_replica,
+    )
+    from repro.net.loop import install_event_loop
+
+    install_event_loop(
+        uvloop_flag=getattr(args, "uvloop", False),
+        announce=lambda note: print(f"note: {note}", file=sys.stderr),
     )
 
     if args.net_command == "keygen":
@@ -1245,6 +1392,166 @@ def cmd_net(args: argparse.Namespace) -> int:
     )
     print(json.dumps(verdict, indent=2, sort_keys=True))
     return 0 if verdict["ok"] else 1
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.net.cluster import free_port
+    from repro.net.loop import install_event_loop
+    from repro.shard import (
+        ShardGenesis,
+        ShardedNetClient,
+        run_loopback_smoke,
+        run_shard_smoke,
+        shard_of,
+        smoke_json,
+    )
+
+    install_event_loop(
+        announce=lambda note: print(f"note: {note}", file=sys.stderr),
+    )
+
+    if args.shard_command == "keygen":
+        if args.base_port:
+            addresses = tuple(
+                tuple(
+                    (
+                        args.host,
+                        args.base_port
+                        + shard * args.replicas_per_shard
+                        + pid,
+                    )
+                    for pid in range(args.replicas_per_shard)
+                )
+                for shard in range(args.shards)
+            )
+        else:
+            addresses = tuple(
+                tuple(
+                    (args.host, free_port())
+                    for _ in range(args.replicas_per_shard)
+                )
+                for _ in range(args.shards)
+            )
+        genesis = ShardGenesis(
+            name=args.name,
+            seed=args.seed,
+            n_shards=args.shards,
+            replicas_per_shard=args.replicas_per_shard,
+            max_clients=args.clients,
+            addresses=addresses,
+        )
+        genesis.validate()
+        path = genesis.save(args.out)
+        print(f"shard genesis {genesis.shard_genesis_id()} written to {path}")
+        for shard in range(args.shards):
+            sub_genesis = genesis.genesis_for(shard)
+            print(f"  shard {shard} (genesis {sub_genesis.genesis_id()}):")
+            for pid, (host, port) in enumerate(addresses[shard]):
+                print(f"    replica {pid}: {host}:{port}")
+        return 0
+
+    if args.shard_command == "route":
+        if args.genesis:
+            n_shards = ShardGenesis.load(args.genesis).n_shards
+        elif args.shards is not None:
+            n_shards = args.shards
+        else:
+            raise ConfigurationError("route needs --genesis or --shards")
+        for key in args.keys:
+            print(f"{key} -> shard {shard_of(key, n_shards)}")
+        return 0
+
+    if args.shard_command == "client":
+        genesis = ShardGenesis.load(args.genesis)
+
+        async def drive() -> int:
+            client = ShardedNetClient(genesis, args.index)
+            try:
+                if args.op == "set":
+                    if len(args.operands) != 2:
+                        raise ConfigurationError("set expects KEY VALUE")
+                    key, value = args.operands
+                    shard = client.shard_for(key)
+                    slot = await client.set(key, value)
+                    print(
+                        f"committed {key}={value} "
+                        f"(shard {shard}, slot {slot})"
+                    )
+                elif args.op == "get":
+                    if len(args.operands) != 1:
+                        raise ConfigurationError("get expects KEY")
+                    key = args.operands[0]
+                    found, value = await client.get(key)
+                    shard = client.shard_for(key)
+                    print(
+                        f"{key} = {value!r} (shard {shard})"
+                        if found
+                        else f"{key} is unset (shard {shard})"
+                    )
+                elif args.op == "status":
+                    for shard, replies in sorted(
+                        (await client.status()).items()
+                    ):
+                        print(f"shard {shard}:")
+                        for pid, status in sorted(replies.items()):
+                            print(
+                                f"  replica {pid}: applied={status.applied} "
+                                f"committed={status.committed} "
+                                f"digest={status.digest[:12]} "
+                                f"transfers={status.transfers}"
+                            )
+                else:
+                    stats = await client.workload(
+                        args.requests, concurrency=args.concurrency
+                    )
+                    print(json.dumps(stats, indent=2, sort_keys=True))
+            finally:
+                await client.close()
+            return 0
+
+        return asyncio.run(drive())
+
+    if args.shard_command == "cluster":
+        verdict = asyncio.run(
+            run_shard_smoke(
+                shards=args.shards,
+                replicas_per_shard=args.replicas_per_shard,
+                requests=args.requests,
+                kill_shard=args.kill_shard,
+                kill_pid=args.kill_pid,
+                seed=args.seed,
+                workdir=args.workdir,
+                concurrency=args.concurrency,
+            )
+        )
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+        return 0 if verdict["ok"] else 1
+
+    # loopback
+    record = run_loopback_smoke(
+        shards=args.shards,
+        replicas_per_shard=args.replicas_per_shard,
+        requests=args.requests,
+        seed=args.seed,
+        kill_shard=None if args.no_kill else args.kill_shard,
+        kill_pid=args.kill_pid,
+    )
+    text = smoke_json(record)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text, end="")
+    print(
+        f"shard loopback smoke: {'ok' if record['ok'] else 'FAILED'} "
+        f"({record['shards']} shards x {record['replicas_per_shard']} "
+        f"replicas, {record['completed']}/{record['requests']} completed)",
+        file=sys.stderr,
+    )
+    return 0 if record["ok"] else 1
 
 
 def cmd_mc(args: argparse.Namespace) -> int:
@@ -1428,6 +1735,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "campaign": cmd_campaign,
         "service": cmd_service,
         "net": cmd_net,
+        "shard": cmd_shard,
         "mc": cmd_mc,
         "perf": cmd_perf,
         "experiments": cmd_experiments,

@@ -124,6 +124,12 @@ class PlanResult:
     outcomes: dict[str, tuple[str, list[str], FidelityObservation]] = field(
         default_factory=dict
     )
+    #: Flake-hunting data (``--rehunt``): fidelity -> verdict -> count
+    #: over the original run plus every re-run. ``None`` when the plan's
+    #: verdicts agreed (or rehunting was off) — the field then stays out
+    #: of :meth:`to_record` entirely, so clean deterministic reports keep
+    #: their double-run byte-identity.
+    rehunt: dict[str, dict[str, int]] | None = None
 
     @property
     def verdicts(self) -> dict[str, str]:
@@ -176,7 +182,7 @@ class PlanResult:
                     "signature_rejections": observation.signature_rejections,
                 }
             fidelities[fidelity] = entry
-        return {
+        record = {
             "plan_id": self.plan.plan_id,
             "name": self.plan.name,
             "expect": self.plan.expect,
@@ -185,6 +191,12 @@ class PlanResult:
             "agree": self.agree,
             "expected": self.expected,
         }
+        if self.rehunt is not None:
+            record["rehunt"] = {
+                fidelity: dict(sorted(counts.items()))
+                for fidelity, counts in sorted(self.rehunt.items())
+            }
+        return record
 
 
 @dataclass(slots=True)
@@ -242,8 +254,20 @@ def run_cross_fidelity(
     workdir: str | Path | None = None,
     timeout: float = 180.0,
     progress: Any = None,
+    rehunt: int = 0,
 ) -> CrossFidelityReport:
-    """Run every plan at every fidelity and assemble the report."""
+    """Run every plan at every fidelity and assemble the report.
+
+    With ``rehunt > 0``, any plan whose fidelities *disagree* is re-run
+    ``rehunt`` more times at every fidelity and the verdict distribution
+    (original run included, so the counts sum to ``1 + rehunt``) lands in
+    the plan's record — the flake-hunting mode that tells a
+    nondeterministic fidelity-3 verdict apart from a genuine
+    cross-fidelity divergence. Agreeing plans are never re-run, so clean
+    deterministic reports stay byte-identical whatever ``rehunt`` is.
+    """
+    if rehunt < 0:
+        raise ConfigurationError(f"rehunt must be >= 0, got {rehunt}")
     for fidelity in fidelities:
         if fidelity not in FIDELITIES:
             raise ConfigurationError(
@@ -264,5 +288,30 @@ def run_cross_fidelity(
             )
             verdict, violations = judge(plan, observation)
             result.outcomes[fidelity] = (verdict, violations, observation)
+        if rehunt > 0 and not result.agree:
+            distribution: dict[str, dict[str, int]] = {
+                fidelity: {result.verdicts[fidelity]: 1}
+                for fidelity in fidelities
+            }
+            for attempt in range(rehunt):
+                for fidelity in fidelities:
+                    if progress is not None:
+                        progress(
+                            f"{plan.name} [{plan.plan_id}] @ {fidelity} "
+                            f"rehunt {attempt + 1}/{rehunt}"
+                        )
+                    subdir = None
+                    if workdir is not None:
+                        subdir = (
+                            Path(workdir)
+                            / f"{plan.plan_id}-{fidelity}-rehunt{attempt}"
+                        )
+                    observation = run_plan(
+                        plan, fidelity, workdir=subdir, timeout=timeout
+                    )
+                    verdict, _violations = judge(plan, observation)
+                    counts = distribution[fidelity]
+                    counts[verdict] = counts.get(verdict, 0) + 1
+            result.rehunt = distribution
         report.results.append(result)
     return report

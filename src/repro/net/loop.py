@@ -1,0 +1,57 @@
+"""Event-loop policy selection for the net runtime (optional uvloop).
+
+The deployed runtime is plain asyncio everywhere; uvloop is an opt-in
+accelerator for the socket-bound paths (``repro net replica``'s reader
+loops and writer drains), requested with the ``--uvloop`` flag or the
+``REPRO_UVLOOP=1`` environment variable. uvloop is **not** a dependency:
+when it is not importable the runtime announces the fallback once and
+runs on stock asyncio with identical semantics — every test and smoke
+passes either way, which is what lets the knob exist without a new
+requirement. Measured deltas live in docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+#: Environment values that turn the knob on.
+_TRUTHY = {"1", "true", "yes", "on"}
+
+ENV_VAR = "REPRO_UVLOOP"
+
+
+def uvloop_requested(flag: bool = False) -> bool:
+    """Whether this invocation asked for uvloop (flag or environment)."""
+    if flag:
+        return True
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def install_event_loop(
+    *,
+    uvloop_flag: bool = False,
+    announce: Callable[[str], Any] | None = None,
+) -> str:
+    """Install the requested event-loop policy; returns its name.
+
+    Returns ``"uvloop"`` after installing uvloop's policy, or
+    ``"asyncio"`` when uvloop was not requested — or was requested but
+    is not installed (graceful fallback, announced once via
+    ``announce``). Call before :func:`asyncio.run`.
+    """
+    if not uvloop_requested(uvloop_flag):
+        return "asyncio"
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        if announce is not None:
+            announce(
+                "uvloop requested but not installed; "
+                "falling back to stock asyncio"
+            )
+        return "asyncio"
+    uvloop.install()
+    if announce is not None:
+        announce("uvloop event-loop policy installed")
+    return "uvloop"

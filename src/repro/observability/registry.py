@@ -48,6 +48,9 @@ MODULE_MC = "mc"
 #: The cross-fidelity fault-injection engine (docs/FAULTS.md): link
 #: tampering, bit-flips and the arbitrary-fault counters.
 MODULE_FAULTS = "faults"
+#: The multi-group routing layer above the per-group stacks
+#: (docs/SHARDING.md): key→shard routing and cross-group orchestration.
+MODULE_SHARD = "shard"
 
 PAPER_MODULES = (
     MODULE_SIGNATURE,

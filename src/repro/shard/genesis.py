@@ -1,0 +1,205 @@
+"""The shard genesis: one JSON document pinning a multi-group deployment.
+
+A sharded deployment is a *set* of ordinary single-group deployments
+plus a routing rule. The :class:`ShardGenesis` artifact pins exactly
+that and nothing more: the shard count, the per-shard replica addresses,
+the shared runtime knobs, and (implicitly, by construction) the
+deterministic key→shard map of :mod:`repro.shard.keymap`. Everything
+below the routing layer is the unmodified single-group machinery —
+``genesis_for(shard)`` derives a perfectly ordinary
+:class:`~repro.net.genesis.Genesis` per group, so replicas, clients,
+checkpoints and certified state transfer run verbatim.
+
+Isolation is structural, not aspirational:
+
+* each shard's genesis gets its own derived seed
+  (:func:`~repro.shard.keymap.shard_seed`), so key material — and with
+  it every signature and certificate domain — is disjoint across shards;
+* each shard's genesis gets its own name (``{name}/s{shard}``) and hence
+  its own content hash, so the MAC'd hello handshake makes replicas of
+  different shards refuse to talk even if misaddressed.
+
+Like the single-group genesis, the document is content-addressed
+(:meth:`ShardGenesis.shard_genesis_id`) and persists as validated JSON:
+malformed or inconsistent documents raise
+:class:`~repro.errors.ConfigurationError`, which the CLI turns into
+exit status 2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.crypto.encoding import canonical_bytes
+from repro.errors import ConfigurationError
+from repro.net.genesis import Genesis
+from repro.shard.keymap import shard_of, shard_seed
+
+
+@dataclass(frozen=True, slots=True)
+class ShardGenesis:
+    """Everything a sharded deployment's participants need to agree on."""
+
+    name: str = "sharded"
+    seed: int = 0
+    n_shards: int = 2
+    replicas_per_shard: int = 4
+    #: Explicit per-shard fault bound; ``None`` derives F from replicas.
+    f: int | None = None
+    #: Client identity space *per shard* (a sharded client holds one
+    #: identity in every group).
+    max_clients: int = 4
+    #: ``addresses[shard][replica] == (host, port)``.
+    addresses: tuple[tuple[tuple[str, int], ...], ...] = ()
+    # -- runtime knobs shared by every shard, in wall-clock seconds ------
+    batch_size: int = 8
+    batch_delay: float = 0.05
+    window: int = 4
+    checkpoint_interval: int = 4
+    muteness_timeout: float = 1.5
+    transfer_retry: float = 0.5
+    stall_probe: float = 3.0
+    request_timeout: float = 1.5
+    metrics_interval: float = 2.0
+    key_space: int = 64
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on any inconsistency."""
+        if not self.name:
+            raise ConfigurationError("shard genesis name must be non-empty")
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        if len(self.addresses) != self.n_shards:
+            raise ConfigurationError(
+                f"shard genesis lists addresses for {len(self.addresses)} "
+                f"shards, expected {self.n_shards}"
+            )
+        for shard, group in enumerate(self.addresses):
+            if len(group) != self.replicas_per_shard:
+                raise ConfigurationError(
+                    f"shard {shard} lists {len(group)} addresses for "
+                    f"{self.replicas_per_shard} replicas"
+                )
+        seen: dict[tuple[str, int], tuple[int, int]] = {}
+        for shard, group in enumerate(self.addresses):
+            for pid, address in enumerate(group):
+                if address in seen:
+                    raise ConfigurationError(
+                        f"address {address[0]}:{address[1]} assigned to both "
+                        f"shard {seen[address][0]} replica {seen[address][1]} "
+                        f"and shard {shard} replica {pid}"
+                    )
+                seen[address] = (shard, pid)
+        # Every shard-local constraint (ports, client counts, knob
+        # ranges, resilience arithmetic) is the single-group check,
+        # applied to each derived genesis.
+        for shard in range(self.n_shards):
+            self.genesis_for(shard).validate()
+
+    # -- derived views ---------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        """The shard that orders every command touching ``key``."""
+        return shard_of(key, self.n_shards)
+
+    def genesis_for(self, shard: int) -> Genesis:
+        """The ordinary single-group genesis of one shard."""
+        if not 0 <= shard < self.n_shards:
+            raise ConfigurationError(
+                f"shard {shard} outside the shard range 0..{self.n_shards - 1}"
+            )
+        return Genesis(
+            name=f"{self.name}/s{shard}",
+            seed=shard_seed(self.seed, shard),
+            n_replicas=self.replicas_per_shard,
+            f=self.f,
+            max_clients=self.max_clients,
+            addresses=tuple(self.addresses[shard]),
+            batch_size=self.batch_size,
+            batch_delay=self.batch_delay,
+            window=self.window,
+            checkpoint_interval=self.checkpoint_interval,
+            muteness_timeout=self.muteness_timeout,
+            transfer_retry=self.transfer_retry,
+            stall_probe=self.stall_probe,
+            request_timeout=self.request_timeout,
+            metrics_interval=self.metrics_interval,
+            key_space=self.key_space,
+        )
+
+    def shard_genesis_id(self) -> str:
+        """Content hash binding every participant to this exact document."""
+        payload = canonical_bytes(
+            tuple(sorted(self.to_json().items(), key=repr))
+        )
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["addresses"] = [
+            [list(address) for address in group] for group in self.addresses
+        ]
+        return data
+
+    @classmethod
+    def from_json(cls, data: Any) -> "ShardGenesis":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                "shard genesis document must be a JSON object"
+            )
+        known = {field for field in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown shard genesis keys: {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        if "addresses" in kwargs:
+            try:
+                kwargs["addresses"] = tuple(
+                    tuple((str(host), int(port)) for host, port in group)
+                    for group in kwargs["addresses"]
+                )
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"malformed shard genesis addresses: {exc}"
+                ) from exc
+        try:
+            genesis = cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(f"malformed shard genesis: {exc}") from exc
+        genesis.validate()
+        return genesis
+
+    def save(self, path: str | Path) -> Path:
+        self.validate()
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ShardGenesis":
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read shard genesis: {exc}") from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"shard genesis is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_json(data)

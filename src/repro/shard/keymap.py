@@ -1,0 +1,83 @@
+"""The deterministic key→shard map: one hash, every process agrees.
+
+Sharding only works if *every* participant — clients, orchestrators,
+benchmarks, operators on other machines — routes a key to the same
+group without coordination. The map is therefore a pure function of the
+key bytes and the shard count, built on SHA-256 rather than Python's
+``hash()`` (which is salted per process): two processes that disagree on
+``shard_of`` would split one key's history across two total orders.
+
+The map is intentionally *not* consistent hashing: a shard genesis pins
+``n_shards`` for the deployment's lifetime (changing the shard count is
+a new deployment with a new content hash), so stability-under-resize is
+a non-goal and the plain modulus keeps the routing contract auditable:
+
+    shard_of(key, n) = int(sha256(utf8(key))[:8]) mod n
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigurationError
+
+#: Bytes of the SHA-256 digest folded into the routing integer. 64 bits
+#: keeps the modulus bias below 2^-60 for any realistic shard count.
+_DIGEST_BYTES = 8
+
+
+def key_weight(key: str) -> int:
+    """The 64-bit routing integer of ``key`` (before the modulus)."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:_DIGEST_BYTES], "big")
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """The shard that orders every command touching ``key``."""
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    return key_weight(key) % n_shards
+
+
+def shard_seed(seed: int, shard: int) -> int:
+    """The genesis seed of one shard, derived from the deployment seed.
+
+    Each shard must own *disjoint* key material: per-process HMAC keys
+    derive from ``(seed, pid)`` (:mod:`repro.crypto.keys`), so two shards
+    sharing a seed would share signing keys, and a replica of one group
+    could forge certificates for another. The prime stride keeps the
+    affine signature domains (``seed·1000003 + slot`` and friends,
+    :mod:`repro.net.genesis`) of neighbouring shards far apart.
+    """
+    if shard < 0:
+        raise ConfigurationError(f"shard must be >= 0, got {shard}")
+    return seed + (shard + 1) * 1_000_033
+
+
+def key_for_shard(prefix: str, shard: int, n_shards: int, *, limit: int = 100_000) -> str:
+    """A key ``{prefix}{i}`` that routes to ``shard`` (smallest ``i``).
+
+    Orchestration needs shard-addressed keys (per-shard sentinels and
+    convergence nudges); with a uniform map the expected scan length is
+    ``n_shards`` tries, and the ``limit`` is an unreachable safety net.
+    """
+    if not 0 <= shard < n_shards:
+        raise ConfigurationError(
+            f"shard {shard} outside the shard range 0..{n_shards - 1}"
+        )
+    for index in range(limit):
+        candidate = f"{prefix}{index}"
+        if shard_of(candidate, n_shards) == shard:
+            return candidate
+    raise ConfigurationError(  # pragma: no cover - astronomically unlikely
+        f"no key with prefix {prefix!r} routes to shard {shard} "
+        f"within {limit} candidates"
+    )
+
+
+def route_counts(keys, n_shards: int) -> dict[int, int]:
+    """How many of ``keys`` land on each shard (all shards present)."""
+    counts = {shard: 0 for shard in range(n_shards)}
+    for key in keys:
+        counts[shard_of(key, n_shards)] += 1
+    return counts

@@ -166,3 +166,61 @@ class TestCrossFidelityReport:
         record = result_plan.to_record()
         assert "observation" not in record["fidelities"]["net"]
         assert record["fidelities"]["net"]["verdict"] == verdict
+
+
+class TestRehunt:
+    """The flake-hunting mode: disagreeing plans re-run k times."""
+
+    @staticmethod
+    def _fake_run_plan(flaky_after: int):
+        """A run_plan double: sim is always healthy; loopback reports a
+        wrong digest for the first ``flaky_after`` calls, then heals —
+        the archetypal flaky fidelity."""
+        calls = {"loopback": 0}
+
+        def fake(plan, fidelity, *, workdir=None, timeout=180.0):
+            observation = _healthy(plan, fidelity)
+            if fidelity == "loopback":
+                calls["loopback"] += 1
+                if calls["loopback"] <= flaky_after:
+                    observation.digests = dict(observation.digests)
+                    observation.digests[0] = "deadbeef" * 2
+            return observation
+
+        return fake
+
+    def test_disagreeing_plan_gets_a_verdict_distribution(self, monkeypatch):
+        import repro.faults.report as report_module
+
+        monkeypatch.setattr(
+            report_module, "run_plan", self._fake_run_plan(flaky_after=1)
+        )
+        plan = FaultPlan(name="flaky", seed=3, requests=6, duration=6.0)
+        report = report_module.run_cross_fidelity(
+            (plan,), ("sim", "loopback"), rehunt=3
+        )
+        (result,) = report.results
+        assert not result.agree
+        assert result.rehunt is not None
+        # Original run + 3 re-runs per fidelity.
+        assert result.rehunt["sim"] == {"pass": 4}
+        assert result.rehunt["loopback"] == {"fail": 1, "pass": 3}
+        record = result.to_record()
+        assert record["rehunt"]["loopback"] == {"fail": 1, "pass": 3}
+
+    def test_agreeing_plans_are_never_rerun_and_stay_byte_identical(self):
+        plan = FaultPlan(name="tiny", seed=2, requests=6, duration=6.0)
+        plain = run_cross_fidelity((plan,), ("sim", "loopback"))
+        hunted = run_cross_fidelity((plan,), ("sim", "loopback"), rehunt=5)
+        assert hunted.results[0].rehunt is None
+        assert "rehunt" not in hunted.results[0].to_record()
+        assert plain.dumps() == hunted.dumps()
+
+    def test_negative_rehunt_is_a_configuration_error(self):
+        import pytest
+
+        from repro.errors import ConfigurationError
+
+        plan = FaultPlan(name="tiny", seed=2, requests=6, duration=6.0)
+        with pytest.raises(ConfigurationError):
+            run_cross_fidelity((plan,), ("sim",), rehunt=-1)

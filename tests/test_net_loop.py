@@ -1,0 +1,73 @@
+"""Tests: optional uvloop selection with graceful asyncio fallback.
+
+uvloop is an opt-in accelerator, never a dependency: the contract under
+test is that nothing changes unless asked, that asking without uvloop
+installed falls back to stock asyncio with exactly one announcement,
+and that an installed uvloop is activated through its ``install()``
+hook. The fake-module pattern keeps all three paths testable in a
+container that (deliberately) does not ship uvloop.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+
+from repro.net.loop import ENV_VAR, install_event_loop, uvloop_requested
+
+
+class TestRequested:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert not uvloop_requested()
+
+    def test_flag_wins(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert uvloop_requested(True)
+
+    def test_env_values(self, monkeypatch):
+        for value, expected in [
+            ("1", True), ("true", True), ("YES", True), ("on", True),
+            ("0", False), ("", False), ("no", False), ("false", False),
+        ]:
+            monkeypatch.setenv(ENV_VAR, value)
+            assert uvloop_requested() is expected, value
+
+
+class TestInstall:
+    def test_not_requested_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        notes = []
+        assert install_event_loop(announce=notes.append) == "asyncio"
+        assert notes == []
+
+    def test_missing_uvloop_falls_back_with_a_note(self, monkeypatch):
+        # Force the import to fail even if uvloop were ever installed.
+        monkeypatch.setitem(sys.modules, "uvloop", None)
+        notes = []
+        assert (
+            install_event_loop(uvloop_flag=True, announce=notes.append)
+            == "asyncio"
+        )
+        assert len(notes) == 1
+        assert "falling back" in notes[0]
+
+    def test_present_uvloop_is_installed(self, monkeypatch):
+        installed = []
+        fake = types.ModuleType("uvloop")
+        fake.install = lambda: installed.append(True)
+        monkeypatch.setitem(sys.modules, "uvloop", fake)
+        notes = []
+        assert (
+            install_event_loop(uvloop_flag=True, announce=notes.append)
+            == "uvloop"
+        )
+        assert installed == [True]
+        assert notes == ["uvloop event-loop policy installed"]
+
+    def test_env_var_triggers_install(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        fake = types.ModuleType("uvloop")
+        fake.install = lambda: None
+        monkeypatch.setitem(sys.modules, "uvloop", fake)
+        assert install_event_loop() == "uvloop"

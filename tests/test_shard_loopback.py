@@ -1,0 +1,113 @@
+"""Tests: the deterministic sharded loopback twin (docs/SHARDING.md).
+
+The twin runs every shard's real :class:`NetNode` stack on one shared
+:class:`ManualScheduler` — same codec, same certificates, same state
+transfer — so these tests can pin the strongest contracts cheaply:
+byte-identical smoke records across runs (the ``make shard-smoke``
+``cmp`` depends on this), per-shard exactly-once against the routed
+counts, kill/rejoin via certified transfer inside one shard with zero
+blast radius on the others, and the scaling cell's oracles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shard import (
+    ShardedLoopbackCluster,
+    loopback_scaling_cell,
+    loopback_shard_genesis,
+    run_loopback_smoke,
+    smoke_json,
+)
+
+
+class TestSmokeRecord:
+    def test_double_run_is_byte_identical(self):
+        first = run_loopback_smoke(requests=16)
+        second = run_loopback_smoke(requests=16)
+        assert first["ok"]
+        assert smoke_json(first) == smoke_json(second)
+
+    def test_kill_rejoin_transfers_state(self):
+        record = run_loopback_smoke(requests=16, kill_shard=1, kill_pid=2)
+        assert record["ok"]
+        assert record["transfers"]["1"]["2"] >= 1
+        # Exactly-once, per shard: every replica committed exactly what
+        # the client routed to its shard.
+        for shard, routed in record["routed"].items():
+            assert all(
+                count == routed
+                for count in record["committed"][shard].values()
+            )
+
+    def test_no_kill_variant(self):
+        record = run_loopback_smoke(requests=16, kill_shard=None)
+        assert record["ok"]
+        assert record["kill"] is None
+        assert record["transfers"] == {}
+
+    def test_shards_have_distinct_digests(self):
+        record = run_loopback_smoke(requests=16)
+        per_shard = [
+            next(iter(digests.values()))
+            for digests in record["digests"].values()
+        ]
+        assert len(set(per_shard)) == len(per_shard)
+
+    def test_distinct_genesis_id_per_shard(self):
+        record = run_loopback_smoke(requests=8)
+        ids = list(record["genesis_ids"].values())
+        assert len(set(ids)) == len(ids)
+
+    def test_kill_shard_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_loopback_smoke(shards=2, kill_shard=5)
+
+
+class TestClusterGuards:
+    def test_client_budget_enforced(self):
+        genesis = loopback_shard_genesis(2)
+        with pytest.raises(ConfigurationError):
+            ShardedLoopbackCluster(genesis, clients=99)
+
+    def test_genesis_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            loopback_shard_genesis(0)
+
+    def test_blast_radius_of_a_kill_is_one_shard(self):
+        genesis = loopback_shard_genesis(2)
+        cluster = ShardedLoopbackCluster(genesis)
+        for i in range(8):
+            cluster.submit(f"k{i}", f"v{i}")
+        cluster.pump(4.0)
+        untouched = {
+            shard: cluster.shard_committed(shard)
+            for shard in range(2)
+            if shard != 1
+        }
+        cluster.kill(1, 2)
+        cluster.pump(4.0)
+        for shard, before in untouched.items():
+            after = cluster.shard_committed(shard)
+            assert all(after[pid] >= before[pid] for pid in before)
+
+
+class TestScalingCell:
+    def test_cell_oracles_hold(self):
+        cell = loopback_scaling_cell(shards=2, requests=128)
+        assert cell["all_complete"]
+        assert cell["converged"]
+        assert cell["exactly_once"]
+        assert cell["completed"] == 128
+        assert sum(int(c) for c in cell["routed"].values()) == 128
+        assert cell["throughput"] > 0
+
+    def test_offered_load_is_shard_count_independent(self):
+        one = loopback_scaling_cell(shards=1, requests=128)
+        two = loopback_scaling_cell(shards=2, requests=128)
+        assert one["requests"] == two["requests"]
+        assert sum(int(c) for c in one["routed"].values()) == sum(
+            int(c) for c in two["routed"].values()
+        )
