@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke faults-smoke shard-smoke smoke docs-check benchmarks experiments
+.PHONY: test campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke faults-smoke zoo-smoke shard-smoke smoke docs-check benchmarks experiments
 
 # -W error promotes every warning to a failure; the lone ignore shields
 # the suite from a deprecation raised inside third-party plugin hooks.
@@ -81,6 +81,22 @@ faults-smoke:
 	$(PYTHON) -m repro campaign faults --preset smoke \
 		--fidelity sim,loopback,net --timeout 120
 
+# The adversary zoo (docs/ADVERSARIES.md): one plan per family (message
+# adversary, transient state corruption, timing attack, storage
+# bit-flips) at the two deterministic fidelities twice — the reports
+# must be byte-identical — then the message adversary once on a real
+# subprocess cluster at fidelity 3 under a hard timeout, asserting
+# verdict agreement across all three.
+zoo-smoke:
+	$(PYTHON) -m repro campaign zoo --preset smoke --fidelity sim,loopback \
+		--out /tmp/zoo-smoke-a.json
+	$(PYTHON) -m repro campaign zoo --preset smoke --fidelity sim,loopback \
+		--out /tmp/zoo-smoke-b.json
+	cmp /tmp/zoo-smoke-a.json /tmp/zoo-smoke-b.json
+	rm -f /tmp/zoo-smoke-a.json /tmp/zoo-smoke-b.json
+	$(PYTHON) -m repro campaign zoo --preset net-smoke \
+		--fidelity sim,loopback,net --timeout 120
+
 # The sharded deployment (docs/SHARDING.md): the deterministic loopback
 # twin run twice — the JSON records must be byte-identical — then the
 # real thing: 2 shards x 4 replica OS processes over TCP absorb a
@@ -97,7 +113,7 @@ shard-smoke:
 		--requests 40 --kill-shard 1 --kill-pid 2
 
 # Every smoke target in one call.
-smoke: campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke faults-smoke shard-smoke
+smoke: campaign-smoke lossy-smoke service-smoke net-smoke perf-smoke mc-smoke faults-smoke zoo-smoke shard-smoke
 
 # Execute every ```python snippet in README.md and docs/*.md
 # (tests/test_docs_snippets.py); keeps the documented examples honest.

@@ -257,49 +257,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifact", required=True, help="campaign artifact holding the id"
     )
 
+    def _add_fault_campaign_args(parser, preset_help: str) -> None:
+        parser.add_argument("--preset", default="smoke", help=preset_help)
+        parser.add_argument(
+            "--plan",
+            action="append",
+            default=[],
+            metavar="FILE",
+            help="run this saved plan JSON instead of the preset (repeatable)",
+        )
+        parser.add_argument(
+            "--fidelity",
+            default="sim,loopback",
+            metavar="F1,F2,...",
+            help="comma-separated fidelities: sim, loopback, net",
+        )
+        parser.add_argument(
+            "--out",
+            metavar="FILE",
+            help="write the cross-fidelity report (canonical JSON) here",
+        )
+        parser.add_argument(
+            "--workdir",
+            help="keep net-fidelity cluster state here (default: temp dirs)",
+        )
+        parser.add_argument(
+            "--timeout", type=float, default=180.0,
+            help="hard wall-clock cap per plan at the net fidelity (seconds)",
+        )
+        parser.add_argument(
+            "--rehunt", type=int, default=0, metavar="K",
+            help="flake hunting: re-run each verdict-disagreeing plan K more "
+            "times per fidelity and report the verdict distribution",
+        )
+        parser.add_argument(
+            "--shrink-out", metavar="DIR",
+            help="delta-debug every plan that truly failed at the sim "
+            "fidelity down to a minimal same-failure plan; write the "
+            "shrunk plan JSONs here (docs/FAULTS.md)",
+        )
+        parser.add_argument(
+            "--json", action="store_true", help="emit the report as JSON"
+        )
+
     c_faults = campaign_sub.add_parser(
         "faults",
         help="run fault plans at several fidelities and cross-check the "
         "verdicts (docs/FAULTS.md)",
     )
-    c_faults.add_argument(
-        "--preset",
-        default="smoke",
-        help="fault-plan preset: smoke or extended (docs/FAULTS.md)",
+    _add_fault_campaign_args(
+        c_faults, "fault-plan preset: smoke or extended (docs/FAULTS.md)"
     )
-    c_faults.add_argument(
-        "--plan",
-        action="append",
-        default=[],
-        metavar="FILE",
-        help="run this saved plan JSON instead of the preset (repeatable)",
+
+    c_zoo = campaign_sub.add_parser(
+        "zoo",
+        help="run the adversary-zoo plan matrices across fidelities "
+        "(docs/ADVERSARIES.md)",
     )
-    c_faults.add_argument(
-        "--fidelity",
-        default="sim,loopback",
-        metavar="F1,F2,...",
-        help="comma-separated fidelities: sim, loopback, net",
-    )
-    c_faults.add_argument(
-        "--out",
-        metavar="FILE",
-        help="write the cross-fidelity report (canonical JSON) here",
-    )
-    c_faults.add_argument(
-        "--workdir",
-        help="keep net-fidelity cluster state here (default: temp dirs)",
-    )
-    c_faults.add_argument(
-        "--timeout", type=float, default=180.0,
-        help="hard wall-clock cap per plan at the net fidelity (seconds)",
-    )
-    c_faults.add_argument(
-        "--rehunt", type=int, default=0, metavar="K",
-        help="flake hunting: re-run each verdict-disagreeing plan K more "
-        "times per fidelity and report the verdict distribution",
-    )
-    c_faults.add_argument(
-        "--json", action="store_true", help="emit the report as JSON"
+    _add_fault_campaign_args(
+        c_zoo,
+        "zoo preset: smoke, extended, sweep, or net-smoke "
+        "(docs/ADVERSARIES.md)",
     )
 
     c_service = campaign_sub.add_parser(
@@ -611,7 +629,11 @@ def build_parser() -> argparse.ArgumentParser:
     m_run.add_argument(
         "--alphabet", metavar="A,B,...",
         help="comma-separated adversary actions: mute, equivocate-current, "
-        "forge-attempt, drop-delivery",
+        "forge-attempt, drop-delivery, suppress-d",
+    )
+    m_run.add_argument(
+        "--suppress-d", type=int, default=1, metavar="D",
+        help="per-round budget of the suppress-d action (default 1)",
     )
     m_run.add_argument(
         "--mutation", metavar="NAME",
@@ -942,7 +964,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     )
     from repro.campaign.matrix import campaign_spec
 
-    if args.campaign_command == "faults":
+    if args.campaign_command in ("faults", "zoo"):
         return _faults_campaign(args)
 
     if args.campaign_command == "service":
@@ -1208,17 +1230,22 @@ def _service_campaign(preset: str, out: str | None, as_json: bool) -> int:
 
 
 def _faults_campaign(args: argparse.Namespace) -> int:
-    """`repro campaign faults`: the cross-fidelity fault-plan engine."""
+    """`repro campaign faults` / `repro campaign zoo`: the cross-fidelity
+    fault-plan engine over the v1 presets or the adversary-zoo matrices."""
     from repro.faults import FAULT_PRESETS, FaultPlan, run_cross_fidelity
 
+    if args.campaign_command == "zoo":
+        from repro.zoo.presets import ZOO_PRESETS as presets
+    else:
+        presets = FAULT_PRESETS
     if args.plan:
         plans = tuple(FaultPlan.load(path) for path in args.plan)
     else:
-        preset = FAULT_PRESETS.get(args.preset)
+        preset = presets.get(args.preset)
         if preset is None:
             raise ConfigurationError(
-                f"unknown fault preset {args.preset!r}; "
-                f"known: {sorted(FAULT_PRESETS)}"
+                f"unknown {args.campaign_command} preset {args.preset!r}; "
+                f"known: {sorted(presets)}"
             )
         plans = preset
     fidelities = tuple(
@@ -1282,6 +1309,30 @@ def _faults_campaign(args: argparse.Namespace) -> int:
                 print(
                     f"rehunt {result.plan.name} @ {fidelity}: {distribution}"
                 )
+    if args.shrink_out:
+        from pathlib import Path
+
+        from repro.faults.shrink import shrink_fault_plan
+
+        out_dir = Path(args.shrink_out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for result in report.results:
+            if result.verdicts.get("sim") != "fail":
+                continue
+            shrunk = shrink_fault_plan(result.plan)
+            path = shrunk.plan.save(out_dir / f"{result.plan.name}-shrunk.json")
+            kept = sum(
+                len(getattr(shrunk.plan, axis))
+                for axis in (
+                    "mutes", "kills", "partitions", "flips", "collusion",
+                    "suppressions", "corruptions", "timing", "storage_flips",
+                )
+            )
+            print(
+                f"shrunk {result.plan.name}: {len(shrunk.removed)} clause(s) "
+                f"removed, {kept} kept, {shrunk.runs} runs, "
+                f"kinds={sorted(shrunk.kinds)} -> {path}"
+            )
     return 0 if report.ok else 1
 
 
@@ -1616,6 +1667,7 @@ def cmd_mc(args: argparse.Namespace) -> int:
             mutation=args.mutation,
             seed=args.seed,
             stop_on_violation=args.stop_on_violation,
+            suppress_d=args.suppress_d,
         )
         config.validate()
         return summarize(Explorer(config, args.out).run())

@@ -7,6 +7,7 @@ from repro.faults.oracle import FidelityObservation, judge, live_correct
 from repro.faults.plan import (
     EXPECTATIONS,
     FAULTS_SCHEMA,
+    FAULTS_SCHEMA_V1,
     FIDELITIES,
     FIDELITY_LOOPBACK,
     FIDELITY_NET,
@@ -21,12 +22,14 @@ from repro.faults.report import (
     run_cross_fidelity,
     run_plan,
 )
+from repro.faults.shrink import ShrinkResult, shrink_fault_plan, violation_kinds
 from repro.faults.sim_runner import run_sim_plan
 
 __all__ = [
     "CrossFidelityReport",
     "EXPECTATIONS",
     "FAULTS_SCHEMA",
+    "FAULTS_SCHEMA_V1",
     "FAULT_PRESETS",
     "FIDELITIES",
     "FIDELITY_LOOPBACK",
@@ -36,6 +39,7 @@ __all__ = [
     "FidelityObservation",
     "LinkFaultInjector",
     "PlanResult",
+    "ShrinkResult",
     "check_faults_schema",
     "flip_signed_payload",
     "judge",
@@ -44,4 +48,6 @@ __all__ = [
     "run_loopback_plan",
     "run_plan",
     "run_sim_plan",
+    "shrink_fault_plan",
+    "violation_kinds",
 ]

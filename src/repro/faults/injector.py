@@ -37,7 +37,11 @@ from typing import Any
 from repro.core.certificates import SignedMessage
 from repro.faults.plan import FaultPlan
 from repro.messages.consensus import VCurrent
-from repro.observability.registry import MODULE_FAULTS, NULL_METRICS
+from repro.observability.registry import (
+    MODULE_FAULTS,
+    MODULE_ZOO,
+    NULL_METRICS,
+)
 from repro.replication.log import SlotEnvelope
 from repro.sim.rng import SeededRng
 
@@ -70,10 +74,15 @@ def flip_signed_payload(payload: Any) -> Any | None:
 class LinkFaultInjector:
     """Deterministic per-link fault pipeline for one :class:`FaultPlan`.
 
-    The pipeline order is fixed (mute, partition, loss, flip, duplicate,
-    reorder) and every probabilistic stage draws from the directed
-    link's own stream, in send order — the property the cross-fidelity
-    byte-identity check rests on.
+    The pipeline order is fixed (mute, suppress, partition, loss, flip,
+    duplicate, reorder, burst-shape) and every probabilistic stage draws
+    from the directed link's own stream, in send order — the property
+    the cross-fidelity byte-identity check rests on. The two zoo stages
+    are draw-free: per-round suppression sets are pure seed forks
+    (:class:`~repro.zoo.suppressor.RoundSuppressor`) and the timing
+    attack's burst shaping is a deterministic function of the per-link
+    send history, so v1 plans consume exactly the streams they did
+    before the v2 schema.
     """
 
     def __init__(
@@ -102,6 +111,23 @@ class LinkFaultInjector:
         self.partition_delays = 0
         self.duplicates = 0
         self.reorders = 0
+        # -- adversary zoo (v2 plans; inert on v1 plans). The zoo imports
+        # are lazy: repro.zoo depends on repro.faults.plan, so repro.faults
+        # modules must never import repro.zoo at module scope.
+        if plan.suppressions:
+            from repro.zoo.suppressor import RoundSuppressor
+
+            self._suppressor: Any = RoundSuppressor(plan)
+        else:
+            self._suppressor = None
+        if plan.timing:
+            from repro.zoo.timing import BurstShaper
+
+            self._burst: Any = BurstShaper(plan.timing)
+        else:
+            self._burst = None
+        self.suppressed = 0
+        self.timing_delays = 0
 
     @property
     def plan(self) -> FaultPlan:
@@ -158,6 +184,15 @@ class LinkFaultInjector:
         replica_link = src < n and dst < n
         if not replica_link:
             return None
+        # Family (a): the message adversary silently removes the delivery
+        # — a true drop, unlike a partition's withholding, because the
+        # model says "up to d deliveries of each broadcast never happen".
+        if self._suppressor is not None and self._suppressor.suppressed(
+            now, src, dst
+        ):
+            self.suppressed += 1
+            self._registry.inc(MODULE_ZOO, "suppressed_deliveries", pid=src)
+            return []
         heal = self._severed_until(now, src, dst)
         if heal is not None:
             # A partition *withholds* traffic until the heal instant
@@ -204,6 +239,19 @@ class LinkFaultInjector:
                 self.reorders += 1
                 self._registry.inc(MODULE_FAULTS, "reorder_delays", pid=src)
                 deliveries[0] = (deliveries[0][0], delay)
+        # Family (c): a timing attacker releases its (otherwise genuine)
+        # traffic only at burst boundaries — every copy, duplicates
+        # included, picks up the same hold. The shaper spaces releases so
+        # the attacker's stream stays FIFO (it is slow, not misbehaving).
+        if self._burst is not None:
+            hold = self._burst.hold(src, dst, now)
+            if hold > 0.0:
+                touched = True
+                self.timing_delays += 1
+                self._registry.inc(MODULE_ZOO, "timing_delays", pid=src)
+                deliveries = [
+                    (item, delay + hold) for item, delay in deliveries
+                ]
         if not touched:
             return None
         return deliveries

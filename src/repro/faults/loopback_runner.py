@@ -14,6 +14,7 @@ deterministic analogue of a SIGSTOPped process.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any
 
 from repro.byzantine import transformed_attack
@@ -27,6 +28,8 @@ from repro.net.node import NetNode
 from repro.net.transport import LoopbackHub
 from repro.observability.registry import (
     MODULE_FAULTS,
+    MODULE_MUTENESS,
+    MODULE_SERVICE,
     MODULE_SIGNATURE,
     MetricsRegistry,
 )
@@ -147,11 +150,23 @@ class _LoopbackRun:
     """One plan execution on the loopback twin."""
 
     def __init__(self, plan: FaultPlan) -> None:
+        # Lazy zoo import: repro.zoo depends on repro.faults.plan, so the
+        # faults package never imports repro.zoo at module scope.
+        from repro.zoo.runtime import ZooInjections, zoo_loopback_overrides
+
         plan.validate()
         self.plan = plan
         self.registry = MetricsRegistry()
         self.injector = LinkFaultInjector(plan, registry=self.registry)
         self.genesis = loopback_genesis(plan)
+        # Zoo plans re-derive the cluster config exactly like the
+        # subprocess fidelity does; empty for v1 plans, whose runs (and
+        # genesis id, hence every hello MAC) stay byte-identical.
+        self.config = self.genesis.service_config()
+        overrides = zoo_loopback_overrides(plan)
+        if overrides:
+            self.config = dataclasses.replace(self.config, **overrides)
+        self.zoo_injections = ZooInjections()
         self.scheduler = ManualScheduler()
         self.hub = FaultyLoopbackHub(self.scheduler, self.injector)
         self.nodes: dict[int, NetNode] = {}
@@ -170,6 +185,7 @@ class _LoopbackRun:
             self.scheduler,
             join=join,
             engine_factory=engine_factory,
+            config=self.config,
         )
         node.attach_transport(self.hub.register(pid, node.handle_message))
         self.nodes[pid] = node
@@ -185,7 +201,22 @@ class _LoopbackRun:
         node.process.go_down()
 
     def _schedule_events(self) -> None:
+        from repro.zoo.runtime import install_zoo_injections
+
         plan = self.plan
+        # Families (b)/(d): same shared wiring as the other fidelities;
+        # the manual clock starts at zero, so plan time maps 1:1.
+        install_zoo_injections(
+            plan,
+            lambda at, label, thunk: self.scheduler.schedule_after(
+                at, label, thunk
+            ),
+            lambda pid: (
+                self.nodes[pid].process if pid in self.nodes else None
+            ),
+            self.zoo_injections,
+            self.registry,
+        )
         for pid, at, rejoin_at in plan.kills:
             self.scheduler.schedule_after(
                 at, "plan-kill", lambda p=pid: self._kill(p)
@@ -276,6 +307,40 @@ class _LoopbackRun:
             for pid in sorted(correct)
             if pid in self.nodes
         )
+
+        def node_total(pids: frozenset[int], module: str, name: str) -> int:
+            return sum(
+                int(self.nodes[pid].metrics.counter_total(module, name))
+                for pid in sorted(pids)
+                if pid in self.nodes
+            )
+
+        zoo: dict[str, Any] = {}
+        if plan.has_zoo:
+            if plan.suppressions:
+                zoo["suppressed"] = self.injector.suppressed
+            if plan.corruptions:
+                zoo["corruptions_injected"] = self.zoo_injections.corruptions
+                zoo["checkpoint_mismatches"] = node_total(
+                    live, MODULE_SERVICE, "checkpoint_mismatches"
+                )
+                zoo["state_heals"] = node_total(
+                    live, MODULE_SERVICE, "state_heals"
+                )
+            if plan.timing:
+                zoo["timing_delays"] = self.injector.timing_delays
+                zoo["wrongful_suspicions"] = node_total(
+                    correct, MODULE_MUTENESS, "wrongful_suspicions"
+                )
+            if plan.storage_flips:
+                zoo["storage_flips_injected"] = (
+                    self.zoo_injections.storage_flips_injected
+                )
+                zoo["storage_rejections"] = sum(
+                    self.nodes[pid].process.suffix_rejections
+                    for pid in sorted(live)
+                    if pid in self.nodes
+                ) + node_total(live, MODULE_SERVICE, "state_responses_rejected")
         return FidelityObservation(
             fidelity=FIDELITY_LOOPBACK,
             completed=len(self.client.completed),
@@ -300,6 +365,7 @@ class _LoopbackRun:
             declared=tuple(declared),
             flips_injected=self.injector.flips_injected,
             signature_rejections=signature_rejections,
+            zoo=zoo,
             extras={
                 "end_time": self.scheduler.now,
                 "drops": dict(self.injector.drops),

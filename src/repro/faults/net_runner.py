@@ -36,7 +36,13 @@ from repro.faults.plan import FIDELITY_NET, FaultPlan
 from repro.net.client import NetClient, NetClientError
 from repro.net.cluster import LocalCluster, make_genesis, wait_cluster_ready
 from repro.observability.export import read_run_jsonl
-from repro.observability.registry import MODULE_FAULTS, MODULE_SIGNATURE
+from repro.observability.registry import (
+    MODULE_FAULTS,
+    MODULE_MUTENESS,
+    MODULE_SERVICE,
+    MODULE_SIGNATURE,
+    MODULE_ZOO,
+)
 
 #: Lead time between spawning the cluster and the plan's t=0: replicas
 #: must be connected and ready before the first scheduled fault.
@@ -176,9 +182,11 @@ class _NetRun:
         """
         plan = self.plan
         correct = frozenset(range(plan.n_replicas)) - plan.faulty_pids
+        live = live_correct(plan)
         declared: list[tuple[int, int, str]] = []
         flips_injected = 0
         signature_rejections = 0
+        zoo_totals: dict[str, int] = {}
         for pid in range(plan.n_replicas):
             path = self.cluster.metrics_dir / f"node-{pid}.jsonl"
             if not path.exists():
@@ -192,6 +200,36 @@ class _NetRun:
                     MODULE_FAULTS, "arb_faults_injected"
                 )
             )
+            if plan.has_zoo:
+                # Injection counters come from every node (each replica
+                # owns its outbound links and its own self-injections)…
+                for key, module, name in (
+                    ("suppressed", MODULE_ZOO, "suppressed_deliveries"),
+                    ("corruptions_injected", MODULE_ZOO, "corruptions_injected"),
+                    ("timing_delays", MODULE_ZOO, "timing_delays"),
+                    ("storage_flips_injected", MODULE_ZOO, "storage_flips_injected"),
+                ):
+                    zoo_totals[key] = zoo_totals.get(key, 0) + int(
+                        artifact.metrics.counter_total(module, name)
+                    )
+                # …detection counters only from the judging side.
+                if pid in live:
+                    for key, module, name in (
+                        ("checkpoint_mismatches", MODULE_SERVICE, "checkpoint_mismatches"),
+                        ("state_heals", MODULE_SERVICE, "state_heals"),
+                        ("storage_rejections", MODULE_SERVICE, "state_responses_rejected"),
+                    ):
+                        zoo_totals[key] = zoo_totals.get(key, 0) + int(
+                            artifact.metrics.counter_total(module, name)
+                        )
+                if pid in correct:
+                    zoo_totals["wrongful_suspicions"] = zoo_totals.get(
+                        "wrongful_suspicions", 0
+                    ) + int(
+                        artifact.metrics.counter_total(
+                            MODULE_MUTENESS, "wrongful_suspicions"
+                        )
+                    )
             if pid in correct:
                 signature_rejections += int(
                     artifact.metrics.counter_total(
@@ -207,7 +245,33 @@ class _NetRun:
                         )
                     )
         declared.sort()
-        live = live_correct(plan)
+        zoo: dict[str, Any] = {}
+        if plan.has_zoo:
+            if plan.suppressions:
+                zoo["suppressed"] = zoo_totals.get("suppressed", 0)
+            if plan.corruptions:
+                for key in (
+                    "corruptions_injected",
+                    "checkpoint_mismatches",
+                    "state_heals",
+                ):
+                    zoo[key] = zoo_totals.get(key, 0)
+            if plan.timing:
+                zoo["timing_delays"] = zoo_totals.get("timing_delays", 0)
+                zoo["wrongful_suspicions"] = zoo_totals.get(
+                    "wrongful_suspicions", 0
+                )
+            if plan.storage_flips:
+                zoo["storage_flips_injected"] = zoo_totals.get(
+                    "storage_flips_injected", 0
+                )
+                zoo["storage_rejections"] = zoo_totals.get(
+                    "storage_rejections", 0
+                ) + sum(
+                    self.statuses[pid].suffix_rejections
+                    for pid in sorted(live)
+                    if pid in self.statuses
+                )
         return FidelityObservation(
             fidelity=FIDELITY_NET,
             completed=self.completed_workload,
@@ -229,6 +293,7 @@ class _NetRun:
             declared=tuple(declared),
             flips_injected=flips_injected,
             signature_rejections=signature_rejections,
+            zoo=zoo,
             extras={
                 "workdir": str(self.workdir),
                 "resubmissions": self.client.resubmissions,

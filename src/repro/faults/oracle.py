@@ -61,6 +61,11 @@ class FidelityObservation:
     #: Total signature-verification rejections (durable fallback for
     #: flip detection when the bounded event window rolled over).
     signature_rejections: int = 0
+    #: Adversary-zoo facts (docs/ADVERSARIES.md): injection/detection
+    #: counters per family plus the re-convergence verdict. Populated
+    #: only for zoo plans, so v1 plan records stay byte-identical; the
+    #: per-family oracles in :mod:`repro.zoo.oracles` judge it.
+    zoo: dict[str, Any] = field(default_factory=dict)
     #: Free-form runner extras carried into the report (never judged).
     extras: dict[str, Any] = field(default_factory=dict)
 
@@ -158,6 +163,15 @@ def judge(
                     "attribution: the behaviour automaton convicted the "
                     f"innocent flipped sender(s): {automaton_hits}"
                 )
+
+    # Adversary-zoo families (v2 plans): per-family injection/detection/
+    # attribution oracles, including the self-stabilization verdict.
+    # Imported lazily — repro.zoo depends on repro.faults.plan, so the
+    # faults package never imports repro.zoo at module scope.
+    if plan.has_zoo:
+        from repro.zoo.oracles import judge_zoo
+
+        violations.extend(judge_zoo(plan, observation, live))
 
     if not violations:
         return VERDICT_PASS, violations

@@ -32,8 +32,19 @@ from repro.byzantine import TRANSFORMED_ATTACKS
 from repro.core.specs import SystemParameters
 from repro.errors import ConfigurationError
 
-#: Schema tag of a serialised plan file.
-FAULTS_SCHEMA = "repro.faults/v1"
+#: Newest schema tag this code reads and writes.
+FAULTS_SCHEMA = "repro.faults/v2"
+#: The PR-8 schema: every plan without adversary-zoo clauses is still a
+#: valid v1 document, and :meth:`FaultPlan.save` tags it as one so older
+#: readers keep working (and v1 artifacts stay byte-identical).
+FAULTS_SCHEMA_V1 = "repro.faults/v1"
+
+#: Live-state targets of a ``corruptions`` clause (adversary zoo,
+#: docs/ADVERSARIES.md): the replicated store or the muteness detectors.
+CORRUPTION_TARGETS = ("store", "detector")
+#: At-rest targets of a ``storage_flips`` clause: decided log entries or
+#: the certified checkpoint snapshot.
+STORAGE_TARGETS = ("log", "checkpoint")
 
 #: Verdict expectations a plan may declare.
 EXPECTATIONS = ("pass", "vulnerable")
@@ -124,6 +135,32 @@ class FaultPlan:
     expect: str = "pass"
     #: Progress floor for the oracles (0 defaults to ``requests``).
     min_commands: int = 0
+    #: Adversary zoo, family (a) — ``(d, round_length, start, end)``
+    #: message-adversary windows (Albouy/Frey/Raynal/Taïani). Within
+    #: ``[start, end)`` plan time is cut into rounds of ``round_length``
+    #: seconds and, per (sender, round), a seeded set of exactly ``d``
+    #: destinations silently receives nothing from that sender. The
+    #: suppressed processes are *not* process faults: the axis is
+    #: independent of F, which is the whole point of the family.
+    suppressions: tuple[tuple[int, float, float, float], ...] = ()
+    #: Adversary zoo, family (b) — ``(pid, at, target)`` transient state
+    #: corruption (Duvignau/Raynal/Schiller): at ``at``, seeded garbage
+    #: is written into the live ``target`` (:data:`CORRUPTION_TARGETS`)
+    #: of an otherwise *correct* replica, which must then re-converge
+    #: (self-stabilization; the re-convergence oracle judges it).
+    corruptions: tuple[tuple[int, float, str], ...] = ()
+    #: Adversary zoo, family (c) — ``(pid, start, end, gap)`` timing
+    #: attack: within the window the Byzantine ``pid`` releases its
+    #: outbound traffic only at ``gap``-second burst boundaries, shaping
+    #: inter-arrival times to drive adaptive muteness estimators into
+    #: wrongful suspicion of correct peers. Counted against F.
+    timing: tuple[tuple[int, float, float, float], ...] = ()
+    #: Adversary zoo, family (d) — ``(pid, at, target)`` at-rest storage
+    #: corruption: from ``at`` on, the state ``pid`` serves out of its
+    #: ``target`` storage (:data:`STORAGE_TARGETS`) carries a stuck-bit
+    #: flip (the Barbieri et al. hardware model), which the signature +
+    #: certification modules on the *requesting* side must catch.
+    storage_flips: tuple[tuple[int, float, str], ...] = ()
 
     # -- identity ------------------------------------------------------------
 
@@ -137,7 +174,10 @@ class FaultPlan:
     # -- config round-trip ---------------------------------------------------
 
     def to_config(self) -> dict[str, Any]:
-        return {
+        # Zoo keys are emitted only when present: a v1-expressible plan
+        # keeps its v1 canonical form, hence its v1 plan_id and report
+        # bytes (the compat guarantee of the v2 schema bump).
+        config: dict[str, Any] = {
             "name": self.name,
             "seed": self.seed,
             "n_replicas": self.n_replicas,
@@ -159,6 +199,24 @@ class FaultPlan:
             "expect": self.expect,
             "min_commands": self.min_commands,
         }
+        if self.suppressions:
+            config["suppressions"] = [
+                [d, round_length, start, end]
+                for d, round_length, start, end in self.suppressions
+            ]
+        if self.corruptions:
+            config["corruptions"] = [
+                [pid, at, target] for pid, at, target in self.corruptions
+            ]
+        if self.timing:
+            config["timing"] = [
+                [pid, start, end, gap] for pid, start, end, gap in self.timing
+            ]
+        if self.storage_flips:
+            config["storage_flips"] = [
+                [pid, at, target] for pid, at, target in self.storage_flips
+            ]
+        return config
 
     @classmethod
     def from_config(cls, config: Mapping[str, Any]) -> "FaultPlan":
@@ -213,6 +271,34 @@ class FaultPlan:
                 ),
                 expect=str(config.get("expect", "pass")),
                 min_commands=int(config.get("min_commands", 0)),
+                suppressions=tuple(
+                    sorted(
+                        (int(d), float(rl), float(start), float(end))
+                        for d, rl, start, end in (
+                            config.get("suppressions") or ()
+                        )
+                    )
+                ),
+                corruptions=tuple(
+                    sorted(
+                        (int(pid), float(at), str(target))
+                        for pid, at, target in (config.get("corruptions") or ())
+                    )
+                ),
+                timing=tuple(
+                    sorted(
+                        (int(pid), float(start), float(end), float(gap))
+                        for pid, start, end, gap in (config.get("timing") or ())
+                    )
+                ),
+                storage_flips=tuple(
+                    sorted(
+                        (int(pid), float(at), str(target))
+                        for pid, at, target in (
+                            config.get("storage_flips") or ()
+                        )
+                    )
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(
@@ -247,16 +333,57 @@ class FaultPlan:
         return frozenset(pid for pid, _, _ in self.flips)
 
     @property
+    def corrupted_pids(self) -> frozenset[int]:
+        return frozenset(pid for pid, _, _ in self.corruptions)
+
+    @property
+    def timing_pids(self) -> frozenset[int]:
+        return frozenset(pid for pid, _, _, _ in self.timing)
+
+    @property
+    def storage_flip_pids(self) -> frozenset[int]:
+        return frozenset(pid for pid, _, _ in self.storage_flips)
+
+    @property
     def faulty_pids(self) -> frozenset[int]:
-        """Process faults counted against F (flips are *link* corruption
-        of a correct sender, so they are deliberately not in this set)."""
-        return self.muted_pids | self.killed_pids | self.colluding_pids
+        """Process faults counted against F. Flips, suppressions,
+        corruptions and storage flips are deliberately *not* in this
+        set: they strike correct processes (link corruption, message
+        adversary, transient/at-rest state faults). A timing attacker
+        *is* Byzantine — it chooses its send times — so it counts."""
+        return (
+            self.muted_pids
+            | self.killed_pids
+            | self.colluding_pids
+            | self.timing_pids
+        )
+
+    @property
+    def has_zoo(self) -> bool:
+        """True when any adversary-zoo clause is present (v2-only plan)."""
+        return bool(
+            self.suppressions
+            or self.corruptions
+            or self.timing
+            or self.storage_flips
+        )
+
+    @property
+    def schema_tag(self) -> str:
+        """The lowest schema version able to express this plan."""
+        return FAULTS_SCHEMA if self.has_zoo else FAULTS_SCHEMA_V1
 
     @property
     def has_link_noise(self) -> bool:
-        """Probabilistic link faults that legitimately create stream gaps."""
+        """Link faults that legitimately create stream gaps at correct
+        receivers (the flip-attribution oracle stands down under them;
+        a message adversary qualifies — it is pure omission)."""
         return bool(
-            self.loss or self.duplication or self.reorder or self.partitions
+            self.loss
+            or self.duplication
+            or self.reorder
+            or self.partitions
+            or self.suppressions
         )
 
     @property
@@ -349,11 +476,61 @@ class FaultPlan:
                     f"unknown attack {name!r}; known: "
                     f"{sorted(TRANSFORMED_ATTACKS)}"
                 )
+        for d, round_length, start, end in self.suppressions:
+            if not 1 <= d < self.n_replicas:
+                raise ConfigurationError(
+                    f"suppression bound d={d} must be in [1, "
+                    f"{self.n_replicas - 1}] (destinations per broadcast)"
+                )
+            if round_length <= 0:
+                raise ConfigurationError(
+                    f"suppression round_length must be positive, "
+                    f"got {round_length!r}"
+                )
+            self._check_time(start, "suppression window start")
+            if not start < end <= self.duration:
+                raise ConfigurationError(
+                    f"suppression window [{start!r}, {end!r}) must satisfy "
+                    f"start < end <= duration ({self.duration!r})"
+                )
+        for pid, at, target in self.corruptions:
+            self._check_pid(pid, "corruption")
+            self._check_time(at, f"corruption of replica {pid}")
+            if target not in CORRUPTION_TARGETS:
+                raise ConfigurationError(
+                    f"unknown corruption target {target!r}; known: "
+                    f"{list(CORRUPTION_TARGETS)}"
+                )
+        for pid, start, end, gap in self.timing:
+            self._check_pid(pid, "timing attack")
+            self._check_time(start, f"timing attack of replica {pid}")
+            if not start < end <= self.duration:
+                raise ConfigurationError(
+                    f"timing window [{start!r}, {end!r}) of replica {pid} "
+                    f"must satisfy start < end <= duration "
+                    f"({self.duration!r})"
+                )
+            if gap <= 0:
+                raise ConfigurationError(
+                    f"timing gap of replica {pid} must be positive, "
+                    f"got {gap!r}"
+                )
+        for pid, at, target in self.storage_flips:
+            self._check_pid(pid, "storage flip")
+            self._check_time(at, f"storage flip of replica {pid}")
+            if target not in STORAGE_TARGETS:
+                raise ConfigurationError(
+                    f"unknown storage-flip target {target!r}; known: "
+                    f"{list(STORAGE_TARGETS)}"
+                )
         for label, pids in (
             ("mute", [pid for pid, _ in self.mutes]),
             ("kill", [pid for pid, _, _ in self.kills]),
             ("flip", [pid for pid, _, _ in self.flips]),
             ("collusion", [pid for pid, _ in self.collusion]),
+            ("corruption", [pid for pid, _, _ in self.corruptions]),
+            ("timing", [pid for pid, _, _, _ in self.timing]),
+            ("storage flip", [pid for pid, _, _ in self.storage_flips]),
         ):
             if len(pids) != len(set(pids)):
                 raise ConfigurationError(f"duplicate {label} pid in the plan")
@@ -364,6 +541,23 @@ class FaultPlan:
                 ("mute", "collusion", self.muted_pids & self.colluding_pids),
                 ("kill", "collusion", self.killed_pids & self.colluding_pids),
                 ("flip", "fault", self.flip_pids & self.faulty_pids),
+                (
+                    "corruption",
+                    "fault",
+                    self.corrupted_pids & self.faulty_pids,
+                ),
+                (
+                    "storage flip",
+                    "fault",
+                    self.storage_flip_pids & self.faulty_pids,
+                ),
+                ("mute", "timing", self.muted_pids & self.timing_pids),
+                ("kill", "timing", self.killed_pids & self.timing_pids),
+                (
+                    "collusion",
+                    "timing",
+                    self.colluding_pids & self.timing_pids,
+                ),
             )
             if pair[2]
         ]
@@ -373,9 +567,16 @@ class FaultPlan:
                 f"replica(s) {sorted(pids)} appear in both the {a} and "
                 f"the {b} plan"
             )
-        if len(self.faulty_pids) > params.f:
+        # Timing attackers are *performance* faults: they send correct,
+        # signed protocol messages, only late. They count as Byzantine for
+        # the oracles (their suspicions are earned) but not against the
+        # resilience budget F — the interesting timing regime is exactly
+        # the one where a full crash/mute budget makes the slow replica
+        # quorum-critical.
+        budget = self.faulty_pids - self.timing_pids
+        if len(budget) > params.f:
             raise ConfigurationError(
-                f"{len(self.faulty_pids)} faulty replicas exceed F="
+                f"{len(budget)} faulty replicas exceed F="
                 f"{params.f} for n={self.n_replicas}"
             )
 
@@ -399,7 +600,7 @@ class FaultPlan:
         """Write the plan as a schema-tagged JSON document."""
         self.validate()
         target = Path(path)
-        document = {"schema": FAULTS_SCHEMA, "config": self.to_config()}
+        document = {"schema": self.schema_tag, "config": self.to_config()}
         target.write_text(
             json.dumps(document, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
@@ -445,7 +646,7 @@ def check_faults_schema(schema: str) -> None:
             f"unsupported fault-plan schema {schema!r}; expected "
             f"{FAULTS_SCHEMA!r}"
         ) from None
-    if version > 1:
+    if version > 2:
         raise ConfigurationError(
             f"fault-plan schema {schema!r} is newer than the installed "
             f"code (supports {FAULTS_SCHEMA}); upgrade repro to read it"

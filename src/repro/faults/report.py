@@ -22,6 +22,7 @@ from repro.faults.loopback_runner import run_loopback_plan
 from repro.faults.oracle import FidelityObservation, judge
 from repro.faults.plan import (
     FAULTS_SCHEMA,
+    FAULTS_SCHEMA_V1,
     FIDELITIES,
     FIDELITY_LOOPBACK,
     FIDELITY_NET,
@@ -181,6 +182,13 @@ class PlanResult:
                     "flips_injected": observation.flips_injected,
                     "signature_rejections": observation.signature_rejections,
                 }
+                # Zoo facts only appear for zoo plans, keeping v1 plan
+                # records byte-identical.
+                if observation.zoo:
+                    entry["observation"]["zoo"] = {
+                        key: value
+                        for key, value in sorted(observation.zoo.items())
+                    }
             fidelities[fidelity] = entry
         record = {
             "plan_id": self.plan.plan_id,
@@ -219,8 +227,16 @@ class CrossFidelityReport:
         return self.all_agree and self.all_expected
 
     def to_record(self) -> dict[str, Any]:
+        # Like FaultPlan.save: tag with the lowest schema version able
+        # to express the content, so reports over v1-only plans stay
+        # byte-identical to their PR-8 form.
+        schema = (
+            FAULTS_SCHEMA
+            if any(result.plan.has_zoo for result in self.results)
+            else FAULTS_SCHEMA_V1
+        )
         return {
-            "schema": FAULTS_SCHEMA,
+            "schema": schema,
             "kind": "cross-fidelity-report",
             "fidelities": list(self.fidelities),
             "plans": [result.to_record() for result in self.results],

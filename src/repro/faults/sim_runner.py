@@ -15,7 +15,8 @@ decide the verdict.
 
 from __future__ import annotations
 
-from typing import Any
+import dataclasses
+from typing import TYPE_CHECKING, Any
 
 from repro.byzantine import transformed_attack
 from repro.faults.injector import LinkFaultInjector
@@ -23,12 +24,17 @@ from repro.faults.oracle import FidelityObservation, live_correct
 from repro.faults.plan import FIDELITY_SIM, FaultPlan
 from repro.observability.registry import (
     MODULE_FAULTS,
+    MODULE_MUTENESS,
+    MODULE_SERVICE,
     MODULE_SIGNATURE,
 )
 from repro.replication.log import EngineFactory
 from repro.service.checkpoint import service_digest
 from repro.service.config import ServiceConfig
 from repro.service.runtime import ServiceSystem, build_service_system
+
+if TYPE_CHECKING:
+    from repro.zoo.runtime import ZooInjections
 
 #: Plan seconds -> simulated virtual time. The service stack's sim
 #: timeouts are an order of magnitude above the loopback/net genesis
@@ -41,11 +47,15 @@ SETTLE_BUDGET = 40.0
 
 
 def _sim_config(plan: FaultPlan) -> ServiceConfig:
+    # Lazy zoo import: repro.zoo depends on repro.faults.plan, so the
+    # faults package never imports repro.zoo at module scope.
+    from repro.zoo.runtime import zoo_service_overrides
+
     duration = plan.duration * SIM_TIME_SCALE
     # Open-loop workload spread over the first ~70% of the window, so
     # post-rejoin replicas still see fresh traffic to catch up against.
     rate = plan.requests / (0.7 * duration)
-    return ServiceConfig(
+    config = ServiceConfig(
         n_replicas=plan.n_replicas,
         n_clients=1,
         mode="open",
@@ -60,6 +70,13 @@ def _sim_config(plan: FaultPlan) -> ServiceConfig:
         seed=plan.seed,
         key_space=16,
     )
+    # Zoo plans arm extra service machinery (self-heal, adaptive ◇M,
+    # wider pipelining); empty for v1 plans, so their configs and hence
+    # their runs are untouched.
+    overrides = zoo_service_overrides(plan)
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config
 
 
 def _byzantine(plan: FaultPlan) -> dict[int, EngineFactory]:
@@ -71,8 +88,10 @@ def _byzantine(plan: FaultPlan) -> dict[int, EngineFactory]:
 
 def build_sim_system(
     plan: FaultPlan,
-) -> tuple[ServiceSystem, LinkFaultInjector]:
+) -> tuple[ServiceSystem, LinkFaultInjector, "ZooInjections"]:
     """The (not yet run) fidelity-1 world for ``plan``."""
+    from repro.zoo.runtime import ZooInjections, install_zoo_injections
+
     plan.validate()
     injector = LinkFaultInjector(plan)
 
@@ -107,12 +126,26 @@ def build_sim_system(
             system.world.scheduler.schedule_at(
                 at * SIM_TIME_SCALE, "service-down", replica.go_down
             )
-    return system, injector
+    injections = ZooInjections()
+    world = system.world
+    # Families (b) and (d): seeded live-state scribbles and sticky
+    # storage faults, booked on the world's scheduler at the scaled
+    # clause instants (shared wiring across all three runners).
+    install_zoo_injections(
+        plan,
+        lambda at, label, thunk: world.scheduler.schedule_at(
+            at * SIM_TIME_SCALE, label, thunk
+        ),
+        lambda pid: system.replicas[pid],
+        injections,
+        world.metrics,
+    )
+    return system, injector, injections
 
 
 def run_sim_plan(plan: FaultPlan) -> FidelityObservation:
     """Execute ``plan`` at fidelity 1 and reduce it for the judge."""
-    system, injector = build_sim_system(plan)
+    system, injector, injections = build_sim_system(plan)
     world = system.world
     live = live_correct(plan)
     floor = plan.progress_floor
@@ -156,6 +189,37 @@ def run_sim_plan(plan: FaultPlan) -> FidelityObservation:
     )
     if detected:
         world.metrics.inc(MODULE_FAULTS, "arb_faults_detected", detected)
+    zoo: dict[str, Any] = {}
+    if plan.has_zoo:
+        metrics = world.metrics
+        if plan.suppressions:
+            zoo["suppressed"] = injector.suppressed
+        if plan.corruptions:
+            zoo["corruptions_injected"] = injections.corruptions
+            zoo["checkpoint_mismatches"] = int(
+                metrics.counter_total(MODULE_SERVICE, "checkpoint_mismatches")
+            )
+            zoo["state_heals"] = int(
+                metrics.counter_total(MODULE_SERVICE, "state_heals")
+            )
+        if plan.timing:
+            zoo["timing_delays"] = injector.timing_delays
+            zoo["wrongful_suspicions"] = int(
+                sum(
+                    metrics.counter(
+                        MODULE_MUTENESS, "wrongful_suspicions", pid=pid
+                    )
+                    for pid in sorted(correct)
+                )
+            )
+        if plan.storage_flips:
+            zoo["storage_flips_injected"] = injections.storage_flips_injected
+            zoo["storage_rejections"] = int(
+                sum(system.replicas[pid].suffix_rejections for pid in live)
+                + metrics.counter_total(
+                    MODULE_SERVICE, "state_responses_rejected"
+                )
+            )
     return FidelityObservation(
         fidelity=FIDELITY_SIM,
         completed=system.completed_requests(),
@@ -177,6 +241,7 @@ def run_sim_plan(plan: FaultPlan) -> FidelityObservation:
         signature_rejections=int(
             world.metrics.counter_total(MODULE_SIGNATURE, "messages_rejected")
         ),
+        zoo=zoo,
         extras={
             "end_time": world.now,
             "drops": dict(injector.drops),

@@ -37,12 +37,17 @@ from repro.errors import ConfigurationError
 #: * ``forge-attempt`` — broadcast a message with forged signature bytes
 #:   (a real attempt against the unforgeable-signature assumption);
 #: * ``drop-delivery`` — withhold the oldest in-flight message on one
-#:   outgoing channel (selective sending).
+#:   outgoing channel (selective sending);
+#: * ``suppress-d`` — the zoo's message adversary (docs/ADVERSARIES.md):
+#:   withhold an in-flight CURRENT delivery, at most ``suppress_d`` per
+#:   protocol round. Unlike ``drop-delivery`` it is round-bounded and
+#:   phase-scoped, matching the ``(F, d)`` campaign axis.
 ADVERSARY_ACTIONS = (
     "mute",
     "equivocate-current",
     "forge-attempt",
     "drop-delivery",
+    "suppress-d",
 )
 
 #: Frontier disciplines: breadth-first layers (exhaustive up to the
@@ -78,6 +83,9 @@ class McConfig:
     #: Stop at the first violated predicate (bug hunting) instead of
     #: exploring the whole bounded space.
     stop_on_violation: bool = False
+    #: Per-round budget of the ``suppress-d`` action (ignored unless the
+    #: alphabet contains it).
+    suppress_d: int = 1
 
     # -- identity -----------------------------------------------------------
 
@@ -105,6 +113,7 @@ class McConfig:
             "seed": self.seed,
             "max_rounds": self.max_rounds,
             "stop_on_violation": self.stop_on_violation,
+            "suppress_d": self.suppress_d,
         }
 
     @classmethod
@@ -131,6 +140,7 @@ class McConfig:
                 seed=int(config.get("seed", 0)),
                 max_rounds=int(config.get("max_rounds", 2)),
                 stop_on_violation=bool(config.get("stop_on_violation", False)),
+                suppress_d=int(config.get("suppress_d", 1)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed mc config: {exc}") from exc
@@ -186,6 +196,10 @@ class McConfig:
         if self.max_rounds < 1:
             raise ConfigurationError(
                 f"max_rounds must be positive, got {self.max_rounds}"
+            )
+        if not 1 <= self.suppress_d < self.n:
+            raise ConfigurationError(
+                f"suppress_d must be in 1..{self.n - 1}, got {self.suppress_d}"
             )
         if self.seed < 0:
             raise ConfigurationError(f"negative seed {self.seed}")

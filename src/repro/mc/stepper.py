@@ -13,7 +13,12 @@ transition system:
 * ``("mute",)`` / ``("equivocate-current",)`` / ``("forge-attempt",)``
   — activate the corresponding :class:`ScriptedAdversary` mode;
 * ``("drop", dst)`` — withhold (cancel) the oldest in-flight message
-  from the adversary to ``dst``.
+  from the adversary to ``dst``;
+* ``("suppress", dst)`` — the zoo's message adversary, model-checker
+  scale: cancel the oldest in-flight *CURRENT* delivery from the
+  adversary to ``dst``, at most ``config.suppress_d`` cancellations per
+  protocol round (the round is read off the suppressed message itself,
+  ``event.meta[3]``, so the budget follows the broadcast, not the wall).
 
 State identity is the label path from the initial state: snapshotting a
 live world is impossible (event callbacks are closures over it), so the
@@ -34,6 +39,7 @@ from repro.consensus.transformed import PHASE_INIT
 from repro.errors import ProtocolError
 from repro.mc.adversary import ScriptedAdversary
 from repro.mc.config import McConfig
+from repro.messages.consensus import VCurrent
 from repro.sim.events import Event
 from repro.sim.network import FixedDelay
 from repro.systems import ConsensusSystem, build_transformed_system
@@ -70,6 +76,8 @@ class Stepper:
             self.adversary = process
         self.path: tuple[Label, ...] = ()
         self.dropped = 0
+        #: CURRENT suppressions spent, per protocol round (suppress-d).
+        self.suppressed: dict[int, int] = {}
         self._preamble()
 
     @classmethod
@@ -151,6 +159,14 @@ class Stepper:
                 for (src, dst) in sorted(channels):
                     if src == adversary.pid and dst != adversary.pid:
                         labels.append(("drop", dst))
+            if "suppress-d" in alphabet:
+                for (src, dst) in sorted(channels):
+                    if (
+                        src == adversary.pid
+                        and dst != adversary.pid
+                        and self._suppressible(dst) is not None
+                    ):
+                        labels.append(("suppress", dst))
         adversary_pid = None if adversary is None else adversary.pid
         for (src, dst) in sorted(
             channels, key=lambda pair: (pair[1] != adversary_pid, pair)
@@ -160,6 +176,32 @@ class Stepper:
         if self._pending_non_delivery() is not None:
             labels.append(("tick",))
         return labels
+
+    def _suppressible(self, dst: int) -> Event | None:
+        """The oldest in-flight CURRENT from the adversary to ``dst``
+        whose round still has ``suppress-d`` budget, or None.
+
+        Only the oldest CURRENT on the channel is considered — skipping
+        past a budget-exhausted round to a younger broadcast would let
+        one label mean different messages on replay.
+        """
+        assert self.adversary is not None
+        for event in self.scheduler.pending():
+            meta = event.meta
+            if (
+                meta is None
+                or meta[0] != "deliver"
+                or meta[1] != self.adversary.pid
+                or meta[2] != dst
+            ):
+                continue
+            body = getattr(meta[3], "body", None)
+            if not isinstance(body, VCurrent):
+                continue
+            if self.suppressed.get(body.round, 0) < self.config.suppress_d:
+                return event
+            return None
+        return None
 
     def rounds_exceeded(self) -> bool:
         """True when any correct process passed the round bound."""
@@ -187,6 +229,16 @@ class Stepper:
                 raise ProtocolError(f"drop on empty channel to {label[1]}")
             head[0].cancelled.cancel()
             self.dropped += 1
+        elif kind == "suppress":
+            self._require_adversary(kind)
+            event = self._suppressible(label[1])
+            if event is None:
+                raise ProtocolError(
+                    f"suppress disabled on channel to {label[1]}"
+                )
+            round_ = event.meta[3].body.round
+            event.cancelled.cancel()
+            self.suppressed[round_] = self.suppressed.get(round_, 0) + 1
         elif kind == "mute":
             self._require_adversary(kind).activate_mute()
         elif kind == "equivocate-current":

@@ -92,6 +92,7 @@ class NetNode:
         join: bool = False,
         metrics_path: str | Path | None = None,
         engine_factory: Any = None,
+        config: Any = None,
     ) -> None:
         genesis.validate()
         if not 0 <= pid < genesis.n_replicas:
@@ -111,8 +112,13 @@ class NetNode:
         replica_kwargs = {}
         if engine_factory is not None:
             replica_kwargs["engine_factory"] = engine_factory
+        # ``config`` overrides the genesis-derived ServiceConfig (the
+        # adversary-zoo runners arm self-heal / adaptive ◇M / a tighter
+        # checkpoint cadence); it must agree across the cluster, so the
+        # runners derive it from the shared plan, never per-node.
         self.process = ServiceReplicaProcess(
-            genesis.service_config(), **replica_kwargs
+            config if config is not None else genesis.service_config(),
+            **replica_kwargs,
         )
         env = ProcessEnv(
             pid=pid,
@@ -255,6 +261,25 @@ async def serve_replica(
         from repro.byzantine import transformed_attack
 
         engine_factory = transformed_attack(pid, attack)[pid]
+    plan = origin = None
+    config = None
+    if fault_plan is not None:
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.load(fault_plan)
+        origin = fault_origin if fault_origin is not None else loop.time()
+        if plan.has_zoo:
+            # Zoo plans re-derive the cluster config from the shared
+            # plan (every node computes the same overrides).
+            import dataclasses
+
+            from repro.zoo.runtime import zoo_loopback_overrides
+
+            overrides = zoo_loopback_overrides(plan)
+            if overrides:
+                config = dataclasses.replace(
+                    genesis.service_config(), **overrides
+                )
     node = NetNode(
         genesis,
         pid,
@@ -262,14 +287,12 @@ async def serve_replica(
         join=join,
         metrics_path=metrics_path,
         engine_factory=engine_factory,
+        config=config,
     )
-    if fault_plan is not None:
+    if plan is not None:
         from repro.faults.injector import LinkFaultInjector
-        from repro.faults.plan import FaultPlan
         from repro.net.faulty import FaultyPeerTransport
 
-        plan = FaultPlan.load(fault_plan)
-        origin = fault_origin if fault_origin is not None else loop.time()
         injector = LinkFaultInjector(
             plan, registry=node.metrics, local_pid=pid
         )
@@ -281,6 +304,22 @@ async def serve_replica(
             injector=injector,
             plan_clock=lambda: time.time() - origin,
         )
+        if plan.has_zoo:
+            # Families (b)/(d) are *self*-injections: each subprocess
+            # corrupts only its own replica, at the plan instant mapped
+            # onto the shared wall-clock origin.
+            from repro.zoo.runtime import ZooInjections, install_zoo_injections
+
+            install_zoo_injections(
+                plan,
+                lambda at, label, thunk: scheduler.schedule_after(
+                    max(0.0, at - (time.time() - origin)), label, thunk
+                ),
+                lambda p: node.process if p == pid else None,
+                ZooInjections(),
+                node.metrics,
+                pids=frozenset({pid}),
+            )
     else:
         transport = PeerTransport(
             genesis, pid, node.handle_message, metrics=node.net_metrics

@@ -51,6 +51,10 @@ MODULE_FAULTS = "faults"
 #: The multi-group routing layer above the per-group stacks
 #: (docs/SHARDING.md): key→shard routing and cross-group orchestration.
 MODULE_SHARD = "shard"
+#: The adversary zoo (docs/ADVERSARIES.md): message-adversary
+#: suppression, transient/at-rest state corruption and timing-attack
+#: injection counters.
+MODULE_ZOO = "zoo"
 
 PAPER_MODULES = (
     MODULE_SIGNATURE,

@@ -18,6 +18,12 @@ from repro.errors import ConfigurationError
 #: Client workload shapes (docs/SERVICE.md).
 CLIENT_MODES = ("open", "closed")
 
+#: Muteness-detector flavours a replica can arm per slot engine:
+#: ``"timeout"`` is the fixed-timeout ◇M of the paper, ``"adaptive"``
+#: the Jacobson-style estimator (docs/NETWORK.md) — the timing-attack
+#: family of the adversary zoo targets the latter.
+MUTENESS_DETECTORS = ("timeout", "adaptive")
+
 
 @dataclass(frozen=True, slots=True)
 class ServiceConfig:
@@ -60,6 +66,15 @@ class ServiceConfig:
     seed: int = 0
     #: Explicit fault bound; ``None`` derives F from ``n_replicas``.
     f: int | None = None
+    #: Which ◇M flavour each slot engine arms (:data:`MUTENESS_DETECTORS`).
+    muteness_detector: str = "timeout"
+    #: Self-stabilization (docs/ADVERSARIES.md): when an f+1 certified
+    #: checkpoint quorum disagrees with the locally computed digest, wipe
+    #: the volatile state and re-install via certified transfer instead
+    #: of only recording the mismatch. Off by default — campaign
+    #: scenarios that intentionally surface divergence keep their
+    #: verdicts.
+    heal_on_mismatch: bool = False
 
     def params(self) -> SystemParameters:
         return SystemParameters.for_n(self.n_replicas, f=self.f)
@@ -121,6 +136,11 @@ class ServiceConfig:
         if self.key_space < 1:
             raise ConfigurationError(
                 f"key_space must be >= 1, got {self.key_space}"
+            )
+        if self.muteness_detector not in MUTENESS_DETECTORS:
+            raise ConfigurationError(
+                f"unknown muteness detector {self.muteness_detector!r}; "
+                f"known: {list(MUTENESS_DETECTORS)}"
             )
         # Raises for system sizes outside the resilience arithmetic.
         self.params()

@@ -40,7 +40,10 @@ from repro.core.specs import SystemParameters
 from repro.crypto.cache import SignatureCache
 from repro.crypto.keys import KeyAuthority
 from repro.crypto.signatures import SignatureScheme
-from repro.detectors.diamond_m import MutenessDetector
+from repro.detectors.diamond_m import (
+    AdaptiveMutenessDetector,
+    MutenessDetector,
+)
 from repro.messages.consensus import NULL, VCurrent, VDecide
 from repro.observability.registry import MODULE_SERVICE, MODULE_SIGNATURE
 from repro.replication.kvstore import Command, KeyValueStore
@@ -219,6 +222,12 @@ class ServiceReplicaProcess(Process):
         #: Senders already declared by the stale-envelope ingress check
         #: (one declaration event per culprit, like the engines').
         self._stale_culprits: set[int] = set()
+        #: Adversary-zoo family (d) hook (docs/ADVERSARIES.md): when the
+        #: campaign installs a :class:`~repro.zoo.corruption.StorageFault`
+        #: here, every state response this replica serves passes through
+        #: it — modelling stuck bits in the at-rest log/checkpoint
+        #: storage. ``None`` (the default) is a no-op.
+        self.storage_fault: Any = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -339,7 +348,12 @@ class ServiceReplicaProcess(Process):
             and self._open_slots() < self.config.window
             and (force or len(self.pending) >= self.config.batch_size)
         ):
-            self._ensure_engine(self._next_open)
+            if self._ensure_engine(self._next_open) is None:
+                # The pipeline horizon refused the slot. Nothing mutates
+                # between iterations of this loop, so retrying the same
+                # slot can only spin; the next delivery or timer will
+                # re-drain once the frontier moves.
+                break
             force = False
         if self.pending and not self._batch_timer:
             self._batch_timer = True
@@ -394,7 +408,14 @@ class ServiceReplicaProcess(Process):
             SignatureScheme(keys, cache=self._sig_cache),
             keys.signer_for(self.pid),
         )
-        detector = MutenessDetector(initial_timeout=self.config.muteness_timeout)
+        if self.config.muteness_detector == "adaptive":
+            detector: MutenessDetector = AdaptiveMutenessDetector(
+                initial_timeout=self.config.muteness_timeout
+            )
+        else:
+            detector = MutenessDetector(
+                initial_timeout=self.config.muteness_timeout
+            )
         engine = self.engine_factory(
             self.pid,
             self._proposal_for(slot),
@@ -608,6 +629,14 @@ class ServiceReplicaProcess(Process):
                     theirs=body.digest,
                 )
                 self._metrics.inc("checkpoint_mismatches")
+                if self.config.heal_on_mismatch:
+                    # Self-stabilization (docs/ADVERSARIES.md): an f+1
+                    # certified quorum proves *our* state arbitrary-
+                    # faulted. Treat the replica as transiently corrupt:
+                    # wipe the volatile state and recover through
+                    # certified transfer, like a restart without the
+                    # crash.
+                    self._heal_divergence(body.count)
             return
         # A quorum certified state we never reached: we are lagging by
         # at least one full checkpoint interval — catch up via transfer.
@@ -685,6 +714,18 @@ class ServiceReplicaProcess(Process):
         """
         if not self.down:
             return
+        self._wipe_volatile()
+        self.down = False
+        self.restarts += 1
+        self.record("service_restart")
+        self._metrics.inc("restarts")
+        if self.config.stall_probe > 0:
+            self._probe_apply = 0
+            self.set_timer("stall-probe", self.config.stall_probe)
+        self._start_state_transfer("restart")
+
+    def _wipe_volatile(self) -> None:
+        """Drop everything rebuilt from messages (the restart recipe)."""
         for name in list(self._view.timer_names):
             self._view.cancel_timer(name)
         self.engines.clear()
@@ -698,7 +739,7 @@ class ServiceReplicaProcess(Process):
         self.log.clear()
         self._local_snapshots.clear()
         self._ckpt_votes.clear()
-        # Verification memos live in process memory: a restarted replica
+        # Verification memos live in process memory: a wiped replica
         # starts cold (re-verifies everything it is shown again).
         self._sig_cache.clear()
         self._ckpt_cert_cache.clear()
@@ -711,14 +752,23 @@ class ServiceReplicaProcess(Process):
         self.base_slot = 0
         self._next_open = 0
         self._batch_timer = False
-        self.down = False
-        self.restarts += 1
-        self.record("service_restart")
-        self._metrics.inc("restarts")
+
+    def _heal_divergence(self, count: int) -> None:
+        """Recover from a certified-quorum digest mismatch in place.
+
+        The replica stays up but discards its (arbitrary-faulted)
+        volatile state and pulls certified state back from the peers —
+        the self-stabilizing recovery the adversary zoo's transient-
+        corruption oracle asserts. The ``"heal"`` transfer reason keeps
+        retrying until real progress, like a restart's.
+        """
+        self.record("state_heal", count=count, applied=self.next_apply)
+        self._metrics.inc("state_heals")
+        self._wipe_volatile()
         if self.config.stall_probe > 0:
             self._probe_apply = 0
             self.set_timer("stall-probe", self.config.stall_probe)
-        self._start_state_transfer("restart")
+        self._start_state_transfer("heal")
 
     def catch_up(self) -> None:
         """Ask peers for certified state right away.
@@ -796,6 +846,11 @@ class ServiceReplicaProcess(Process):
                 for s, v in sorted(suffix.items())
             ),
         )
+        if self.storage_fault is not None:
+            # The replica reads its at-rest state through the faulty
+            # medium: corruption happens on the serving side, detection
+            # must happen on the requesting side.
+            response = self.storage_fault.corrupt_response(response)
         self._metrics.inc("state_responses")
         self._metrics.inc("state_transfer_bytes", len(repr(response)))
         self.send(src, response)

@@ -26,7 +26,7 @@ via the same deterministic map the TCP client uses.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Mapping
 
 from repro.errors import ConfigurationError
 from repro.net.clock import ManualScheduler
@@ -64,20 +64,38 @@ class LatencyHub(LoopbackHub):
     Charging a fixed ``delay`` per hop makes a protocol round cost what
     a round costs — a few hops — and the group's commit rate becomes
     ``window``-bounded the way a real deployment's is. Determinism is
-    preserved: same schedule, same delay, same run.
+    preserved: same schedule, same delays, same run.
 
-    Per-``(src, dst)`` FIFO order survives because every hop has the
-    same delay and same-instant events fire in scheduling order; a
-    handler's downstream sends land a full ``delay`` later, so they can
-    never interleave inside another sender's same-instant broadcast.
+    ``link_delays`` overrides the uniform ``delay`` per *directed* link,
+    which is what heterogeneous deployments look like — one replica
+    behind a slow WAN hop, asymmetric routes, a laggard rack. Per-
+    ``(src, dst)`` FIFO order survives either way because a given link's
+    delay is constant, so a link never reorders its own traffic; with
+    heterogeneous delays *cross-link* interleavings shift, exactly the
+    effect being modelled. The uniform default (``link_delays=None``)
+    takes the same code path as before and stays byte-identical.
     """
 
-    def __init__(self, scheduler: Any, *, delay: float = HOP_DELAY) -> None:
+    def __init__(
+        self,
+        scheduler: Any,
+        *,
+        delay: float = HOP_DELAY,
+        link_delays: Mapping[tuple[int, int], float] | None = None,
+    ) -> None:
         super().__init__(scheduler)
         self.delay = delay
+        self.link_delays = dict(link_delays) if link_delays else None
+
+    def delay_for(self, src: int, dst: int) -> float:
+        """The virtual latency charged on the directed link ``src→dst``."""
+        if self.link_delays is not None:
+            return self.link_delays.get((src, dst), self.delay)
+        return self.delay
 
     def submit(self, src: int, dst: int, payload: Any) -> None:
-        if self.delay <= 0.0:
+        delay = self.delay_for(src, dst)
+        if delay <= 0.0:
             super().submit(src, dst, payload)
             return
         try:
@@ -86,7 +104,7 @@ class LatencyHub(LoopbackHub):
             self.frames_rejected += 1
             return
         self._scheduler.schedule_after(
-            self.delay,
+            delay,
             "loopback-hop",
             lambda: self._arrive(src, dst, frame),
         )
@@ -199,6 +217,7 @@ class ShardedLoopbackCluster:
         *,
         clients: int = 1,
         hop_delay: float = HOP_DELAY,
+        link_delays: Mapping[tuple[int, int], float] | None = None,
     ) -> None:
         genesis.validate()
         if not 1 <= clients <= genesis.max_clients:
@@ -217,8 +236,13 @@ class ShardedLoopbackCluster:
             shard: 0 for shard in range(genesis.n_shards)
         }
         self._issued = 0
+        # Per-link overrides apply to every shard's fabric alike: the
+        # pid space is group-local, so one map describes "replica 0 is
+        # behind a slow hop" for each group without enumerating shards.
         for shard in range(genesis.n_shards):
-            hub = LatencyHub(self.scheduler, delay=hop_delay)
+            hub = LatencyHub(
+                self.scheduler, delay=hop_delay, link_delays=link_delays
+            )
             self.hubs[shard] = hub
             self.nodes[shard] = {}
             for pid in range(genesis.replicas_per_shard):

@@ -1,0 +1,49 @@
+"""``repro.zoo`` — the adversary zoo (docs/ADVERSARIES.md).
+
+Composable adversary families from the related work, each a first-class
+:class:`~repro.faults.plan.FaultPlan` extension (schema
+``repro.faults/v2``) executing across the three campaign fidelities:
+
+* **message adversary** — seeded per-round suppression of up to ``d``
+  deliveries of each broadcast, independent of process faults
+  (Albouy/Frey/Raynal/Taïani);
+* **transient state corruption** — arbitrary bytes scribbled into live
+  detector/store state, judged by a self-stabilizing re-convergence
+  oracle (Duvignau/Raynal/Schiller);
+* **clock/timing attack** — a Byzantine peer shaping inter-arrival gaps
+  against the adaptive muteness estimator;
+* **stored-state bit-flips** — stuck bits in at-rest log entries and
+  checkpoint snapshots (the Barbieri et al. hardware model), caught by
+  the signature + certification modules.
+
+The registry (:data:`~repro.zoo.families.ZOO_FAMILIES`) names, for each
+family, the Figure-1 module that must detect it — the campaign judge
+(:func:`repro.faults.oracle.judge`) enforces exactly that attribution.
+"""
+
+from repro.zoo.corruption import (
+    StorageFault,
+    corrupt_live_state,
+    corruption_rng,
+)
+from repro.zoo.families import AdversaryFamily, ZOO_FAMILIES, families_in
+from repro.zoo.oracles import judge_zoo, reconvergence_verdict
+from repro.zoo.presets import ZOO_PRESETS
+from repro.zoo.suppressor import RoundSuppressor
+from repro.zoo.timing import BURST_FIFO_SPACING, BurstShaper, burst_hold
+
+__all__ = [
+    "AdversaryFamily",
+    "BURST_FIFO_SPACING",
+    "BurstShaper",
+    "RoundSuppressor",
+    "StorageFault",
+    "ZOO_FAMILIES",
+    "ZOO_PRESETS",
+    "burst_hold",
+    "corrupt_live_state",
+    "corruption_rng",
+    "families_in",
+    "judge_zoo",
+    "reconvergence_verdict",
+]

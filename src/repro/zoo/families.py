@@ -1,0 +1,104 @@
+"""The adversary-family registry: one row per zoo family.
+
+Each entry records which :class:`~repro.faults.plan.FaultPlan` field
+carries the family's clauses, which Figure-1 module must detect (or must
+*not* be fooled by) the family, and the fidelities the family executes
+at. The campaign judge and the docs both read this table — it is the
+single place the detection-attribution contract is written down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.plan import FaultPlan
+from repro.observability.registry import (
+    MODULE_CERTIFICATION,
+    MODULE_MUTENESS,
+    MODULE_SIGNATURE,
+)
+
+#: Family names, in registry order.
+FAMILY_MESSAGE_ADVERSARY = "message-adversary"
+FAMILY_STATE_CORRUPTION = "state-corruption"
+FAMILY_TIMING_ATTACK = "timing-attack"
+FAMILY_STORAGE_FLIP = "storage-flip"
+
+
+@dataclass(frozen=True, slots=True)
+class AdversaryFamily:
+    """One zoo family and its detection-attribution contract."""
+
+    name: str
+    #: The :class:`FaultPlan` field holding this family's clauses.
+    field: str
+    #: Figure-1 modules that must catch the family (empty: the family is
+    #: pure omission — *no* module may blame a correct process for it).
+    detected_by: tuple[str, ...]
+    #: Fidelities the family executes at.
+    fidelities: tuple[str, ...]
+    description: str
+
+
+ZOO_FAMILIES: dict[str, AdversaryFamily] = {
+    family.name: family
+    for family in (
+        AdversaryFamily(
+            name=FAMILY_MESSAGE_ADVERSARY,
+            field="suppressions",
+            detected_by=(),
+            fidelities=("sim", "loopback", "net"),
+            description=(
+                "Seeded per-round suppressor removing up to d deliveries "
+                "of each broadcast, independent of process faults "
+                "(Albouy/Frey/Raynal/Taïani). Pure omission: correct "
+                "senders must never be convicted for it."
+            ),
+        ),
+        AdversaryFamily(
+            name=FAMILY_STATE_CORRUPTION,
+            field="corruptions",
+            detected_by=(MODULE_CERTIFICATION,),
+            fidelities=("sim", "loopback", "net"),
+            description=(
+                "Transient arbitrary bytes in live store/detector state "
+                "(Duvignau/Raynal/Schiller); the certified-checkpoint "
+                "quorum exposes the divergence and the replica must "
+                "self-stabilize back to a legal state."
+            ),
+        ),
+        AdversaryFamily(
+            name=FAMILY_TIMING_ATTACK,
+            field="timing",
+            detected_by=(MODULE_MUTENESS,),
+            fidelities=("sim", "loopback"),
+            description=(
+                "A Byzantine peer releases traffic only at gap-second "
+                "burst boundaries, driving the Jacobson-style adaptive "
+                "muteness estimator into wrongful suspicion of correct "
+                "peers; the blame must stay inside the muteness module."
+            ),
+        ),
+        AdversaryFamily(
+            name=FAMILY_STORAGE_FLIP,
+            field="storage_flips",
+            detected_by=(MODULE_SIGNATURE, MODULE_CERTIFICATION),
+            fidelities=("sim", "loopback", "net"),
+            description=(
+                "Stuck-bit corruption of at-rest log entries / checkpoint "
+                "snapshots (Barbieri et al.); requesting replicas must "
+                "reject the corrupted transfer state cheaply via the "
+                "signature and certification modules."
+            ),
+        ),
+    )
+}
+
+
+def families_in(plan: FaultPlan) -> tuple[str, ...]:
+    """The zoo families a plan exercises, in registry order."""
+    return tuple(
+        name
+        for name, family in ZOO_FAMILIES.items()
+        if getattr(plan, family.field)
+    )

@@ -1,0 +1,127 @@
+"""Shared runner wiring for the adversary zoo.
+
+The three fidelity runners schedule the same zoo injections against
+different substrates (a simulated world's scheduler, the loopback twin's
+manual scheduler, a subprocess replica's wall scheduler). This module
+holds the pieces they share: which :class:`~repro.service.config.ServiceConfig`
+knobs a zoo plan flips on, and the :class:`ZooInjections` ledger of what
+was actually injected — all derived purely from the plan, so every
+fidelity arms the exact same adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.faults.plan import FaultPlan
+from repro.observability.registry import MODULE_ZOO, MetricsRegistry
+from repro.zoo.corruption import (
+    StorageFault,
+    corrupt_live_state,
+    corruption_rng,
+)
+from repro.zoo.families import FAMILY_STATE_CORRUPTION, FAMILY_STORAGE_FLIP
+
+
+def zoo_service_overrides(plan: FaultPlan) -> dict[str, Any]:
+    """ServiceConfig fields a zoo plan turns on (empty for v1 plans).
+
+    Transient-corruption plans arm the self-stabilizing heal; timing
+    plans arm the adaptive muteness estimator the attack targets.
+    Storage-flip plans whose stuck bit sits in the *log* (and not the
+    checkpoint snapshot) push checkpoints out of the run entirely, so
+    every served state transfer carries a log suffix for the fault to
+    hit — with a tight cadence the suffix is empty whenever a transfer
+    lands just after a checkpoint, and the injection oracle would flake.
+    """
+    overrides: dict[str, Any] = {}
+    if plan.corruptions:
+        overrides["heal_on_mismatch"] = True
+    if plan.timing:
+        overrides["muteness_detector"] = "adaptive"
+    flip_targets = {target for _pid, _at, target in plan.storage_flips}
+    if flip_targets and "checkpoint" not in flip_targets:
+        overrides["checkpoint_interval"] = 64
+    return overrides
+
+
+def zoo_loopback_overrides(plan: FaultPlan) -> dict[str, Any]:
+    """The loopback/net variant: also tighten the checkpoint cadence.
+
+    The loopback genesis checkpoints every 4 applied slots of batches of
+    8 — too sparse for a corruption injected mid-window to meet a
+    certified quorum before the settle budget. Corruption and
+    checkpoint-flip plans shrink both knobs (cluster-wide: the
+    checkpoint schedule must agree across replicas); log-only flip
+    plans keep the loose interval chosen above. The sim config already
+    runs at this cadence.
+    """
+    overrides = zoo_service_overrides(plan)
+    if plan.corruptions or plan.storage_flips:
+        overrides.setdefault("checkpoint_interval", 1)
+        overrides["batch_size"] = 2
+    return overrides
+
+
+@dataclass(slots=True)
+class ZooInjections:
+    """What the zoo actually did in one run (one per runner)."""
+
+    #: Live-state scribbles performed (family b).
+    corruptions: int = 0
+    #: Installed sticky storage faults (family d), one per clause.
+    storage_faults: list[StorageFault] = field(default_factory=list)
+
+    @property
+    def storage_flips_injected(self) -> int:
+        return sum(fault.injected for fault in self.storage_faults)
+
+
+def install_zoo_injections(
+    plan: FaultPlan,
+    schedule: Callable[[float, str, Callable[[], None]], Any],
+    replica: Callable[[int], Any],
+    injections: ZooInjections,
+    metrics: MetricsRegistry,
+    pids: frozenset[int] | None = None,
+) -> None:
+    """Schedule families (b) and (d) against one runner's substrate.
+
+    ``schedule(at, label, thunk)`` books a callback at plan-time ``at``
+    on the runner's clock (the caller owns the time-scale mapping);
+    ``replica(pid)`` resolves the live :class:`ServiceReplicaProcess`
+    hosting ``pid`` at fire time, or ``None`` when that replica is not
+    hosted here. ``pids`` restricts the clauses to the locally-hosted
+    replicas (the subprocess fidelity hosts exactly one).
+    """
+    for pid, at, target in plan.corruptions:
+        if pids is not None and pid not in pids:
+            continue
+
+        def corrupt(pid: int = pid, target: str = target) -> None:
+            process = replica(pid)
+            if process is None:
+                return
+            rng = corruption_rng(plan, FAMILY_STATE_CORRUPTION, pid)
+            corrupt_live_state(process, target, rng)
+            injections.corruptions += 1
+            metrics.inc(MODULE_ZOO, "corruptions_injected", pid=pid)
+
+        schedule(at, "zoo-corrupt", corrupt)
+    for pid, at, target in plan.storage_flips:
+        if pids is not None and pid not in pids:
+            continue
+        fault = StorageFault(
+            (target,),
+            corruption_rng(plan, FAMILY_STORAGE_FLIP, pid),
+            metrics=metrics.scope(MODULE_ZOO, pid),
+        )
+        injections.storage_faults.append(fault)
+
+        def install(pid: int = pid, fault: StorageFault = fault) -> None:
+            process = replica(pid)
+            if process is not None:
+                process.storage_fault = fault
+
+        schedule(at, "zoo-storage-fault", install)

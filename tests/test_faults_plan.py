@@ -60,7 +60,10 @@ class TestRoundTrip:
         loaded = FaultPlan.load(path)
         assert loaded == plan
         document = json.loads(path.read_text())
-        assert document["schema"] == FAULTS_SCHEMA
+        # A plan without zoo clauses is v1-expressible and is tagged with
+        # the lowest schema version able to express it.
+        assert document["schema"] == "repro.faults/v1"
+        assert document["schema"] == plan.schema_tag
 
     def test_presets_validate_and_have_distinct_ids(self):
         for name, plans in FAULT_PRESETS.items():
@@ -111,29 +114,32 @@ class TestSchemaGate:
     def test_current_schema_accepted(self):
         check_faults_schema(FAULTS_SCHEMA)
 
+    def test_v1_schema_still_accepted(self):
+        check_faults_schema("repro.faults/v1")
+
     def test_newer_schema_rejected(self):
         with pytest.raises(ConfigurationError, match="newer than"):
-            check_faults_schema("repro.faults/v2")
+            check_faults_schema("repro.faults/v3")
 
     def test_alien_schema_rejected(self):
         with pytest.raises(ConfigurationError):
             check_faults_schema("repro.campaign/v1")
 
-    def test_loading_a_v2_plan_is_a_configuration_error(self, tmp_path):
+    def test_loading_a_v3_plan_is_a_configuration_error(self, tmp_path):
         path = tmp_path / "future.json"
         path.write_text(
             json.dumps(
-                {"schema": "repro.faults/v2", "config": {"name": "future"}}
+                {"schema": "repro.faults/v3", "config": {"name": "future"}}
             )
         )
         with pytest.raises(ConfigurationError, match="newer than"):
             FaultPlan.load(path)
 
-    def test_cli_exits_2_on_a_v2_plan(self, tmp_path):
+    def test_cli_exits_2_on_a_v3_plan(self, tmp_path):
         path = tmp_path / "future.json"
         path.write_text(
             json.dumps(
-                {"schema": "repro.faults/v2", "config": {"name": "future"}}
+                {"schema": "repro.faults/v3", "config": {"name": "future"}}
             )
         )
         assert main(["campaign", "faults", "--plan", str(path)]) == 2

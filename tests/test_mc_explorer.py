@@ -72,6 +72,8 @@ class TestConfig:
             dict(mutation="no-such-mutation"),
             dict(max_depth=0),
             dict(max_states=0),
+            dict(adversary=0, alphabet=("suppress-d",), suppress_d=0),
+            dict(adversary=0, alphabet=("suppress-d",), suppress_d=4),
         ],
     )
     def test_validate_rejects(self, bad):
@@ -168,6 +170,53 @@ class TestSoundness:
             adversary=0, alphabet=("equivocate-current",), max_depth=2
         )
         result = Explorer(config, tmp_path / "clean.jsonl").run()
+        assert result.violations == []
+        assert result.states_explored > 0
+
+
+class TestSuppressD:
+    """The zoo's message adversary at model-checker scale."""
+
+    CONFIG = McConfig(
+        adversary=0,
+        alphabet=("suppress-d",),
+        max_depth=64,
+        max_rounds=4,
+        suppress_d=1,
+    )
+
+    def _drive_to_suppress(self) -> Stepper:
+        stepper = Stepper(self.CONFIG)
+        for _ in range(200):
+            labels = stepper.enabled()
+            if not labels:
+                pytest.fail("suppress never became enabled")
+            if labels[0][0] == "suppress":
+                return stepper
+            stepper.apply(labels[0])
+        pytest.fail("suppress never became enabled")
+
+    def test_budget_is_per_round(self):
+        stepper = self._drive_to_suppress()
+        target = next(l for l in stepper.enabled() if l[0] == "suppress")
+        stepper.apply(target)
+        # d=1: the round's budget is spent, the label family vanishes.
+        assert stepper.suppressed == {1: 1}
+        assert all(l[0] != "suppress" for l in stepper.enabled())
+
+    def test_replay_reaches_the_same_digest(self):
+        stepper = self._drive_to_suppress()
+        target = next(l for l in stepper.enabled() if l[0] == "suppress")
+        stepper.apply(target)
+        twin = Stepper.replay(self.CONFIG, stepper.path)
+        assert state_digest(twin.system) == state_digest(stepper.system)
+        assert twin.suppressed == stepper.suppressed
+
+    def test_unmutated_suppress_sweep_is_clean(self, tmp_path):
+        config = McConfig(
+            adversary=0, alphabet=("suppress-d",), max_depth=3
+        )
+        result = Explorer(config, tmp_path / "suppress.jsonl").run()
         assert result.violations == []
         assert result.states_explored > 0
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.net.clock import ManualScheduler
 from repro.shard import (
     ShardedLoopbackCluster,
     loopback_scaling_cell,
@@ -21,6 +22,7 @@ from repro.shard import (
     run_loopback_smoke,
     smoke_json,
 )
+from repro.shard.loopback import LatencyHub
 
 
 class TestSmokeRecord:
@@ -92,6 +94,73 @@ class TestClusterGuards:
         for shard, before in untouched.items():
             after = cluster.shard_committed(shard)
             assert all(after[pid] >= before[pid] for pid in before)
+
+
+class TestLatencyHubLinks:
+    """Per-link virtual delays: heterogeneous fabrics are modelable."""
+
+    @staticmethod
+    def _hub(**kwargs):
+        scheduler = ManualScheduler()
+        hub = LatencyHub(scheduler, **kwargs)
+        arrivals: list[tuple[int, float]] = []
+        for pid in (0, 1, 2):
+            hub.register(
+                pid,
+                lambda src, msg, pid=pid: arrivals.append(
+                    (pid, scheduler.now)
+                ),
+            )
+        return scheduler, hub, arrivals
+
+    def test_slow_link_arrives_later(self):
+        scheduler, hub, arrivals = self._hub(
+            delay=0.01, link_delays={(0, 1): 0.5}
+        )
+        hub.submit(0, 1, {"type": "status_request"})
+        hub.submit(0, 2, {"type": "status_request"})
+        scheduler.advance(1.0)
+        assert [pid for pid, _ in arrivals] == [2, 1]
+        times = dict(arrivals)
+        assert times[2] == pytest.approx(0.01)
+        assert times[1] == pytest.approx(0.5)
+
+    def test_unlisted_links_use_uniform_delay(self):
+        hub = LatencyHub(
+            ManualScheduler(), delay=0.25, link_delays={(1, 2): 0.75}
+        )
+        assert hub.delay_for(1, 2) == 0.75
+        assert hub.delay_for(2, 1) == 0.25
+        assert hub.delay_for(0, 1) == 0.25
+
+    def test_per_link_fifo_survives_heterogeneity(self):
+        scheduler, hub, arrivals = self._hub(
+            delay=0.01, link_delays={(0, 1): 0.3}
+        )
+        for _ in range(4):
+            hub.submit(0, 1, {"type": "status_request"})
+        scheduler.advance(1.0)
+        # Constant per-link delay: the slow link delays but never
+        # reorders its own traffic.
+        assert [pid for pid, _ in arrivals] == [1, 1, 1, 1]
+        assert hub.frames_delivered == 4
+
+    def test_empty_map_is_the_uniform_default(self):
+        assert LatencyHub(ManualScheduler(), link_delays={}).link_delays is None
+
+    def test_cluster_completes_over_heterogeneous_links(self):
+        genesis = loopback_shard_genesis(2)
+        # Every link into and out of replica 0 is 10x slower, in every
+        # shard — a laggard-rack model. Progress must survive it.
+        slow = {
+            link: 0.05
+            for pid in range(1, 4)
+            for link in ((0, pid), (pid, 0))
+        }
+        cluster = ShardedLoopbackCluster(genesis, link_delays=slow)
+        for i in range(12):
+            cluster.submit(f"k{i}", f"v{i}")
+        assert cluster.run_until_complete(budget=60.0)
 
 
 class TestScalingCell:
